@@ -1,0 +1,87 @@
+// Command tsocc-bench reproduces the paper's evaluation: it runs the
+// full benchmark × protocol grid at 32 cores and prints Figures 3–9 (as
+// text tables), plus the Table 1 / Figure 2 storage analysis.
+//
+// Usage:
+//
+//	tsocc-bench                  # everything
+//	tsocc-bench -figure 3        # one figure
+//	tsocc-bench -bench intruder  # restrict benchmarks
+//	tsocc-bench -cores 16 -scale 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/storagemodel"
+	"repro/internal/workloads"
+)
+
+func main() {
+	cores := flag.Int("cores", 32, "core count")
+	scale := flag.Int("scale", 1, "workload size multiplier")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	figure := flag.Int("figure", 0, "single figure to produce (2-9; 0 = all)")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset")
+	quiet := flag.Bool("q", false, "suppress per-run progress")
+	flag.Parse()
+
+	// Storage figures need no simulation.
+	if *figure == 2 {
+		fmt.Println(storagemodel.Figure2([]int{8, 16, 32, 48, 64, 80, 96, 112, 128}))
+		return
+	}
+
+	var benches []string
+	if *benchList != "" {
+		benches = strings.Split(*benchList, ",")
+	}
+	cfg := config.Scaled(*cores)
+	p := workloads.Params{Threads: *cores, Scale: *scale, Seed: *seed}
+
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	t0 := time.Now()
+	grid, err := harness.RunGrid(cfg, p, nil, benches, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grid failed:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "grid complete in %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	show := func(n int) bool { return *figure == 0 || *figure == n }
+	if show(3) {
+		fmt.Println(grid.Figure3())
+	}
+	if show(4) {
+		fmt.Println(grid.Figure4())
+	}
+	if show(5) {
+		fmt.Println(grid.Figure5())
+	}
+	if show(6) {
+		fmt.Println(grid.Figure6())
+	}
+	if show(7) {
+		fmt.Println(grid.Figure7())
+	}
+	if show(8) {
+		fmt.Println(grid.Figure8())
+	}
+	if show(9) {
+		fmt.Println(grid.Figure9())
+	}
+	if *figure == 0 {
+		fmt.Println(storagemodel.Table1(*cores))
+		fmt.Println(storagemodel.Figure2([]int{8, 16, 32, 48, 64, 80, 96, 112, 128}))
+		fmt.Println(grid.SummaryHighlights())
+	}
+}

@@ -1,0 +1,60 @@
+// Command tsocc-litmus runs the diy-style TSO litmus suite (§4.3)
+// against every protocol configuration and reports violations.
+//
+// Usage:
+//
+//	tsocc-litmus -iters 50 -cores 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/litmus"
+)
+
+func main() {
+	iters := flag.Int("iters", 40, "iterations per test per protocol")
+	cores := flag.Int("cores", 4, "core count (tests use up to 4 threads)")
+	seed := flag.Uint64("seed", 0xC0FFEE, "perturbation seed")
+	verbose := flag.Bool("v", false, "print outcome histograms")
+	flag.Parse()
+
+	cfg := config.Small(*cores)
+	failed := false
+	for _, proto := range harness.Protocols() {
+		fmt.Printf("== %s ==\n", proto.Name())
+		for _, t := range litmus.Suite() {
+			res, err := litmus.Run(t, proto, cfg, *iters, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "  %-12s ERROR: %v\n", t.Name, err)
+				failed = true
+				continue
+			}
+			status := "ok"
+			if !res.Ok() {
+				status = fmt.Sprintf("TSO VIOLATION %v", res.Violations)
+				failed = true
+			}
+			extra := ""
+			if t.Interesting != nil {
+				if res.SawInteresting {
+					extra = " (relaxed outcome observed)"
+				} else {
+					extra = " (relaxed outcome not observed)"
+				}
+			}
+			fmt.Printf("  %-12s %d outcomes, %s%s\n", t.Name, len(res.Outcomes), status, extra)
+			if *verbose {
+				fmt.Println(res)
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("\nall protocols satisfy TSO on the litmus suite")
+}

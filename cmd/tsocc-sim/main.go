@@ -1,0 +1,76 @@
+// Command tsocc-sim runs one benchmark from the Table 3 suite on one
+// protocol configuration and prints the run's statistics.
+//
+// Usage:
+//
+//	tsocc-sim -bench intruder -proto TSO-CC-4-12-3 -cores 32 -scale 1
+//	tsocc-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/system"
+	"repro/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "intruder", "benchmark name (see -list)")
+	proto := flag.String("proto", "TSO-CC-4-12-3", "protocol configuration (see -list)")
+	cores := flag.Int("cores", 32, "core count")
+	scale := flag.Int("scale", 1, "workload size multiplier")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list benchmarks and protocols")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, e := range workloads.Registry() {
+			fmt.Printf("  %-14s [%-8s] %s\n", e.Name, e.Suite, e.Desc)
+		}
+		fmt.Println("protocols:")
+		for _, p := range harness.Protocols() {
+			fmt.Printf("  %s\n", p.Name())
+		}
+		return
+	}
+
+	var chosen system.Protocol
+	for _, p := range harness.Protocols() {
+		if p.Name() == *proto {
+			chosen = p
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "unknown protocol %q (see -list)\n", *proto)
+		os.Exit(2)
+	}
+	e := workloads.ByName(*bench)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (see -list)\n", *bench)
+		os.Exit(2)
+	}
+
+	cfg := config.Scaled(*cores)
+	w := e.Gen(workloads.Params{Threads: *cores, Scale: *scale, Seed: *seed})
+	res, err := system.Run(cfg, chosen, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Summary())
+	fmt.Printf("\nself-invalidation causes:\n")
+	for c := coherence.SelfInvCause(0); c < coherence.NumSelfInvCauses; c++ {
+		fmt.Printf("  %-28s %d\n", c, res.L1.SelfInvEvents[c].Value())
+	}
+	if res.CheckErr != nil {
+		fmt.Fprintln(os.Stderr, "FUNCTIONAL CHECK FAILED:", res.CheckErr)
+		os.Exit(1)
+	}
+	fmt.Println("\nfunctional check: ok")
+}

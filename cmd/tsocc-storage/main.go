@@ -1,0 +1,33 @@
+// Command tsocc-storage reproduces the storage analysis: Table 1's bit
+// accounting and Figure 2's coherence-storage-overhead sweep over core
+// counts.
+//
+// Usage:
+//
+//	tsocc-storage
+//	tsocc-storage -cores 64
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/storagemodel"
+)
+
+func main() {
+	cores := flag.Int("cores", 32, "core count for the Table 1 accounting")
+	flag.Parse()
+
+	fmt.Println(storagemodel.Table1(*cores))
+	fmt.Println(storagemodel.Figure2([]int{8, 16, 32, 48, 64, 80, 96, 112, 128}))
+
+	g := storagemodel.PaperGeometry(32)
+	g128 := storagemodel.PaperGeometry(128)
+	fmt.Printf("paper check: TSO-CC-4-12-3 reduction vs MESI: %.0f%% at 32 cores (paper: 38%%), %.0f%% at 128 cores (paper: 82%%)\n",
+		100*storagemodel.ReductionVsMESI(g, storagemodel.TSOCC(g, config.C12x3())),
+		100*storagemodel.ReductionVsMESI(g128, storagemodel.TSOCC(g128, config.C12x3())))
+	fmt.Printf("             CC-shared-to-L2 reduction at 32 cores: %.0f%% (paper: 76%%)\n",
+		100*storagemodel.ReductionVsMESI(g, storagemodel.TSOCC(g, config.CCSharedToL2())))
+}

@@ -1,0 +1,73 @@
+// Producer/consumer: the paper's Figure 1 scenario, run under every
+// protocol configuration, showing how the lazy protocol propagates the
+// flag write through the bounded-staleness Shared state and how the
+// timestamped response triggers the self-invalidation that makes the
+// data write visible.
+//
+//	go run ./examples/producer_consumer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/harness"
+	"repro/internal/program"
+	"repro/internal/system"
+)
+
+func workload() *program.Workload {
+	const dataAddr, flagAddr, outAddr = 0x1000, 0x2000, 0x3000
+
+	// proc A (Figure 1): a1: data = 1;  a2: flag = 1;
+	a := program.NewBuilder("procA")
+	a.Li(1, dataAddr).Li(2, flagAddr).Li(3, 1)
+	a.Nop(50) // let the consumer cache stale copies first
+	a.St(1, 0, 3)
+	a.St(2, 0, 3)
+	a.Halt()
+
+	// proc B: b1: while (flag == 0);  b2: r1 = data;
+	b := program.NewBuilder("procB")
+	b.Li(1, dataAddr).Li(2, flagAddr).Li(3, 1)
+	b.Ld(4, 1, 0) // warm a stale Shared copy of data
+	b.Ld(4, 2, 0) // ... and of flag
+	b.SpinUntilEq(4, 2, 0, 3)
+	b.Ld(5, 1, 0) // b2 must see a1's write
+	b.Li(6, outAddr)
+	b.St(6, 0, 5)
+	b.Fence()
+	b.Halt()
+
+	return &program.Workload{
+		Name:     "figure1",
+		Programs: []*program.Program{a.MustBuild(), b.MustBuild()},
+		Check: func(mem program.MemReader) error {
+			if got := mem.ReadWord(outAddr); got != 1 {
+				return fmt.Errorf("b2 read data = %d, want 1 (r→r violated)", got)
+			}
+			return nil
+		},
+	}
+}
+
+func main() {
+	cfg := config.Scaled(4)
+	fmt.Println("Figure 1 producer/consumer on every protocol configuration:")
+	for _, proto := range harness.Protocols() {
+		res, err := system.Run(cfg, proto, workload())
+		if err != nil {
+			log.Fatalf("%s: %v", proto.Name(), err)
+		}
+		if res.CheckErr != nil {
+			log.Fatalf("%s: %v", proto.Name(), res.CheckErr)
+		}
+		fmt.Printf("  %-18s %6d cycles, %4d msgs, self-invalidations: %d (acquire-triggered: %d)\n",
+			proto.Name(), res.Cycles, res.Msgs, res.L1.SelfInvTotal(),
+			res.L1.SelfInvEvents[coherence.CauseAcquireNonSRO].Value())
+	}
+	fmt.Println("\nevery configuration made a1 visible to b2 once b1 observed a2 — TSO's")
+	fmt.Println("write-propagation and r→r requirements hold without a sharing vector.")
+}

@@ -1,0 +1,27 @@
+package coherence
+
+import "repro/internal/sim"
+
+// Controller is the engine-facing interface of any coherence endpoint
+// (L1 or L2). Deliver is the mesh endpoint hook; Busy reports whether
+// transactions, queued messages or timers are still outstanding (used by
+// the system-level completion and deadlock checks).
+type Controller interface {
+	Deliver(now sim.Cycle, m *Msg)
+	Tick(now sim.Cycle)
+	Busy() bool
+	// SnoopBlock returns the controller's copy of the block at addr if it
+	// holds an authoritative one (L1: Exclusive/Modified; L2: any valid
+	// line). Used after a run completes so functional checks observe the
+	// freshest value without forcing writebacks.
+	SnoopBlock(addr uint64) ([]byte, bool)
+}
+
+// L1Like is the full interface of a private-cache controller: a
+// Controller that also serves its core's memory operations and exposes
+// the standard statistics block.
+type L1Like interface {
+	Controller
+	CorePort
+	L1Stats() *L1Stats
+}

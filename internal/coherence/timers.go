@@ -1,0 +1,48 @@
+package coherence
+
+import "repro/internal/sim"
+
+// Timers schedules deferred actions inside a controller (array access
+// latencies, memory fills). Actions scheduled for the same cycle run in
+// scheduling order, keeping controllers deterministic.
+type Timers struct {
+	due map[sim.Cycle][]func(now sim.Cycle)
+}
+
+// At schedules f to run at cycle c (or the next tick if c is in the past).
+func (t *Timers) At(c sim.Cycle, f func(now sim.Cycle)) {
+	if t.due == nil {
+		t.due = make(map[sim.Cycle][]func(now sim.Cycle))
+	}
+	t.due[c] = append(t.due[c], f)
+}
+
+// Tick runs every action due at now.
+func (t *Timers) Tick(now sim.Cycle) {
+	fns, ok := t.due[now]
+	if !ok {
+		return
+	}
+	delete(t.due, now)
+	for _, f := range fns {
+		f(now)
+	}
+}
+
+// Pending reports the number of scheduled actions (deadlock diagnostics).
+func (t *Timers) Pending() int {
+	n := 0
+	for _, fns := range t.due {
+		n += len(fns)
+	}
+	return n
+}
+
+// DueCycles lists the cycles with scheduled actions (diagnostics).
+func (t *Timers) DueCycles() []sim.Cycle {
+	var out []sim.Cycle
+	for c := range t.due {
+		out = append(out, c)
+	}
+	return out
+}

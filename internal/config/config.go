@@ -1,0 +1,202 @@
+// Package config defines the system parameters (the paper's Table 2) and
+// the protocol configuration presets evaluated in the paper (§4.2),
+// using the paper's TSO-CC-<Bmaxacc>-<Bts>-<Bwg> naming convention.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// System holds the CMP parameters (Table 2 equivalents).
+type System struct {
+	Cores int
+
+	L1Size int // bytes, private data cache per core
+	L1Ways int
+
+	L2TileSize int // bytes per NUCA tile (one tile per core)
+	L2Ways     int
+
+	L1HitLat    sim.Cycle // L1 array access latency
+	L2AccessLat sim.Cycle // L2 tile array access latency (network adds the rest)
+
+	MemBase   sim.Cycle // memory latency band start
+	MemSpread sim.Cycle // band width
+
+	WriteBuffer int // FIFO entries per core
+	MeshRows    int // 0 = auto
+
+	MaxCycles sim.Cycle // simulation safety limit
+}
+
+// Table2 returns the paper's 32-core configuration.
+func Table2() System {
+	return System{
+		Cores:       32,
+		L1Size:      32 << 10,
+		L1Ways:      4,
+		L2TileSize:  1 << 20,
+		L2Ways:      16,
+		L1HitLat:    3,
+		L2AccessLat: 12,
+		MemBase:     120,
+		MemSpread:   110,
+		WriteBuffer: 32,
+		MeshRows:    4,
+		MaxCycles:   200_000_000,
+	}
+}
+
+// Scaled returns a Table2-shaped system with a different core count
+// (used for the storage sweep and small functional tests).
+func Scaled(cores int) System {
+	s := Table2()
+	s.Cores = cores
+	s.MeshRows = 0
+	return s
+}
+
+// Small returns a reduced configuration for unit tests: few cores, tiny
+// caches (to exercise evictions), fast memory.
+func Small(cores int) System {
+	return System{
+		Cores:       cores,
+		L1Size:      1 << 10, // 16 lines
+		L1Ways:      2,
+		L2TileSize:  4 << 10, // 64 lines per tile
+		L2Ways:      4,
+		L1HitLat:    1,
+		L2AccessLat: 2,
+		MemBase:     20,
+		MemSpread:   10,
+		WriteBuffer: 8,
+		MeshRows:    0,
+		MaxCycles:   80_000_000,
+	}
+}
+
+// Validate checks structural sanity.
+func (s System) Validate() error {
+	if s.Cores <= 0 {
+		return fmt.Errorf("config: cores must be positive")
+	}
+	if s.L1Size <= 0 || s.L1Ways <= 0 || s.L2TileSize <= 0 || s.L2Ways <= 0 {
+		return fmt.Errorf("config: cache geometry must be positive")
+	}
+	if s.WriteBuffer <= 0 {
+		return fmt.Errorf("config: write buffer must be positive")
+	}
+	return nil
+}
+
+// TSOCC parameterizes the TSO-CC protocol family. The zero value is not
+// valid; use a preset or fill every field.
+type TSOCC struct {
+	// MaxAccBits is Bmaxacc: Shared lines may hit 2^MaxAccBits times
+	// before re-requesting from L2. SharedAlwaysMiss (CC-shared-to-L2)
+	// overrides it.
+	MaxAccBits       int
+	SharedAlwaysMiss bool
+
+	// TimestampBits is Bts. 0 disables timestamps entirely (the basic
+	// protocol: every remote data response is a potential acquire).
+	TimestampBits int
+	// WriteGroupBits is Bwg: 2^WriteGroupBits consecutive writes share
+	// one timestamp.
+	WriteGroupBits int
+	// EpochBits sizes the epoch-id used to disambiguate timestamp
+	// resets (Bepoch-id, 3 in the paper's storage analysis).
+	EpochBits int
+
+	// SharedRO enables the shared read-only optimization (§3.4).
+	SharedRO bool
+	// TSTableEntries bounds the per-node last-seen timestamp tables
+	// (§3.3 allows fewer entries than cores, with an eviction policy).
+	// 0 means one entry per possible source (unbounded).
+	TSTableEntries int
+	// DecayWrites is the timestamp distance after which a Shared line
+	// decays to SharedRO (256 writes in the paper).
+	DecayWrites uint32
+}
+
+// Timestamps reports whether the configuration uses timestamps.
+func (c TSOCC) Timestamps() bool { return c.TimestampBits > 0 }
+
+// MaxAccesses reports the Shared-line hit budget (0 = always miss).
+func (c TSOCC) MaxAccesses() uint32 {
+	if c.SharedAlwaysMiss {
+		return 0
+	}
+	return 1 << uint(c.MaxAccBits)
+}
+
+// WriteGroupSize reports how many writes share one timestamp.
+func (c TSOCC) WriteGroupSize() uint32 { return 1 << uint(c.WriteGroupBits) }
+
+// TSMax reports the largest usable timestamp value.
+func (c TSOCC) TSMax() uint32 {
+	bits := c.TimestampBits
+	if bits <= 0 {
+		return 0
+	}
+	if bits > 31 {
+		bits = 31
+	}
+	return (1 << uint(bits)) - 1
+}
+
+// Presets from §4.2. All include the SharedRO optimization, as the paper
+// only evaluates configurations with it.
+
+// CCSharedToL2 removes the sharing list entirely: Shared reads always
+// miss to L2. No timestamps, no decay.
+func CCSharedToL2() TSOCC {
+	return TSOCC{SharedAlwaysMiss: true, SharedRO: true, EpochBits: 3}
+}
+
+// Basic is TSO-CC-4-basic: the §3.2 protocol plus SharedRO, without
+// transitive reduction (no timestamps).
+func Basic() TSOCC {
+	return TSOCC{MaxAccBits: 4, SharedRO: true, EpochBits: 3, DecayWrites: 256}
+}
+
+// NoReset is TSO-CC-4-noreset: effectively infinite timestamps
+// (31 bits, as in the paper's simulator) and write-group size 1.
+func NoReset() TSOCC {
+	return TSOCC{MaxAccBits: 4, TimestampBits: 31, WriteGroupBits: 0, SharedRO: true,
+		EpochBits: 3, DecayWrites: 256}
+}
+
+// C12x3 is TSO-CC-4-12-3, the paper's best realistic configuration.
+func C12x3() TSOCC {
+	return TSOCC{MaxAccBits: 4, TimestampBits: 12, WriteGroupBits: 3, SharedRO: true,
+		EpochBits: 3, DecayWrites: 256}
+}
+
+// C12x0 is TSO-CC-4-12-0 (write-group size 1).
+func C12x0() TSOCC {
+	return TSOCC{MaxAccBits: 4, TimestampBits: 12, WriteGroupBits: 0, SharedRO: true,
+		EpochBits: 3, DecayWrites: 256}
+}
+
+// C9x3 is TSO-CC-4-9-3 (9-bit timestamps).
+func C9x3() TSOCC {
+	return TSOCC{MaxAccBits: 4, TimestampBits: 9, WriteGroupBits: 3, SharedRO: true,
+		EpochBits: 3, DecayWrites: 256}
+}
+
+// Name renders the paper's configuration name.
+func (c TSOCC) Name() string {
+	switch {
+	case c.SharedAlwaysMiss:
+		return "CC-shared-to-L2"
+	case !c.Timestamps():
+		return fmt.Sprintf("TSO-CC-%d-basic", c.MaxAccBits)
+	case c.TimestampBits >= 31:
+		return fmt.Sprintf("TSO-CC-%d-noreset", c.MaxAccBits)
+	default:
+		return fmt.Sprintf("TSO-CC-%d-%d-%d", c.MaxAccBits, c.TimestampBits, c.WriteGroupBits)
+	}
+}

@@ -1,0 +1,121 @@
+package config
+
+import "testing"
+
+func TestPresetNames(t *testing.T) {
+	cases := map[string]TSOCC{
+		"CC-shared-to-L2":  CCSharedToL2(),
+		"TSO-CC-4-basic":   Basic(),
+		"TSO-CC-4-noreset": NoReset(),
+		"TSO-CC-4-12-3":    C12x3(),
+		"TSO-CC-4-12-0":    C12x0(),
+		"TSO-CC-4-9-3":     C9x3(),
+	}
+	for want, cfg := range cases {
+		if got := cfg.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMaxAccesses(t *testing.T) {
+	if CCSharedToL2().MaxAccesses() != 0 {
+		t.Fatal("CC-shared-to-L2 must always miss on Shared")
+	}
+	if got := C12x3().MaxAccesses(); got != 16 {
+		t.Fatalf("4-bit access counter allows %d hits, want 16", got)
+	}
+}
+
+func TestWriteGroupSize(t *testing.T) {
+	if C12x3().WriteGroupSize() != 8 {
+		t.Fatalf("Bwg=3 group size = %d, want 8", C12x3().WriteGroupSize())
+	}
+	if C12x0().WriteGroupSize() != 1 {
+		t.Fatal("Bwg=0 group size must be 1")
+	}
+}
+
+func TestTSMax(t *testing.T) {
+	if got := C12x3().TSMax(); got != 4095 {
+		t.Fatalf("12-bit TSMax = %d", got)
+	}
+	if got := C9x3().TSMax(); got != 511 {
+		t.Fatalf("9-bit TSMax = %d", got)
+	}
+	if Basic().TSMax() != 0 {
+		t.Fatal("basic (no timestamps) TSMax must be 0")
+	}
+	if got := NoReset().TSMax(); got != (1<<31)-1 {
+		t.Fatalf("noreset TSMax = %d", got)
+	}
+}
+
+func TestTimestampsFlag(t *testing.T) {
+	if Basic().Timestamps() || CCSharedToL2().Timestamps() {
+		t.Fatal("timestamp-less configs report Timestamps() true")
+	}
+	if !C12x3().Timestamps() || !NoReset().Timestamps() {
+		t.Fatal("timestamped configs report Timestamps() false")
+	}
+}
+
+func TestAllPresetsUseSharedRO(t *testing.T) {
+	// §4.2: every evaluated configuration includes the SharedRO opt.
+	for _, c := range []TSOCC{CCSharedToL2(), Basic(), NoReset(), C12x3(), C12x0(), C9x3()} {
+		if !c.SharedRO {
+			t.Fatalf("%s missing SharedRO", c.Name())
+		}
+	}
+}
+
+func TestTable2Parameters(t *testing.T) {
+	s := Table2()
+	if s.Cores != 32 {
+		t.Fatalf("cores = %d", s.Cores)
+	}
+	if s.L1Size != 32<<10 || s.L1Ways != 4 {
+		t.Fatal("L1 geometry mismatch with Table 2")
+	}
+	if s.L2TileSize != 1<<20 || s.L2Ways != 16 {
+		t.Fatal("L2 geometry mismatch with Table 2")
+	}
+	if s.L1HitLat != 3 {
+		t.Fatal("L1 hit latency mismatch")
+	}
+	if s.WriteBuffer != 32 {
+		t.Fatal("write buffer mismatch")
+	}
+	if s.MeshRows != 4 {
+		t.Fatal("mesh rows mismatch")
+	}
+	if s.MemBase != 120 || s.MemBase+s.MemSpread != 230 {
+		t.Fatal("memory latency band mismatch")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []System{
+		{},
+		{Cores: 4},
+		{Cores: 4, L1Size: 1024, L1Ways: 2, L2TileSize: 4096, L2Ways: 4},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestScaledKeepsShape(t *testing.T) {
+	s := Scaled(64)
+	if s.Cores != 64 || s.L1Size != Table2().L1Size {
+		t.Fatal("Scaled should only change core count")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package cpu models the processor cores. Each Core executes a
+// program.Program over a TSO memory system: committed stores enter a
+// FIFO write buffer and drain one at a time (each waits for its
+// predecessor's coherence state change to complete, giving w→w order),
+// loads bypass the write buffer with store→load forwarding (the TSO w→r
+// relaxation), and atomics/fences drain the buffer first (x86 locked
+// semantics). This is exactly the memory-event interface the paper's
+// gem5 cores present to the Ruby coherence protocol.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+type wbEntry struct {
+	addr uint64
+	val  uint64
+}
+
+// Core is one simulated processor.
+type Core struct {
+	ID   int
+	prog *program.Program
+	port coherence.CorePort
+
+	regs [program.NumRegs]int64
+	pc   int
+
+	wb         []wbEntry
+	wbCap      int
+	wbInFlight bool
+
+	waiting    bool // blocked on an outstanding load/RMW/fence callback
+	stallUntil sim.Cycle
+	halted     bool
+
+	// Stats.
+	Loads        stats.Counter
+	Stores       stats.Counter
+	RMWs         stats.Counter
+	Fences       stats.Counter
+	Instructions stats.Counter
+	WBForwards   stats.Counter
+	WBFullStalls stats.Counter
+	FinishCycle  sim.Cycle
+
+	rmwIssue sim.Cycle
+}
+
+// New builds a core executing prog against port, with a write buffer of
+// wbEntries slots.
+func New(id int, prog *program.Program, port coherence.CorePort, wbEntries int) *Core {
+	if wbEntries <= 0 {
+		panic("cpu: write buffer must have at least one entry")
+	}
+	return &Core{ID: id, prog: prog, port: port, wbCap: wbEntries}
+}
+
+// Done reports whether the core has halted and fully drained its writes.
+func (c *Core) Done() bool {
+	return c.halted && len(c.wb) == 0 && !c.wbInFlight && !c.waiting
+}
+
+// Reg returns the architectural value of register r (for tests/litmus).
+func (c *Core) Reg(r uint8) int64 { return c.regs[r] }
+
+// SetReg seeds a register before execution (thread id, base pointers).
+func (c *Core) SetReg(r uint8, v int64) { c.regs[r] = v }
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(now sim.Cycle) {
+	c.drainWriteBuffer(now)
+
+	if c.halted {
+		if c.Done() && c.FinishCycle == 0 {
+			c.FinishCycle = now
+		}
+		return
+	}
+	if c.waiting || now < c.stallUntil {
+		return
+	}
+	if c.prog == nil || c.pc >= len(c.prog.Instrs) {
+		c.halted = true
+		return
+	}
+	in := c.prog.Instrs[c.pc]
+	c.execute(now, in)
+}
+
+func (c *Core) drainWriteBuffer(now sim.Cycle) {
+	if c.wbInFlight || len(c.wb) == 0 {
+		return
+	}
+	head := c.wb[0]
+	ok := c.port.Store(now, head.addr, head.val, func() {
+		c.wb = c.wb[1:]
+		c.wbInFlight = false
+	})
+	if ok {
+		c.wbInFlight = true
+	}
+}
+
+func (c *Core) execute(now sim.Cycle, in program.Instr) {
+	advance := true
+	switch in.Op {
+	case program.OpLI:
+		c.regs[in.Dst] = in.Imm
+	case program.OpMov:
+		c.regs[in.Dst] = c.regs[in.A]
+	case program.OpAdd:
+		c.regs[in.Dst] = c.regs[in.A] + c.regs[in.B]
+	case program.OpAddi:
+		c.regs[in.Dst] = c.regs[in.A] + in.Imm
+	case program.OpSub:
+		c.regs[in.Dst] = c.regs[in.A] - c.regs[in.B]
+	case program.OpMul:
+		c.regs[in.Dst] = c.regs[in.A] * c.regs[in.B]
+	case program.OpAnd:
+		c.regs[in.Dst] = c.regs[in.A] & c.regs[in.B]
+	case program.OpOr:
+		c.regs[in.Dst] = c.regs[in.A] | c.regs[in.B]
+	case program.OpXor:
+		c.regs[in.Dst] = c.regs[in.A] ^ c.regs[in.B]
+	case program.OpMod:
+		m := c.regs[in.A] % in.Imm
+		if m < 0 {
+			m += in.Imm
+		}
+		c.regs[in.Dst] = m
+	case program.OpShl:
+		c.regs[in.Dst] = c.regs[in.A] << uint(in.Imm)
+
+	case program.OpLd:
+		advance = c.doLoad(now, in)
+	case program.OpSt:
+		advance = c.doStore(now, in)
+	case program.OpRmwAdd, program.OpRmwXchg, program.OpCas:
+		advance = c.doAtomic(now, in)
+	case program.OpFence:
+		advance = c.doFence(now)
+
+	case program.OpBeq:
+		if c.regs[in.A] == c.regs[in.B] {
+			c.pc = in.Target
+			advance = false
+		}
+	case program.OpBne:
+		if c.regs[in.A] != c.regs[in.B] {
+			c.pc = in.Target
+			advance = false
+		}
+	case program.OpBlt:
+		if c.regs[in.A] < c.regs[in.B] {
+			c.pc = in.Target
+			advance = false
+		}
+	case program.OpBge:
+		if c.regs[in.A] >= c.regs[in.B] {
+			c.pc = in.Target
+			advance = false
+		}
+	case program.OpJmp:
+		c.pc = in.Target
+		advance = false
+	case program.OpNop:
+		c.stallUntil = now + sim.Cycle(in.Imm)
+	case program.OpHalt:
+		c.halted = true
+		advance = false
+	default:
+		panic(fmt.Sprintf("cpu: core %d: bad opcode %v", c.ID, in.Op))
+	}
+	if advance {
+		c.pc++
+	}
+	c.Instructions.Inc()
+}
+
+func (c *Core) effAddr(in program.Instr) uint64 {
+	a := uint64(c.regs[in.A] + in.Imm)
+	if a%8 != 0 {
+		panic(fmt.Sprintf("cpu: core %d pc %d: unaligned address %#x", c.ID, c.pc, a))
+	}
+	return a
+}
+
+func (c *Core) doLoad(now sim.Cycle, in program.Instr) bool {
+	addr := c.effAddr(in)
+	// Store→load forwarding: newest matching write-buffer entry wins.
+	// TSO requires reads of pending writes to see them.
+	for i := len(c.wb) - 1; i >= 0; i-- {
+		if c.wb[i].addr == addr {
+			c.regs[in.Dst] = int64(c.wb[i].val)
+			c.Loads.Inc()
+			c.WBForwards.Inc()
+			return true
+		}
+	}
+	dst := in.Dst
+	ok := c.port.Load(now, addr, func(val uint64) {
+		c.regs[dst] = int64(val)
+		c.waiting = false
+	})
+	if !ok {
+		return false // port busy; retry next cycle without advancing pc
+	}
+	c.Loads.Inc()
+	c.waiting = true
+	c.pc++ // manually advance: completion is asynchronous
+	c.Instructions.Inc()
+	return false
+}
+
+func (c *Core) doStore(now sim.Cycle, in program.Instr) bool {
+	if len(c.wb) >= c.wbCap {
+		c.WBFullStalls.Inc()
+		return false // write buffer full; retry
+	}
+	c.wb = append(c.wb, wbEntry{addr: c.effAddr(in), val: uint64(c.regs[in.B])})
+	c.Stores.Inc()
+	return true
+}
+
+func (c *Core) doAtomic(now sim.Cycle, in program.Instr) bool {
+	// x86 locked operations drain the write buffer first (full barrier).
+	if len(c.wb) > 0 || c.wbInFlight {
+		return false
+	}
+	addr := c.effAddr(in)
+	var f func(old uint64) (uint64, bool)
+	switch in.Op {
+	case program.OpRmwAdd:
+		operand := uint64(c.regs[in.B])
+		f = func(old uint64) (uint64, bool) { return old + operand, true }
+	case program.OpRmwXchg:
+		operand := uint64(c.regs[in.B])
+		f = func(old uint64) (uint64, bool) { return operand, true }
+	case program.OpCas:
+		expect := uint64(c.regs[in.B])
+		next := uint64(c.regs[in.C])
+		f = func(old uint64) (uint64, bool) {
+			if old == expect {
+				return next, true
+			}
+			return 0, false
+		}
+	}
+	dst := in.Dst
+	ok := c.port.RMW(now, addr, f, func(old uint64) {
+		c.regs[dst] = int64(old)
+		c.waiting = false
+	})
+	if !ok {
+		return false
+	}
+	c.RMWs.Inc()
+	c.waiting = true
+	c.pc++
+	c.Instructions.Inc()
+	return false
+}
+
+func (c *Core) doFence(now sim.Cycle) bool {
+	if len(c.wb) > 0 || c.wbInFlight {
+		return false
+	}
+	ok := c.port.Fence(now, func() { c.waiting = false })
+	if !ok {
+		return false
+	}
+	c.Fences.Inc()
+	c.waiting = true
+	c.pc++
+	c.Instructions.Inc()
+	return false
+}
+
+// Debug renders the core's execution state (deadlock diagnostics).
+func (c *Core) Debug() string {
+	instr := "?"
+	if c.prog != nil && c.pc-1 >= 0 && c.pc-1 < len(c.prog.Instrs) {
+		instr = c.prog.Instrs[c.pc-1].String()
+	}
+	return fmt.Sprintf("core %d: pc=%d (prev: %s) halted=%v waiting=%v wb=%d inflight=%v stallUntil=%d",
+		c.ID, c.pc, instr, c.halted, c.waiting, len(c.wb), c.wbInFlight, c.stallUntil)
+}

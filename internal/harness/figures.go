@@ -1,0 +1,229 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/stats"
+	"repro/internal/system"
+)
+
+// normalizedTable renders metric(bench,proto)/metric(bench,MESI) for the
+// whole grid, with a geometric-mean row — the shape of Figures 3, 4, 8.
+func (g *Grid) normalizedTable(title string, metric func(*system.Result) float64) *stats.Table {
+	t := stats.NewTable(title, g.Protocols...)
+	perProto := make(map[string][]float64)
+	for _, b := range g.Benchmarks {
+		base := g.Baseline(b)
+		if base == nil {
+			continue
+		}
+		bv := metric(base)
+		if bv <= 0 {
+			// The metric does not apply to this benchmark (e.g. RMW
+			// latency for a workload without atomics): skip the row.
+			continue
+		}
+		row := make([]float64, 0, len(g.Protocols))
+		for _, p := range g.Protocols {
+			r := g.Get(b, p)
+			v := 0.0
+			if r != nil && bv > 0 {
+				v = metric(r) / bv
+			}
+			row = append(row, v)
+			perProto[p] = append(perProto[p], v)
+		}
+		t.AddFloats(b, 3, row...)
+	}
+	gm := make([]float64, 0, len(g.Protocols))
+	for _, p := range g.Protocols {
+		gm = append(gm, stats.Geomean(perProto[p]))
+	}
+	t.AddFloats("gmean", 3, gm...)
+	return t
+}
+
+// Figure3 renders normalized execution time.
+func (g *Grid) Figure3() *stats.Table {
+	return g.normalizedTable("Figure 3: execution time (normalized to MESI)",
+		func(r *system.Result) float64 { return float64(r.Cycles) })
+}
+
+// Figure4 renders normalized network traffic (flit-hops, the GARNET
+// "total flits" analogue).
+func (g *Grid) Figure4() *stats.Table {
+	return g.normalizedTable("Figure 4: network traffic, flit-hops (normalized to MESI)",
+		func(r *system.Result) float64 { return float64(r.FlitHops) })
+}
+
+// Figure8 renders normalized mean RMW latency.
+func (g *Grid) Figure8() *stats.Table {
+	return g.normalizedTable("Figure 8: RMW latency (normalized to MESI)",
+		func(r *system.Result) float64 { return r.L1.MeanRMWLatency() })
+}
+
+// Figure5 renders the L1 miss breakdown: each miss class as a percentage
+// of total L1 accesses, per benchmark and protocol.
+func (g *Grid) Figure5() *stats.Table {
+	t := stats.NewTable("Figure 5: L1 misses (% of accesses) as rd-I/rd-S/wr-I/wr-S/wr-SRO",
+		g.Protocols...)
+	for _, b := range g.Benchmarks {
+		cells := make([]string, 0, len(g.Protocols))
+		for _, p := range g.Protocols {
+			r := g.Get(b, p)
+			if r == nil {
+				cells = append(cells, "-")
+				continue
+			}
+			acc := float64(r.L1.Accesses())
+			pct := func(c int64) float64 {
+				if acc == 0 {
+					return 0
+				}
+				return 100 * float64(c) / acc
+			}
+			cells = append(cells, fmt.Sprintf("%.1f/%.1f/%.1f/%.1f/%.1f",
+				pct(r.L1.ReadMissInvalid.Value()), pct(r.L1.ReadMissShared.Value()),
+				pct(r.L1.WriteMissInvalid.Value()), pct(r.L1.WriteMissShared.Value()),
+				pct(r.L1.WriteMissSRO.Value())))
+		}
+		t.AddRow(b, cells...)
+	}
+	return t
+}
+
+// Figure6 renders the hit/miss breakdown: miss%, and hits split by
+// Shared / SharedRO / private, as percentages of all L1 accesses.
+func (g *Grid) Figure6() *stats.Table {
+	t := stats.NewTable("Figure 6: L1 accesses (%) as miss/hit-S/hit-SRO/hit-priv", g.Protocols...)
+	for _, b := range g.Benchmarks {
+		cells := make([]string, 0, len(g.Protocols))
+		for _, p := range g.Protocols {
+			r := g.Get(b, p)
+			if r == nil {
+				cells = append(cells, "-")
+				continue
+			}
+			acc := float64(r.L1.Accesses())
+			pct := func(c int64) float64 {
+				if acc == 0 {
+					return 0
+				}
+				return 100 * float64(c) / acc
+			}
+			priv := r.L1.ReadHitPrivate.Value() + r.L1.WriteHitPrivate.Value()
+			cells = append(cells, fmt.Sprintf("%.1f/%.1f/%.1f/%.1f",
+				pct(r.L1.Misses()), pct(r.L1.ReadHitShared.Value()),
+				pct(r.L1.ReadHitSRO.Value()), pct(priv)))
+		}
+		t.AddRow(b, cells...)
+	}
+	return t
+}
+
+// tsoccProtocols filters the grid's protocol list to TSO-CC variants
+// (Figures 7 and 9 exclude MESI and CC-shared-to-L2, as in the paper).
+func (g *Grid) tsoccProtocols() []string {
+	var out []string
+	for _, p := range g.Protocols {
+		if p != "MESI" && p != "CC-shared-to-L2" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Figure7 renders the percentage of L1 data responses that triggered a
+// self-invalidation, split by trigger.
+func (g *Grid) Figure7() *stats.Table {
+	protos := g.tsoccProtocols()
+	t := stats.NewTable("Figure 7: data responses triggering self-invalidation (%) as inv-ts/acq/acq-SRO",
+		protos...)
+	for _, b := range g.Benchmarks {
+		cells := make([]string, 0, len(protos))
+		for _, p := range protos {
+			r := g.Get(b, p)
+			if r == nil {
+				cells = append(cells, "-")
+				continue
+			}
+			dr := float64(r.L1.DataResponses.Value())
+			pct := func(c int64) float64 {
+				if dr == 0 {
+					return 0
+				}
+				return 100 * float64(c) / dr
+			}
+			cells = append(cells, fmt.Sprintf("%.1f/%.1f/%.1f",
+				pct(r.L1.SelfInvEvents[coherence.CauseInvalidTS].Value()),
+				pct(r.L1.SelfInvEvents[coherence.CauseAcquireNonSRO].Value()),
+				pct(r.L1.SelfInvEvents[coherence.CauseAcquireSRO].Value())))
+		}
+		t.AddRow(b, cells...)
+	}
+	return t
+}
+
+// Figure9 renders the breakdown of self-invalidation causes (summing to
+// 100% per cell): invalid-ts / acquire / acquire-SRO / fence.
+func (g *Grid) Figure9() *stats.Table {
+	protos := g.tsoccProtocols()
+	t := stats.NewTable("Figure 9: self-invalidation causes (%) as inv-ts/acq/acq-SRO/fence", protos...)
+	for _, b := range g.Benchmarks {
+		cells := make([]string, 0, len(protos))
+		for _, p := range protos {
+			r := g.Get(b, p)
+			if r == nil {
+				cells = append(cells, "-")
+				continue
+			}
+			total := float64(r.L1.SelfInvTotal())
+			pct := func(c coherence.SelfInvCause) float64 {
+				if total == 0 {
+					return 0
+				}
+				return 100 * float64(r.L1.SelfInvEvents[c].Value()) / total
+			}
+			cells = append(cells, fmt.Sprintf("%.1f/%.1f/%.1f/%.1f",
+				pct(coherence.CauseInvalidTS), pct(coherence.CauseAcquireNonSRO),
+				pct(coherence.CauseAcquireSRO), pct(coherence.CauseFence)))
+		}
+		t.AddRow(b, cells...)
+	}
+	return t
+}
+
+// SummaryHighlights extracts the paper's headline comparisons from a grid
+// (gmean speedups, best/worst cases) for EXPERIMENTS.md.
+func (g *Grid) SummaryHighlights() string {
+	best := g.normalizedRow("TSO-CC-4-12-3")
+	s := "Headline (TSO-CC-4-12-3 vs MESI, execution time):\n"
+	if len(best) == 0 {
+		return s + "  (no data)\n"
+	}
+	gm := stats.Geomean(best)
+	lo, hi := best[0], best[0]
+	for _, v := range best {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	s += fmt.Sprintf("  gmean %.3f, best case %.3f, worst case %.3f\n", gm, lo, hi)
+	return s
+}
+
+func (g *Grid) normalizedRow(proto string) []float64 {
+	var out []float64
+	for _, b := range g.Benchmarks {
+		base, r := g.Baseline(b), g.Get(b, proto)
+		if base == nil || r == nil || base.Cycles == 0 {
+			continue
+		}
+		out = append(out, float64(r.Cycles)/float64(base.Cycles))
+	}
+	return out
+}

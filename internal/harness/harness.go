@@ -1,0 +1,129 @@
+// Package harness drives the paper's evaluation: it runs the benchmark ×
+// protocol grid and renders each of Figures 3–9 as a text table, with
+// results normalized against the MESI baseline exactly as the paper
+// plots them.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/mesi"
+	"repro/internal/system"
+	"repro/internal/tsocc"
+	"repro/internal/workloads"
+)
+
+// Protocols returns the seven configurations evaluated in §4.2/§5, in
+// the paper's plotting order.
+func Protocols() []system.Protocol {
+	return []system.Protocol{
+		mesi.New(),
+		tsocc.New(config.CCSharedToL2()),
+		tsocc.New(config.Basic()),
+		tsocc.New(config.NoReset()),
+		tsocc.New(config.C12x3()),
+		tsocc.New(config.C12x0()),
+		tsocc.New(config.C9x3()),
+	}
+}
+
+// Grid holds the full result matrix.
+type Grid struct {
+	Benchmarks []string
+	Protocols  []string
+	Results    map[string]map[string]*system.Result // benchmark -> protocol
+}
+
+// Get returns one cell (nil if the run failed).
+func (g *Grid) Get(bench, proto string) *system.Result {
+	if m, ok := g.Results[bench]; ok {
+		return m[proto]
+	}
+	return nil
+}
+
+// Baseline returns the MESI result for a benchmark.
+func (g *Grid) Baseline(bench string) *system.Result { return g.Get(bench, "MESI") }
+
+type gridJob struct {
+	bench string
+	proto system.Protocol
+}
+
+// RunGrid executes every benchmark under every protocol. Runs are
+// independent simulations and execute in parallel across host cores.
+// Progress lines go to w if non-nil.
+func RunGrid(sys config.System, p workloads.Params, protos []system.Protocol,
+	benches []string, w io.Writer) (*Grid, error) {
+
+	if len(protos) == 0 {
+		protos = Protocols()
+	}
+	if len(benches) == 0 {
+		benches = workloads.Names()
+	}
+	g := &Grid{Benchmarks: benches, Results: make(map[string]map[string]*system.Result)}
+	for _, pr := range protos {
+		g.Protocols = append(g.Protocols, pr.Name())
+	}
+	for _, b := range benches {
+		g.Results[b] = make(map[string]*system.Result)
+	}
+
+	jobs := make(chan gridJob)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(benches)*len(protos) {
+		workers = len(benches) * len(protos)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobs {
+				e := workloads.ByName(job.bench)
+				if e == nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("harness: unknown benchmark %q", job.bench)
+					}
+					mu.Unlock()
+					continue
+				}
+				res, err := system.Run(sys, job.proto, e.Gen(p))
+				mu.Lock()
+				switch {
+				case err != nil && firstErr == nil:
+					firstErr = fmt.Errorf("harness: %s on %s: %w", job.bench, job.proto.Name(), err)
+				case err == nil && res.CheckErr != nil && firstErr == nil:
+					firstErr = fmt.Errorf("harness: %s on %s: functional check: %w",
+						job.bench, job.proto.Name(), res.CheckErr)
+				case err == nil:
+					g.Results[job.bench][job.proto.Name()] = res
+					if w != nil {
+						fmt.Fprintf(w, "  %-14s %-18s %10d cycles %12d flit-hops\n",
+							job.bench, job.proto.Name(), res.Cycles, res.FlitHops)
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, b := range benches {
+		for _, pr := range protos {
+			jobs <- gridJob{bench: b, proto: pr}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return g, nil
+}

@@ -1,0 +1,264 @@
+// Package litmus provides the TSO verification methodology of §4.3: a
+// suite of diy-style litmus tests (store buffering, message passing,
+// IRIW, coherence shapes, ...) run many times with randomized timing
+// perturbation and cache pre-warming, checking that outcomes forbidden
+// by x86-TSO never occur — and that the one reordering TSO allows
+// (store buffering) is actually observable.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/system"
+)
+
+// Op is one memory event in a litmus thread.
+type Op struct {
+	Kind  OpKind
+	Var   string // symbolic location ("x", "y", ...)
+	Val   int64  // store value / RMW operand
+	Out   int    // observation index written by loads/RMWs (-1 = none)
+	Until int64  // SpinLoad: loop until the loaded value equals Until
+}
+
+// OpKind enumerates litmus event kinds.
+type OpKind int
+
+// Litmus event kinds.
+const (
+	Store OpKind = iota
+	Load
+	SpinLoad // polling load, loops until the value is seen
+	Xchg     // atomic exchange (x86 locked, fences)
+	Fence
+)
+
+// St builds a store event.
+func St(v string, val int64) Op { return Op{Kind: Store, Var: v, Val: val, Out: -1} }
+
+// LdTo builds a load observed at index out.
+func LdTo(v string, out int) Op { return Op{Kind: Load, Var: v, Out: out} }
+
+// Spin builds a polling load that waits for val.
+func Spin(v string, val int64) Op { return Op{Kind: SpinLoad, Var: v, Until: val, Out: -1} }
+
+// XchgTo builds an atomic exchange observed at index out.
+func XchgTo(v string, val int64, out int) Op { return Op{Kind: Xchg, Var: v, Val: val, Out: out} }
+
+// Fn builds a fence.
+func Fn() Op { return Op{Kind: Fence, Out: -1} }
+
+// Test is one litmus test: named threads over symbolic locations, with a
+// predicate over the observation tuple (register observations first, then
+// final values of FinalVars in order).
+type Test struct {
+	Name      string
+	Threads   [][]Op
+	NumOut    int      // observation slots filled by loads
+	FinalVars []string // locations whose final value extends the tuple
+	// Forbidden reports whether an outcome violates TSO.
+	Forbidden func(vals []int64) bool
+	// Interesting marks the relaxed outcome that a TSO (non-SC)
+	// implementation should be able to produce (nil = none).
+	Interesting func(vals []int64) bool
+}
+
+// Result summarizes a litmus campaign.
+type Result struct {
+	Test           string
+	Iterations     int
+	Outcomes       map[string]int
+	Violations     []string
+	SawInteresting bool
+}
+
+// Ok reports whether no forbidden outcome was observed.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// String renders the outcome histogram.
+func (r *Result) String() string {
+	keys := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d runs, %d distinct outcomes", r.Test, r.Iterations, len(r.Outcomes))
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(&b, ", FORBIDDEN: %v", r.Violations)
+	}
+	for _, k := range keys {
+		fmt.Fprintf(&b, "\n  %-24s %d", k, r.Outcomes[k])
+	}
+	return b.String()
+}
+
+const (
+	varBase    = 0x100000 // symbolic variables, one block apart
+	resultBase = 0x200000 // per-thread observation spill area
+)
+
+func varAddr(syms []string, v string) uint64 {
+	// Symbols of the form "aN" share a single cache block at word
+	// offset N, for same-line litmus shapes.
+	if len(v) == 2 && v[0] == 'a' && v[1] >= '0' && v[1] <= '7' {
+		return varBase + 0x2000 + uint64(v[1]-'0')*8
+	}
+	for i, s := range syms {
+		if s == v {
+			return varBase + uint64(i)*0x40
+		}
+	}
+	panic("litmus: unknown variable " + v)
+}
+
+func resultAddr(out int) uint64 { return resultBase + uint64(out)*0x40 }
+
+// symbols returns the sorted distinct locations of a test.
+func symbols(t *Test) []string {
+	set := map[string]bool{}
+	for _, th := range t.Threads {
+		for _, op := range th {
+			if op.Kind != Fence {
+				set[op.Var] = true
+			}
+		}
+	}
+	for _, v := range t.FinalVars {
+		set[v] = true
+	}
+	syms := make([]string, 0, len(set))
+	for s := range set {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	return syms
+}
+
+// buildWorkload lowers a test into thread programs with the given timing
+// perturbation (per-thread initial delays) and optional cache warming
+// (each thread pre-reads every location, creating Shared copies that a
+// lazy protocol must prove it invalidates in time).
+func buildWorkload(t *Test, delays []int64, warm bool) (*program.Workload, []uint64) {
+	syms := symbols(t)
+	var outAddrs []uint64
+	for i := 0; i < t.NumOut; i++ {
+		outAddrs = append(outAddrs, resultAddr(i))
+	}
+
+	progs := make([]*program.Program, len(t.Threads))
+	for ti, th := range t.Threads {
+		b := program.NewBuilder(fmt.Sprintf("%s-t%d", t.Name, ti))
+		if warm {
+			for _, s := range syms {
+				b.Li(1, int64(varAddr(syms, s)))
+				b.Ld(2, 1, 0)
+			}
+		}
+		if delays[ti] > 0 {
+			b.Nop(delays[ti])
+		}
+		// Observation registers start at r8.
+		nextObs := uint8(8)
+		obsFor := map[int]uint8{}
+		for _, op := range th {
+			switch op.Kind {
+			case Store:
+				b.Li(1, int64(varAddr(syms, op.Var)))
+				b.Li(2, op.Val)
+				b.St(1, 0, 2)
+			case Load:
+				b.Li(1, int64(varAddr(syms, op.Var)))
+				b.Ld(nextObs, 1, 0)
+				obsFor[op.Out] = nextObs
+				nextObs++
+			case SpinLoad:
+				b.Li(1, int64(varAddr(syms, op.Var)))
+				b.Li(2, op.Until)
+				b.SpinUntilEq(3, 1, 0, 2)
+			case Xchg:
+				b.Li(1, int64(varAddr(syms, op.Var)))
+				b.Li(2, op.Val)
+				b.RmwXchg(nextObs, 1, 0, 2)
+				if op.Out >= 0 {
+					obsFor[op.Out] = nextObs
+					nextObs++
+				}
+			case Fence:
+				b.Fence()
+			}
+		}
+		// Publish observations to per-slot result blocks, in slot order
+		// for determinism.
+		outs := make([]int, 0, len(obsFor))
+		for k := range obsFor {
+			outs = append(outs, k)
+		}
+		sort.Ints(outs)
+		for _, out := range outs {
+			b.Li(1, int64(resultAddr(out)))
+			b.St(1, 0, obsFor[out])
+		}
+		b.Halt()
+		progs[ti] = b.MustBuild()
+	}
+
+	w := &program.Workload{Name: t.Name, Programs: progs}
+	return w, outAddrs
+}
+
+// Run executes the test `iters` times under proto, with seeded random
+// perturbation, alternating cold and warmed cache states.
+func Run(t *Test, proto system.Protocol, cfg config.System, iters int, seed uint64) (*Result, error) {
+	rng := sim.NewRNG(seed)
+	res := &Result{Test: t.Name, Iterations: iters, Outcomes: make(map[string]int)}
+	for it := 0; it < iters; it++ {
+		delays := make([]int64, len(t.Threads))
+		for i := range delays {
+			delays[i] = rng.Int63n(60)
+		}
+		warm := it%2 == 1
+		w, outAddrs := buildWorkload(t, delays, warm)
+
+		vals := make([]int64, 0, t.NumOut+len(t.FinalVars))
+		syms := symbols(t)
+		w.Check = func(mem program.MemReader) error {
+			for _, a := range outAddrs {
+				vals = append(vals, int64(mem.ReadWord(a)))
+			}
+			for _, v := range t.FinalVars {
+				vals = append(vals, int64(mem.ReadWord(varAddr(syms, v))))
+			}
+			return nil
+		}
+		r, err := system.Run(cfg, proto, w)
+		if err != nil {
+			return nil, fmt.Errorf("litmus %s iter %d: %w", t.Name, it, err)
+		}
+		if r.CheckErr != nil {
+			return nil, r.CheckErr
+		}
+		key := outcomeKey(vals)
+		res.Outcomes[key]++
+		if t.Forbidden != nil && t.Forbidden(vals) {
+			res.Violations = append(res.Violations, key)
+		}
+		if t.Interesting != nil && t.Interesting(vals) {
+			res.SawInteresting = true
+		}
+	}
+	return res, nil
+}
+
+func outcomeKey(vals []int64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}

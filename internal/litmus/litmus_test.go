@@ -1,0 +1,93 @@
+package litmus_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/litmus"
+	"repro/internal/mesi"
+	"repro/internal/system"
+	"repro/internal/tsocc"
+)
+
+func protocols() map[string]system.Protocol {
+	return map[string]system.Protocol{
+		"MESI":             mesi.New(),
+		"CC-shared-to-L2":  tsocc.New(config.CCSharedToL2()),
+		"TSO-CC-4-basic":   tsocc.New(config.Basic()),
+		"TSO-CC-4-noreset": tsocc.New(config.NoReset()),
+		"TSO-CC-4-12-3":    tsocc.New(config.C12x3()),
+		"TSO-CC-4-12-0":    tsocc.New(config.C12x0()),
+		"TSO-CC-4-9-3":     tsocc.New(config.C9x3()),
+	}
+}
+
+const itersPerTest = 24
+
+func TestLitmusSuiteAllProtocols(t *testing.T) {
+	cfg := config.Small(4)
+	for name, proto := range protocols() {
+		name, proto := name, proto
+		t.Run(name, func(t *testing.T) {
+			for _, lt := range litmus.Suite() {
+				lt := lt
+				t.Run(lt.Name, func(t *testing.T) {
+					res, err := litmus.Run(lt, proto, cfg, itersPerTest, 0xC0FFEE)
+					if err != nil {
+						t.Fatalf("litmus run failed: %v", err)
+					}
+					if !res.Ok() {
+						t.Fatalf("TSO violation:\n%s", res)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestStoreBufferingObservable checks that the simulated cores really do
+// exhibit TSO's w→r relaxation: over many SB runs, the (0,0) outcome
+// must appear (otherwise the write buffer model is vacuous).
+func TestStoreBufferingObservable(t *testing.T) {
+	cfg := config.Small(4)
+	var sb *litmus.Test
+	for _, lt := range litmus.Suite() {
+		if lt.Name == "SB" {
+			sb = lt
+		}
+	}
+	res, err := litmus.Run(sb, mesi.New(), cfg, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SawInteresting {
+		t.Fatalf("SB relaxed outcome never observed on MESI:\n%s", res)
+	}
+	res, err = litmus.Run(sb, tsocc.New(config.C12x3()), cfg, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SawInteresting {
+		t.Fatalf("SB relaxed outcome never observed on TSO-CC:\n%s", res)
+	}
+}
+
+// TestLitmusWithTinyTimestamps stresses the reset/epoch machinery under
+// litmus scrutiny.
+func TestLitmusWithTinyTimestamps(t *testing.T) {
+	cfg := config.Small(4)
+	proto := tsocc.New(config.TSOCC{MaxAccBits: 2, TimestampBits: 4, WriteGroupBits: 1,
+		SharedRO: true, EpochBits: 2, DecayWrites: 8})
+	for _, lt := range litmus.Suite() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			res, err := litmus.Run(lt, proto, cfg, itersPerTest, 0xBEEF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Ok() {
+				t.Fatalf("TSO violation:\n%s", res)
+			}
+		})
+	}
+}

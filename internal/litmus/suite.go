@@ -1,0 +1,236 @@
+package litmus
+
+// Suite returns the TSO litmus tests used to verify every protocol
+// configuration (§4.3). Shapes and verdicts follow Sewell et al.,
+// "x86-TSO: a rigorous and usable programmer's model" [38].
+func Suite() []*Test {
+	return []*Test{
+		// SB (store buffering): the one reordering TSO allows.
+		// T0: x=1; r0=y    T1: y=1; r1=x    (0,0) allowed.
+		{
+			Name: "SB",
+			Threads: [][]Op{
+				{St("x", 1), LdTo("y", 0)},
+				{St("y", 1), LdTo("x", 1)},
+			},
+			NumOut:      2,
+			Forbidden:   nil, // all four outcomes allowed under TSO
+			Interesting: func(v []int64) bool { return v[0] == 0 && v[1] == 0 },
+		},
+		// SB+mfence: fences restore SC; (0,0) forbidden.
+		{
+			Name: "SB+fences",
+			Threads: [][]Op{
+				{St("x", 1), Fn(), LdTo("y", 0)},
+				{St("y", 1), Fn(), LdTo("x", 1)},
+			},
+			NumOut:    2,
+			Forbidden: func(v []int64) bool { return v[0] == 0 && v[1] == 0 },
+		},
+		// SB with locked xchg: x86 atomics fence; (0,0) forbidden.
+		{
+			Name: "SB+xchg",
+			Threads: [][]Op{
+				{XchgTo("x", 1, 2), LdTo("y", 0)},
+				{XchgTo("y", 1, 3), LdTo("x", 1)},
+			},
+			NumOut: 4,
+			Forbidden: func(v []int64) bool {
+				return v[0] == 0 && v[1] == 0
+			},
+		},
+		// MP (message passing / Figure 1): seeing the flag implies
+		// seeing the data — w→w at the producer, r→r at the consumer.
+		{
+			Name: "MP",
+			Threads: [][]Op{
+				{St("x", 1), St("y", 1)},
+				{LdTo("y", 0), LdTo("x", 1)},
+			},
+			NumOut:    2,
+			Forbidden: func(v []int64) bool { return v[0] == 1 && v[1] == 0 },
+		},
+		// MP with a spinning acquire (the paper's running example).
+		{
+			Name: "MP+spin",
+			Threads: [][]Op{
+				{St("x", 42), St("y", 1)},
+				{Spin("y", 1), LdTo("x", 0)},
+			},
+			NumOut:    1,
+			Forbidden: func(v []int64) bool { return v[0] != 42 },
+		},
+		// LB (load buffering): forbidden under TSO (r→w ordering).
+		{
+			Name: "LB",
+			Threads: [][]Op{
+				{LdTo("x", 0), St("y", 1)},
+				{LdTo("y", 1), St("x", 1)},
+			},
+			NumOut:    2,
+			Forbidden: func(v []int64) bool { return v[0] == 1 && v[1] == 1 },
+		},
+		// IRIW: TSO stores are multi-copy atomic; the split-brain
+		// outcome is forbidden.
+		{
+			Name: "IRIW",
+			Threads: [][]Op{
+				{St("x", 1)},
+				{St("y", 1)},
+				{LdTo("x", 0), LdTo("y", 1)},
+				{LdTo("y", 2), LdTo("x", 3)},
+			},
+			NumOut: 4,
+			Forbidden: func(v []int64) bool {
+				return v[0] == 1 && v[1] == 0 && v[2] == 1 && v[3] == 0
+			},
+		},
+		// WRC (write-to-read causality): transitive visibility.
+		{
+			Name: "WRC",
+			Threads: [][]Op{
+				{St("x", 1)},
+				{LdTo("x", 0), St("y", 1)},
+				{LdTo("y", 1), LdTo("x", 2)},
+			},
+			NumOut: 3,
+			Forbidden: func(v []int64) bool {
+				return v[0] == 1 && v[1] == 1 && v[2] == 0
+			},
+		},
+		// CoRR: same-location reads may not go backwards in coherence
+		// order — the key check for a protocol that serves stale hits.
+		{
+			Name: "CoRR",
+			Threads: [][]Op{
+				{St("x", 1)},
+				{LdTo("x", 0), LdTo("x", 1)},
+			},
+			NumOut:    2,
+			Forbidden: func(v []int64) bool { return v[0] == 1 && v[1] == 0 },
+		},
+		// CoWW via final state: program-order stores to one location.
+		{
+			Name: "CoWW",
+			Threads: [][]Op{
+				{St("x", 1), St("x", 2)},
+			},
+			FinalVars: []string{"x"},
+			Forbidden: func(v []int64) bool { return v[0] != 2 },
+		},
+		// 2+2W: final state must be consistent with some interleaving
+		// of the two store pairs; under TSO each thread's pair stays
+		// ordered, so (x,y) == (1,1) — both "first" stores last — is
+		// forbidden.
+		{
+			Name: "2+2W",
+			Threads: [][]Op{
+				{St("x", 1), St("y", 2)},
+				{St("y", 1), St("x", 2)},
+			},
+			FinalVars: []string{"x", "y"},
+			Forbidden: func(v []int64) bool { return v[0] == 1 && v[1] == 1 },
+		},
+		// S: w→w at T0 vs a read at T1 that then overwrites x.
+		{
+			Name: "S",
+			Threads: [][]Op{
+				{St("x", 2), St("y", 1)},
+				{LdTo("y", 0), St("x", 1)},
+			},
+			NumOut:    1,
+			FinalVars: []string{"x"},
+			Forbidden: func(v []int64) bool { return v[0] == 1 && v[1] == 2 },
+		},
+		// R: store-store vs store-load. The outcome (r0=0, y final 2)
+		// needs T1's load to bypass its own buffered store to y — the
+		// relaxed w→r edge — so TSO allows it (unlike SC).
+		{
+			Name: "R",
+			Threads: [][]Op{
+				{St("x", 1), St("y", 1)},
+				{St("y", 2), LdTo("x", 0)},
+			},
+			NumOut:      1,
+			FinalVars:   []string{"y"},
+			Forbidden:   nil,
+			Interesting: func(v []int64) bool { return v[0] == 0 && v[1] == 2 },
+		},
+		// MP on the SAME cache block (word granularity): exercises
+		// store->load interplay within one line.
+		{
+			Name: "MP+sameline",
+			Threads: [][]Op{
+				{St("a0", 1), St("a1", 1)},
+				{LdTo("a1", 0), LdTo("a0", 1)},
+			},
+			NumOut:    2,
+			Forbidden: func(v []int64) bool { return v[0] == 1 && v[1] == 0 },
+		},
+		// ISA2: causality chain across three threads through two
+		// locations; TSO's w→w, r→w and store atomicity forbid the
+		// stale tail read.
+		{
+			Name: "ISA2",
+			Threads: [][]Op{
+				{St("x", 1), St("y", 1)},
+				{LdTo("y", 0), St("z", 1)},
+				{LdTo("z", 1), LdTo("x", 2)},
+			},
+			NumOut: 3,
+			Forbidden: func(v []int64) bool {
+				return v[0] == 1 && v[1] == 1 && v[2] == 0
+			},
+		},
+		// MP with fences on both sides: still forbidden, and exercises
+		// the fence self-invalidation path on TSO-CC.
+		{
+			Name: "MP+fences",
+			Threads: [][]Op{
+				{St("x", 1), Fn(), St("y", 1)},
+				{LdTo("y", 0), Fn(), LdTo("x", 1)},
+			},
+			NumOut:    2,
+			Forbidden: func(v []int64) bool { return v[0] == 1 && v[1] == 0 },
+		},
+		// LB with fences: also forbidden (already forbidden under bare
+		// TSO; fences must not break anything).
+		{
+			Name: "LB+fences",
+			Threads: [][]Op{
+				{LdTo("x", 0), Fn(), St("y", 1)},
+				{LdTo("y", 1), Fn(), St("x", 1)},
+			},
+			NumOut:    2,
+			Forbidden: func(v []int64) bool { return v[0] == 1 && v[1] == 1 },
+		},
+		// WRC with an xchg producer: the locked write is a release with
+		// full-barrier semantics; causality must still hold.
+		{
+			Name: "WRC+xchg",
+			Threads: [][]Op{
+				{XchgTo("x", 1, 3)},
+				{LdTo("x", 0), St("y", 1)},
+				{LdTo("y", 1), LdTo("x", 2)},
+			},
+			NumOut: 4,
+			Forbidden: func(v []int64) bool {
+				return v[0] == 1 && v[1] == 1 && v[2] == 0
+			},
+		},
+		// xchg atomicity: two exchanges on one location; exactly one
+		// must observe the initial value.
+		{
+			Name: "xchg-atomic",
+			Threads: [][]Op{
+				{XchgTo("x", 1, 0)},
+				{XchgTo("x", 2, 1)},
+			},
+			NumOut: 2,
+			Forbidden: func(v []int64) bool {
+				// Both saw 0, or each saw the other: atomicity broken.
+				return (v[0] == 0 && v[1] == 0) || (v[0] == 2 && v[1] == 1)
+			},
+		},
+	}
+}

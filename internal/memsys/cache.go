@@ -1,0 +1,265 @@
+// Package memsys provides the storage substrate: generic set-associative
+// cache arrays with LRU replacement (holding functional data blocks, so
+// stale reads return genuinely stale values), and the backing memory
+// model with the paper's 120–230 cycle latency band.
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+)
+
+// Way is one cache way: the tag/valid/LRU bookkeeping plus a functional
+// data block and protocol-specific metadata of type L.
+type Way[L any] struct {
+	Tag     uint64
+	Valid   bool
+	Busy    bool // a transaction holds this line (blocking directory / MSHR)
+	lastUse int64
+	Data    []byte
+	Meta    L
+}
+
+// Cache is a set-associative array indexed by block address.
+type Cache[L any] struct {
+	sets     [][]*Way[L]
+	setMask  uint64
+	ways     int
+	useClock int64
+}
+
+// NewCache builds a cache of sizeBytes capacity with the given
+// associativity, 64-byte blocks.
+func NewCache[L any](sizeBytes, ways int) *Cache[L] {
+	if sizeBytes <= 0 || ways <= 0 {
+		panic("memsys: invalid cache geometry")
+	}
+	blocks := sizeBytes / coherence.BlockSize
+	numSets := blocks / ways
+	if numSets == 0 {
+		numSets = 1
+	}
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("memsys: set count %d not a power of two", numSets))
+	}
+	c := &Cache[L]{
+		sets:    make([][]*Way[L], numSets),
+		setMask: uint64(numSets - 1),
+		ways:    ways,
+	}
+	for i := range c.sets {
+		set := make([]*Way[L], ways)
+		for w := range set {
+			set[w] = &Way[L]{Data: make([]byte, coherence.BlockSize)}
+		}
+		c.sets[i] = set
+	}
+	return c
+}
+
+// Sets reports the number of sets.
+func (c *Cache[L]) Sets() int { return len(c.sets) }
+
+// WaysPerSet reports the associativity.
+func (c *Cache[L]) WaysPerSet() int { return c.ways }
+
+func (c *Cache[L]) setFor(addr uint64) []*Way[L] {
+	return c.sets[(addr>>coherence.BlockShift)&c.setMask]
+}
+
+// Lookup returns the way holding addr and refreshes its LRU state, or
+// nil on miss.
+func (c *Cache[L]) Lookup(addr uint64) *Way[L] {
+	addr = coherence.BlockAddr(addr)
+	for _, w := range c.setFor(addr) {
+		if w.Valid && w.Tag == addr {
+			c.useClock++
+			w.lastUse = c.useClock
+			return w
+		}
+	}
+	return nil
+}
+
+// Peek returns the way holding addr without touching LRU state.
+func (c *Cache[L]) Peek(addr uint64) *Way[L] {
+	addr = coherence.BlockAddr(addr)
+	for _, w := range c.setFor(addr) {
+		if w.Valid && w.Tag == addr {
+			return w
+		}
+	}
+	return nil
+}
+
+// Victim returns the way to allocate addr into: an invalid way if one
+// exists, otherwise the least recently used non-busy way. It returns nil
+// if every way in the set is busy (the caller must retry later).
+// The returned way may still hold a valid line that needs eviction.
+func (c *Cache[L]) Victim(addr uint64) *Way[L] {
+	var lru *Way[L]
+	for _, w := range c.setFor(coherence.BlockAddr(addr)) {
+		if w.Busy {
+			continue
+		}
+		if !w.Valid {
+			return w
+		}
+		if lru == nil || w.lastUse < lru.lastUse {
+			lru = w
+		}
+	}
+	return lru
+}
+
+// Install claims way for addr, resetting data and metadata to zero
+// values. The caller is responsible for having evicted any prior line.
+func (c *Cache[L]) Install(w *Way[L], addr uint64) {
+	w.Tag = coherence.BlockAddr(addr)
+	w.Valid = true
+	w.Busy = false
+	for i := range w.Data {
+		w.Data[i] = 0
+	}
+	var zero L
+	w.Meta = zero
+	c.useClock++
+	w.lastUse = c.useClock
+}
+
+// Invalidate drops the line held by w.
+func (c *Cache[L]) Invalidate(w *Way[L]) {
+	w.Valid = false
+	w.Busy = false
+	var zero L
+	w.Meta = zero
+}
+
+// AnyBusy reports whether any way in addr's set is transaction-busy.
+func (c *Cache[L]) AnyBusy(addr uint64) bool {
+	for _, w := range c.setFor(coherence.BlockAddr(addr)) {
+		if w.Busy {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachValid visits every valid way in deterministic (set, way) order.
+func (c *Cache[L]) ForEachValid(fn func(w *Way[L])) {
+	for _, set := range c.sets {
+		for _, w := range set {
+			if w.Valid {
+				fn(w)
+			}
+		}
+	}
+}
+
+// CountValid reports the number of valid lines satisfying pred.
+func (c *Cache[L]) CountValid(pred func(w *Way[L]) bool) int {
+	n := 0
+	c.ForEachValid(func(w *Way[L]) {
+		if pred(w) {
+			n++
+		}
+	})
+	return n
+}
+
+// Memory is the off-chip backing store: an infinite sparse block store
+// with a deterministic per-address latency in [Base, Base+Spread).
+type Memory struct {
+	blocks map[uint64][]byte
+	Base   sim.Cycle
+	Spread sim.Cycle
+
+	Reads  int64
+	Writes int64
+}
+
+// NewMemory builds a memory with the paper's latency band by default
+// (120–230 cycles, Table 2).
+func NewMemory() *Memory {
+	return &Memory{
+		blocks: make(map[uint64][]byte),
+		Base:   120,
+		Spread: 110,
+	}
+}
+
+// Latency reports the deterministic access latency for addr.
+func (m *Memory) Latency(addr uint64) sim.Cycle {
+	if m.Spread <= 0 {
+		return m.Base
+	}
+	h := (addr >> coherence.BlockShift) * 0x9E3779B97F4A7C15
+	return m.Base + sim.Cycle(h%uint64(m.Spread))
+}
+
+// ReadBlock copies the block at addr into dst (allocating zeroes for
+// untouched memory).
+func (m *Memory) ReadBlock(addr uint64, dst []byte) {
+	m.Reads++
+	addr = coherence.BlockAddr(addr)
+	if b, ok := m.blocks[addr]; ok {
+		copy(dst, b)
+		return
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// WriteBlock stores a copy of src as the block at addr.
+func (m *Memory) WriteBlock(addr uint64, src []byte) {
+	m.Writes++
+	addr = coherence.BlockAddr(addr)
+	b, ok := m.blocks[addr]
+	if !ok {
+		b = make([]byte, coherence.BlockSize)
+		m.blocks[addr] = b
+	}
+	copy(b, src)
+}
+
+// ReadWord returns the 8-byte little-endian word at addr (8-aligned).
+func (m *Memory) ReadWord(addr uint64) uint64 {
+	b, ok := m.blocks[coherence.BlockAddr(addr)]
+	if !ok {
+		return 0
+	}
+	return GetWord(b, addr)
+}
+
+// WriteWord stores an 8-byte little-endian word at addr (8-aligned),
+// bypassing latency modelling; used for initial state setup.
+func (m *Memory) WriteWord(addr uint64, v uint64) {
+	blk := coherence.BlockAddr(addr)
+	b, ok := m.blocks[blk]
+	if !ok {
+		b = make([]byte, coherence.BlockSize)
+		m.blocks[blk] = b
+	}
+	PutWord(b, addr, v)
+}
+
+// GetWord reads the 8-byte word containing addr from block data.
+func GetWord(block []byte, addr uint64) uint64 {
+	off := addr & (coherence.BlockSize - 1) &^ 7
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(block[off+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+// PutWord writes the 8-byte word containing addr into block data.
+func PutWord(block []byte, addr uint64, v uint64) {
+	off := addr & (coherence.BlockSize - 1) &^ 7
+	for i := 0; i < 8; i++ {
+		block[off+uint64(i)] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,266 @@
+// Package mesh models the on-chip interconnect: a 2D mesh with XY
+// dimension-order routing, per-link serialization at one flit per cycle,
+// and flit-level traffic accounting — the quantities GARNET reports in
+// the paper's evaluation (total flits, Figure 4).
+//
+// The model is a timed-delivery network: when a message is sent, its
+// route is walked immediately and a delivery time is computed from the
+// per-link busy state, reserving link bandwidth along the way. This
+// captures serialization and contention without per-flit ticking, and is
+// fully deterministic.
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Endpoint receives delivered messages.
+type Endpoint interface {
+	Deliver(now sim.Cycle, m *coherence.Msg)
+}
+
+// Config sets the mesh geometry and timing.
+type Config struct {
+	Routers     int       // number of routers (== cores in a tiled CMP)
+	Rows        int       // mesh rows; 0 picks a near-square factorization
+	LinkLatency sim.Cycle // cycles per hop for the head flit (default 1)
+	LocalDelay  sim.Cycle // delivery delay between co-located endpoints
+}
+
+type delivery struct {
+	msg *coherence.Msg
+	dst Endpoint
+	seq int64
+}
+
+// Network is the mesh interconnect. It implements sim.Ticker; it must be
+// ticked before the attached controllers each cycle so that messages due
+// at cycle t are visible to controllers at cycle t.
+type Network struct {
+	cfg   Config
+	rows  int
+	cols  int
+	nodes map[coherence.NodeID]*attachment
+
+	// linkBusy[d][r] is the cycle through which the outgoing link of
+	// router r in direction d is reserved.
+	linkBusy [4][]sim.Cycle
+
+	queue map[sim.Cycle][]delivery
+	seq   int64
+
+	// Traffic accounting.
+	MsgsSent     stats.Counter
+	FlitsSent    stats.Counter    // flits injected (message size)
+	FlitHops     stats.Counter    // flit-hops (size x hops traversed)
+	FlitsByClass [2]stats.Counter // 0 = control, 1 = data
+}
+
+type attachment struct {
+	router int
+	ep     Endpoint
+}
+
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// New builds a mesh network.
+func New(cfg Config) *Network {
+	if cfg.Routers <= 0 {
+		panic("mesh: Routers must be positive")
+	}
+	if cfg.LinkLatency <= 0 {
+		cfg.LinkLatency = 1
+	}
+	if cfg.LocalDelay <= 0 {
+		cfg.LocalDelay = 1
+	}
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = nearSquareRows(cfg.Routers)
+	}
+	cols := (cfg.Routers + rows - 1) / rows
+	n := &Network{
+		cfg:   cfg,
+		rows:  rows,
+		cols:  cols,
+		nodes: make(map[coherence.NodeID]*attachment),
+		queue: make(map[sim.Cycle][]delivery),
+	}
+	for d := 0; d < 4; d++ {
+		n.linkBusy[d] = make([]sim.Cycle, rows*cols)
+	}
+	return n
+}
+
+func nearSquareRows(n int) int {
+	best := 1
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			best = r
+		}
+	}
+	if best == 1 && n > 3 {
+		// Prime router count: fall back to a 2-row arrangement.
+		best = 2
+	}
+	return best
+}
+
+// Rows reports the mesh row count.
+func (n *Network) Rows() int { return n.rows }
+
+// Cols reports the mesh column count.
+func (n *Network) Cols() int { return n.cols }
+
+// Attach registers an endpoint at a router. Multiple endpoints may share
+// a router (the co-located L1 and L2 tile).
+func (n *Network) Attach(id coherence.NodeID, router int, ep Endpoint) {
+	if router < 0 || router >= n.rows*n.cols {
+		panic(fmt.Sprintf("mesh: router %d out of range", router))
+	}
+	n.nodes[id] = &attachment{router: router, ep: ep}
+}
+
+// Send routes m from m.Src to m.Dst, reserving link bandwidth, and
+// schedules delivery. It panics on unknown endpoints (a wiring bug).
+func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
+	src, ok := n.nodes[m.Src]
+	if !ok {
+		panic(fmt.Sprintf("mesh: unknown src %d", m.Src))
+	}
+	dst, ok := n.nodes[m.Dst]
+	if !ok {
+		panic(fmt.Sprintf("mesh: unknown dst %d", m.Dst))
+	}
+	if TraceAddr != 0 && m.Addr == TraceAddr {
+		TraceLog = append(TraceLog, fmt.Sprintf("cyc=%d %s", now, m))
+	}
+	flits := m.Type.Flits()
+	n.MsgsSent.Inc()
+	n.FlitsSent.Add(int64(flits))
+	if m.Type.CarriesData() {
+		n.FlitsByClass[1].Add(int64(flits))
+	} else {
+		n.FlitsByClass[0].Add(int64(flits))
+	}
+
+	if src.router == dst.router {
+		// Co-located endpoints: one cycle of crossbar delay, no
+		// link traffic.
+		n.schedule(now+n.cfg.LocalDelay, m, dst.ep)
+		return
+	}
+
+	t := now
+	r := src.router
+	hops := 0
+	for r != dst.router {
+		d, next := n.xyStep(r, dst.router)
+		depart := t
+		if n.linkBusy[d][r] > depart {
+			depart = n.linkBusy[d][r]
+		}
+		// The link is occupied while the message's flits stream
+		// across it.
+		n.linkBusy[d][r] = depart + sim.Cycle(flits)
+		t = depart + n.cfg.LinkLatency
+		r = next
+		hops++
+	}
+	// Tail-flit serialization at the destination.
+	t += sim.Cycle(flits - 1)
+	n.FlitHops.Add(int64(flits * hops))
+	n.schedule(t+1, m, dst.ep)
+}
+
+// Broadcast sends a copy of m to every destination in dsts.
+func (n *Network) Broadcast(now sim.Cycle, m *coherence.Msg, dsts []coherence.NodeID) {
+	for _, d := range dsts {
+		cp := *m
+		cp.Dst = d
+		if m.Data != nil {
+			cp.Data = append([]byte(nil), m.Data...)
+		}
+		n.Send(now, &cp)
+	}
+}
+
+func (n *Network) xyStep(r, dst int) (dir, next int) {
+	rx, ry := r%n.cols, r/n.cols
+	dx, dy := dst%n.cols, dst/n.cols
+	switch {
+	case rx < dx:
+		return dirEast, r + 1
+	case rx > dx:
+		return dirWest, r - 1
+	case ry < dy:
+		return dirSouth, r + n.cols
+	case ry > dy:
+		return dirNorth, r - n.cols
+	}
+	panic("mesh: xyStep at destination")
+}
+
+func (n *Network) schedule(at sim.Cycle, m *coherence.Msg, ep Endpoint) {
+	n.queue[at] = append(n.queue[at], delivery{msg: m, dst: ep, seq: n.seq})
+	n.seq++
+}
+
+// Tick delivers all messages due at cycle now, in send order.
+func (n *Network) Tick(now sim.Cycle) {
+	due, ok := n.queue[now]
+	if !ok {
+		return
+	}
+	delete(n.queue, now)
+	for _, d := range due {
+		d.dst.Deliver(now, d.msg)
+	}
+}
+
+// Pending reports the number of undelivered messages (used by completion
+// checks and deadlock diagnostics).
+func (n *Network) Pending() int {
+	total := 0
+	for _, ds := range n.queue {
+		total += len(ds)
+	}
+	return total
+}
+
+// HopDistance reports the XY hop count between two node IDs.
+func (n *Network) HopDistance(a, b coherence.NodeID) int {
+	sa, ok := n.nodes[a]
+	if !ok {
+		return 0
+	}
+	sb, ok := n.nodes[b]
+	if !ok {
+		return 0
+	}
+	ax, ay := sa.router%n.cols, sa.router/n.cols
+	bx, by := sb.router%n.cols, sb.router/n.cols
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TraceAddr enables message tracing for one block address (debug only).
+var TraceAddr uint64
+
+// TraceLog accumulates traced messages.
+var TraceLog []string

@@ -1,0 +1,224 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+)
+
+type sink struct {
+	got []arrival
+}
+
+type arrival struct {
+	at  sim.Cycle
+	msg *coherence.Msg
+}
+
+func (s *sink) Deliver(now sim.Cycle, m *coherence.Msg) {
+	s.got = append(s.got, arrival{at: now, msg: m})
+}
+
+func build(routers int) (*Network, []*sink) {
+	n := New(Config{Routers: routers})
+	sinks := make([]*sink, routers)
+	for i := 0; i < routers; i++ {
+		sinks[i] = &sink{}
+		n.Attach(coherence.NodeID(i), i, sinks[i])
+	}
+	return n, sinks
+}
+
+func run(n *Network, until sim.Cycle) {
+	for c := sim.Cycle(1); c <= until; c++ {
+		n.Tick(c)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	n := New(Config{Routers: 2})
+	a, b := &sink{}, &sink{}
+	n.Attach(0, 0, a)
+	n.Attach(100, 0, b) // co-located with router 0
+	n.Send(0, &coherence.Msg{Type: coherence.MsgGetS, Src: 0, Dst: 100})
+	run(n, 5)
+	if len(b.got) != 1 || b.got[0].at != 1 {
+		t.Fatalf("co-located delivery: %+v", b.got)
+	}
+	if n.FlitHops.Value() != 0 {
+		t.Fatal("co-located message should not consume link bandwidth")
+	}
+}
+
+func TestRemoteDeliveryLatencyAndFlits(t *testing.T) {
+	n, sinks := build(16) // 4x4
+	// Router 0 -> router 3: 3 hops east.
+	n.Send(0, &coherence.Msg{Type: coherence.MsgGetS, Src: 0, Dst: 3})
+	run(n, 20)
+	if len(sinks[3].got) != 1 {
+		t.Fatal("message not delivered")
+	}
+	// 3 hops, 1 cycle/hop + 1 delivery = small constant; control = 1 flit.
+	if at := sinks[3].got[0].at; at < 3 || at > 6 {
+		t.Fatalf("3-hop control message arrived at %d", at)
+	}
+	if n.FlitsSent.Value() != 1 || n.FlitHops.Value() != 3 {
+		t.Fatalf("flits=%d hops=%d, want 1/3", n.FlitsSent.Value(), n.FlitHops.Value())
+	}
+}
+
+func TestDataMessageFlitAccounting(t *testing.T) {
+	n, _ := build(4)
+	n.Send(0, &coherence.Msg{Type: coherence.MsgDataS, Src: 0, Dst: 3,
+		Data: make([]byte, coherence.BlockSize)})
+	run(n, 30)
+	wantFlits := int64(coherence.BlockFlits)
+	if n.FlitsSent.Value() != wantFlits {
+		t.Fatalf("flits = %d, want %d", n.FlitsSent.Value(), wantFlits)
+	}
+	if n.FlitsByClass[1].Value() != wantFlits || n.FlitsByClass[0].Value() != 0 {
+		t.Fatal("data/control class accounting wrong")
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	n, sinks := build(4) // 2x2
+	// Two 5-flit data messages over the same link, same cycle: the
+	// second must arrive later than the first.
+	for i := 0; i < 2; i++ {
+		n.Send(0, &coherence.Msg{Type: coherence.MsgDataS, Src: 0, Dst: 1,
+			Data: make([]byte, coherence.BlockSize)})
+	}
+	run(n, 40)
+	if len(sinks[1].got) != 2 {
+		t.Fatalf("deliveries = %d", len(sinks[1].got))
+	}
+	d := sinks[1].got[1].at - sinks[1].got[0].at
+	if d < sim.Cycle(coherence.BlockFlits) {
+		t.Fatalf("second message arrived %d cycles after first, want >= %d (serialization)",
+			d, coherence.BlockFlits)
+	}
+}
+
+func TestPerPairFIFO(t *testing.T) {
+	// Messages between one src-dst pair must never reorder, regardless
+	// of size mix — the protocols rely on this.
+	n, sinks := build(16)
+	seq := 0
+	for i := 0; i < 20; i++ {
+		m := &coherence.Msg{Src: 0, Dst: 15, Addr: uint64(seq)}
+		if i%3 == 0 {
+			m.Type = coherence.MsgDataS
+			m.Data = make([]byte, coherence.BlockSize)
+		} else {
+			m.Type = coherence.MsgInv
+		}
+		seq++
+		n.Send(sim.Cycle(i), m)
+	}
+	run(n, 500)
+	if len(sinks[15].got) != 20 {
+		t.Fatalf("deliveries = %d, want 20", len(sinks[15].got))
+	}
+	for i, a := range sinks[15].got {
+		if a.msg.Addr != uint64(i) {
+			t.Fatalf("reordered: position %d has seq %d", i, a.msg.Addr)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n, sinks := build(8)
+	dsts := []coherence.NodeID{1, 2, 3, 4, 5, 6, 7}
+	n.Broadcast(0, &coherence.Msg{Type: coherence.MsgTSResetL1, Src: 0}, dsts)
+	run(n, 50)
+	for _, d := range dsts {
+		if len(sinks[d].got) != 1 {
+			t.Fatalf("router %d missed broadcast", d)
+		}
+	}
+	if n.MsgsSent.Value() != int64(len(dsts)) {
+		t.Fatalf("msgs = %d", n.MsgsSent.Value())
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	n, _ := build(16) // 4x4
+	cases := []struct {
+		a, b coherence.NodeID
+		want int
+	}{
+		{0, 0, 0}, {0, 3, 3}, {0, 12, 3}, {0, 15, 6}, {5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := n.HopDistance(c.a, c.b); got != c.want {
+			t.Fatalf("HopDistance(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHopDistanceSymmetric(t *testing.T) {
+	n, _ := build(32)
+	check := func(a, b uint8) bool {
+		x := coherence.NodeID(int(a) % 32)
+		y := coherence.NodeID(int(b) % 32)
+		return n.HopDistance(x, y) == n.HopDistance(y, x)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryPairDeliverable(t *testing.T) {
+	n, sinks := build(12) // 3x4 or similar
+	count := 0
+	for s := 0; s < 12; s++ {
+		for d := 0; d < 12; d++ {
+			if s == d {
+				continue
+			}
+			n.Send(0, &coherence.Msg{Type: coherence.MsgAck,
+				Src: coherence.NodeID(s), Dst: coherence.NodeID(d)})
+			count++
+		}
+	}
+	run(n, 2000)
+	got := 0
+	for _, s := range sinks {
+		got += len(s.got)
+	}
+	if got != count {
+		t.Fatalf("delivered %d of %d", got, count)
+	}
+	if n.Pending() != 0 {
+		t.Fatal("messages still pending")
+	}
+}
+
+func TestNearSquareRows(t *testing.T) {
+	cases := map[int]int{1: 1, 4: 2, 16: 4, 32: 4, 8: 2, 64: 8, 7: 2, 12: 3}
+	for n, want := range cases {
+		if got := nearSquareRows(n); got != want {
+			t.Fatalf("nearSquareRows(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestExplicitRows(t *testing.T) {
+	n := New(Config{Routers: 32, Rows: 4})
+	if n.Rows() != 4 || n.Cols() != 8 {
+		t.Fatalf("rows=%d cols=%d, want 4x8 (Table 2)", n.Rows(), n.Cols())
+	}
+}
+
+func TestUnknownEndpointPanics(t *testing.T) {
+	n, _ := build(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown destination")
+		}
+	}()
+	n.Send(0, &coherence.Msg{Type: coherence.MsgAck, Src: 0, Dst: 99})
+}

@@ -1,0 +1,426 @@
+// Package mesi implements the paper's baseline: a full-map MESI directory
+// protocol. Each private L1 holds lines in Invalid/Shared/Exclusive/
+// Modified; the NUCA L2 tiles keep an inclusive directory with a full
+// sharing vector, eagerly invalidating sharers on writes. Transient
+// races are serialized with a blocking directory (see DESIGN.md §6).
+package mesi
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+)
+
+// L1 line states.
+const (
+	stateS = iota + 1
+	stateE
+	stateM
+)
+
+type l1Line struct {
+	state int
+}
+
+type readTx struct {
+	addr     uint64 // block address
+	wordAddr uint64
+	cb       func(uint64)
+	squashed bool
+}
+
+type writeTx struct {
+	addr     uint64
+	wordAddr uint64
+	isRMW    bool
+	val      uint64 // plain store value
+	f        func(old uint64) (uint64, bool)
+	storeCb  func()
+	rmwCb    func(uint64)
+	issued   sim.Cycle
+	upgrade  bool // line was Shared locally when requested
+}
+
+// L1 is one core's private cache controller.
+type L1 struct {
+	id     coherence.NodeID
+	cores  int
+	cache  *memsys.Cache[l1Line]
+	net    *mesh.Network
+	hitLat sim.Cycle
+
+	timers coherence.Timers
+	inbox  []*coherence.Msg
+
+	rd *readTx
+	wr *writeTx
+
+	evict map[uint64]*evictEntry
+
+	Stats coherence.L1Stats
+}
+
+type evictEntry struct {
+	data        []byte
+	dirty       bool
+	transferred bool // ownership passed to another core while in flight
+}
+
+// NewL1 builds the L1 controller for the given core.
+func NewL1(core, cores int, sizeBytes, ways int, hitLat sim.Cycle, net *mesh.Network) *L1 {
+	return &L1{
+		id:     coherence.L1ID(core),
+		cores:  cores,
+		cache:  memsys.NewCache[l1Line](sizeBytes, ways),
+		net:    net,
+		hitLat: hitLat,
+		evict:  make(map[uint64]*evictEntry),
+	}
+}
+
+func (l *L1) home(addr uint64) coherence.NodeID {
+	tile := int(addr>>coherence.BlockShift) % l.cores
+	return coherence.L2ID(tile, l.cores)
+}
+
+func (l *L1) send(now sim.Cycle, m *coherence.Msg) {
+	m.Src = l.id
+	l.net.Send(now, m)
+}
+
+// Deliver implements mesh.Endpoint.
+func (l *L1) Deliver(now sim.Cycle, m *coherence.Msg) { l.inbox = append(l.inbox, m) }
+
+// Tick processes due timers and delivered messages.
+func (l *L1) Tick(now sim.Cycle) {
+	l.timers.Tick(now)
+	if len(l.inbox) == 0 {
+		return
+	}
+	msgs := l.inbox
+	l.inbox = nil
+	for _, m := range msgs {
+		l.handle(now, m)
+	}
+}
+
+// Busy reports whether any transaction is outstanding (completion check).
+func (l *L1) Busy() bool {
+	return l.rd != nil || l.wr != nil || len(l.evict) > 0 || l.timers.Pending() > 0 || len(l.inbox) > 0
+}
+
+// ---- CorePort ----
+
+// Load implements coherence.CorePort.
+func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
+	blk := coherence.BlockAddr(addr)
+	if l.rd != nil {
+		return false
+	}
+	if l.wr != nil && l.wr.addr == blk {
+		return false // serialize same-block read/write transactions
+	}
+	if w := l.cache.Lookup(addr); w != nil {
+		if w.Meta.state == stateS {
+			l.Stats.ReadHitShared.Inc()
+		} else {
+			l.Stats.ReadHitPrivate.Inc()
+		}
+		val := memsys.GetWord(w.Data, addr)
+		l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(val) })
+		return true
+	}
+	l.Stats.ReadMissInvalid.Inc()
+	l.rd = &readTx{addr: blk, wordAddr: addr, cb: cb}
+	l.send(now, &coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	return true
+}
+
+// Store implements coherence.CorePort.
+func (l *L1) Store(now sim.Cycle, addr uint64, val uint64, cb func()) bool {
+	blk := coherence.BlockAddr(addr)
+	if l.wr != nil {
+		return false
+	}
+	if l.rd != nil && l.rd.addr == blk {
+		return false
+	}
+	if w := l.cache.Lookup(addr); w != nil && w.Meta.state != stateS {
+		w.Meta.state = stateM
+		memsys.PutWord(w.Data, addr, val)
+		l.Stats.WriteHitPrivate.Inc()
+		l.timers.At(now+1, func(sim.Cycle) { cb() })
+		return true
+	}
+	upgrade := false
+	if w := l.cache.Peek(addr); w != nil && w.Meta.state == stateS {
+		upgrade = true
+		// Pin the Shared copy: a concurrent read's fill must not evict
+		// it while the upgrade is in flight (a data-less UpgAck would
+		// then have nothing to upgrade).
+		w.Busy = true
+		l.Stats.WriteMissShared.Inc()
+	} else {
+		l.Stats.WriteMissInvalid.Inc()
+	}
+	l.wr = &writeTx{addr: blk, wordAddr: addr, val: val, storeCb: cb, issued: now, upgrade: upgrade}
+	l.send(now, &coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	return true
+}
+
+// RMW implements coherence.CorePort.
+func (l *L1) RMW(now sim.Cycle, addr uint64, f func(uint64) (uint64, bool), cb func(uint64)) bool {
+	blk := coherence.BlockAddr(addr)
+	if l.wr != nil {
+		return false
+	}
+	if l.rd != nil && l.rd.addr == blk {
+		return false
+	}
+	if w := l.cache.Lookup(addr); w != nil && w.Meta.state != stateS {
+		old := memsys.GetWord(w.Data, addr)
+		if nv, doWrite := f(old); doWrite {
+			memsys.PutWord(w.Data, addr, nv)
+			w.Meta.state = stateM
+		}
+		l.Stats.WriteHitPrivate.Inc()
+		l.Stats.RMWLat.Observe(int64(l.hitLat))
+		l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(old) })
+		return true
+	}
+	upgrade := false
+	if w := l.cache.Peek(addr); w != nil && w.Meta.state == stateS {
+		upgrade = true
+		w.Busy = true
+		l.Stats.WriteMissShared.Inc()
+	} else {
+		l.Stats.WriteMissInvalid.Inc()
+	}
+	l.wr = &writeTx{addr: blk, wordAddr: addr, isRMW: true, f: f, rmwCb: cb, issued: now, upgrade: upgrade}
+	l.send(now, &coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	return true
+}
+
+// Fence implements coherence.CorePort. MESI is eagerly coherent; a fence
+// needs no cache actions beyond the core's write-buffer drain.
+func (l *L1) Fence(now sim.Cycle, cb func()) bool {
+	l.timers.At(now+1, func(sim.Cycle) { cb() })
+	return true
+}
+
+// ---- Message handling ----
+
+func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
+	switch m.Type {
+	case coherence.MsgDataE:
+		l.Stats.DataResponses.Inc()
+		if l.wr != nil && l.wr.addr == m.Addr {
+			l.completeWrite(now, m.Data)
+			l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr})
+			return
+		}
+		l.completeRead(now, m, stateE)
+		l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr})
+
+	case coherence.MsgDataS:
+		l.Stats.DataResponses.Inc()
+		l.completeRead(now, m, stateS)
+
+	case coherence.MsgDataOwner:
+		l.Stats.DataResponses.Inc()
+		if l.wr != nil && l.wr.addr == m.Addr {
+			l.completeWrite(now, m.Data)
+			l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr})
+			return
+		}
+		l.completeRead(now, m, stateS)
+
+	case coherence.MsgUpgAck:
+		if l.wr == nil || l.wr.addr != m.Addr {
+			panic(fmt.Sprintf("mesi: L1 %d: unexpected UpgAck %s", l.id, m))
+		}
+		w := l.cache.Peek(m.Addr)
+		if w == nil || w.Meta.state != stateS {
+			panic(fmt.Sprintf("mesi: L1 %d: UpgAck without Shared line %s", l.id, m))
+		}
+		l.completeWrite(now, nil)
+		l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr})
+
+	case coherence.MsgFwdGetS:
+		l.handleFwdGetS(now, m)
+
+	case coherence.MsgFwdGetX:
+		l.handleFwdGetX(now, m)
+
+	case coherence.MsgInv:
+		l.handleInv(now, m)
+
+	case coherence.MsgPutAck:
+		delete(l.evict, m.Addr)
+
+	default:
+		panic(fmt.Sprintf("mesi: L1 %d: unexpected message %s", l.id, m))
+	}
+}
+
+func (l *L1) completeWrite(now sim.Cycle, data []byte) {
+	tx := l.wr
+	w := l.cache.Peek(tx.addr)
+	if data != nil {
+		// Fresh data arrived; (re)install the line.
+		w = l.install(now, tx.addr, data)
+	}
+	if w == nil {
+		panic(fmt.Sprintf("mesi: L1 %d: write completion without line %#x", l.id, tx.addr))
+	}
+	w.Busy = false
+	w.Meta.state = stateM
+	old := memsys.GetWord(w.Data, tx.wordAddr)
+	if tx.isRMW {
+		if nv, doWrite := tx.f(old); doWrite {
+			memsys.PutWord(w.Data, tx.wordAddr, nv)
+		}
+		l.Stats.RMWLat.Observe(int64(now - tx.issued))
+	} else {
+		memsys.PutWord(w.Data, tx.wordAddr, tx.val)
+	}
+	l.wr = nil
+	if tx.isRMW {
+		tx.rmwCb(old)
+	} else {
+		tx.storeCb()
+	}
+}
+
+func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
+	tx := l.rd
+	if tx == nil || tx.addr != m.Addr {
+		panic(fmt.Sprintf("mesi: L1 %d: data response without read tx %s", l.id, m))
+	}
+	val := memsys.GetWord(m.Data, tx.wordAddr)
+	// Responses sent by the L2 itself are FIFO-ordered after any Inv the
+	// L2 issued, so they are always fresh; only owner-forwarded data can
+	// be overtaken by a later invalidation (the squash case).
+	if !tx.squashed || m.Type != coherence.MsgDataOwner {
+		w := l.install(now, m.Addr, m.Data)
+		w.Meta.state = state
+	}
+	l.rd = nil
+	tx.cb(val)
+}
+
+func (l *L1) install(now sim.Cycle, addr uint64, data []byte) *memsys.Way[l1Line] {
+	if w := l.cache.Peek(addr); w != nil {
+		copy(w.Data, data)
+		return w
+	}
+	w := l.cache.Victim(addr)
+	if w == nil {
+		panic(fmt.Sprintf("mesi: L1 %d: no victim for %#x", l.id, addr))
+	}
+	if w.Valid {
+		l.evictLine(now, w)
+	}
+	l.cache.Install(w, addr)
+	copy(w.Data, data)
+	return w
+}
+
+func (l *L1) evictLine(now sim.Cycle, w *memsys.Way[l1Line]) {
+	addr := w.Tag
+	switch w.Meta.state {
+	case stateS:
+		l.send(now, &coherence.Msg{Type: coherence.MsgPutS, Dst: l.home(addr), Addr: addr})
+	case stateE:
+		l.evict[addr] = &evictEntry{data: append([]byte(nil), w.Data...), dirty: false}
+		l.send(now, &coherence.Msg{Type: coherence.MsgPutE, Dst: l.home(addr), Addr: addr})
+	case stateM:
+		l.evict[addr] = &evictEntry{data: append([]byte(nil), w.Data...), dirty: true}
+		l.send(now, &coherence.Msg{Type: coherence.MsgPutM, Dst: l.home(addr), Addr: addr,
+			Data: append([]byte(nil), w.Data...), Dirty: true})
+	}
+	l.cache.Invalidate(w)
+}
+
+func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
+	if w := l.cache.Peek(m.Addr); w != nil && w.Meta.state != stateS {
+		dirty := w.Meta.state == stateM
+		w.Meta.state = stateS
+		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Data: append([]byte(nil), w.Data...)})
+		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
+			Data: append([]byte(nil), w.Data...), Dirty: dirty})
+		return
+	}
+	if e, ok := l.evict[m.Addr]; ok {
+		e.transferred = true
+		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Data: append([]byte(nil), e.data...)})
+		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
+			Data: append([]byte(nil), e.data...), Dirty: e.dirty, NoCopy: true})
+		return
+	}
+	panic(fmt.Sprintf("mesi: L1 %d: FwdGetS for absent line %s", l.id, m))
+}
+
+func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
+	if w := l.cache.Peek(m.Addr); w != nil && w.Meta.state != stateS {
+		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Data: append([]byte(nil), w.Data...), Dirty: w.Meta.state == stateM})
+		l.cache.Invalidate(w)
+		return
+	}
+	if e, ok := l.evict[m.Addr]; ok {
+		e.transferred = true
+		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Data: append([]byte(nil), e.data...), Dirty: e.dirty})
+		return
+	}
+	panic(fmt.Sprintf("mesi: L1 %d: FwdGetX for absent line %s", l.id, m))
+}
+
+func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
+	l.Stats.InvalidationsReceived.Inc()
+	if l.rd != nil && l.rd.addr == m.Addr {
+		l.rd.squashed = true
+	}
+	if w := l.cache.Peek(m.Addr); w != nil {
+		if w.Meta.state != stateS {
+			// Directory recall of an exclusive line (L2 eviction).
+			l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
+				Data: append([]byte(nil), w.Data...), Dirty: w.Meta.state == stateM})
+			l.cache.Invalidate(w)
+			return
+		}
+		l.cache.Invalidate(w)
+		l.send(now, &coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr})
+		return
+	}
+	if e, ok := l.evict[m.Addr]; ok {
+		e.transferred = true
+		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
+			Data: append([]byte(nil), e.data...), Dirty: e.dirty})
+		return
+	}
+	// Invalidation for a line we no longer hold (crossed a PutS).
+	l.send(now, &coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr})
+}
+
+// Debug renders outstanding transaction state (deadlock diagnostics).
+func (l *L1) Debug() string {
+	s := fmt.Sprintf("L1 %d:", l.id)
+	if l.rd != nil {
+		s += fmt.Sprintf(" rd=%#x(squash=%v)", l.rd.addr, l.rd.squashed)
+	}
+	if l.wr != nil {
+		s += fmt.Sprintf(" wr=%#x(upg=%v rmw=%v issued=%d)", l.wr.addr, l.wr.upgrade, l.wr.isRMW, l.wr.issued)
+	}
+	for a, e := range l.evict {
+		s += fmt.Sprintf(" evict=%#x(dirty=%v xfer=%v)", a, e.dirty, e.transferred)
+	}
+	s += fmt.Sprintf(" timers=%d%v inbox=%d", l.timers.Pending(), l.timers.DueCycles(), len(l.inbox))
+	return s
+}

@@ -1,0 +1,447 @@
+package mesi
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+)
+
+// L2 directory line states (invalid way = not present).
+const (
+	dirV = iota + 1 // valid at L2, no L1 copies
+	dirS            // shared by the cores in the sharing vector
+	dirX            // exclusive at owner (E or M in its L1)
+)
+
+type l2Line struct {
+	state   int
+	sharers uint64 // full sharing vector (bit per core; cores <= 64)
+	owner   coherence.NodeID
+	dirty   bool // data newer than memory
+}
+
+type txKind int
+
+const (
+	txMemFetch txKind = iota + 1
+	txAwaitAck        // exclusive grant sent; waiting for requester Ack
+	txFwdGetS         // forwarded read; waiting for owner WBData
+	txFwdGetX         // forwarded write; waiting for requester Ack
+	txInvColl         // invalidations outstanding; counting InvAcks
+	txEvict           // evicting this line; waiting for acks/WBData
+)
+
+type l2Tx struct {
+	kind      txKind
+	req       *coherence.Msg // original request (nil for evictions)
+	acksLeft  int
+	nextOwner coherence.NodeID
+	isUpgrade bool
+}
+
+// L2 is one NUCA directory tile.
+type L2 struct {
+	id    coherence.NodeID
+	tile  int
+	cores int
+	cache *memsys.Cache[l2Line]
+	net   *mesh.Network
+	mem   *memsys.Memory
+
+	accessLat sim.Cycle
+
+	timers  coherence.Timers
+	inbox   []*coherence.Msg
+	tx      map[uint64]*l2Tx
+	waiting map[uint64][]*coherence.Msg
+	retryQ  []*coherence.Msg
+}
+
+// NewL2 builds directory tile `tile`.
+func NewL2(tile, cores int, sizeBytes, ways int, accessLat sim.Cycle, net *mesh.Network, mem *memsys.Memory) *L2 {
+	if cores > 64 {
+		panic("mesi: full sharing vector limited to 64 cores in this model")
+	}
+	return &L2{
+		id:        coherence.L2ID(tile, cores),
+		tile:      tile,
+		cores:     cores,
+		cache:     memsys.NewCache[l2Line](sizeBytes, ways),
+		net:       net,
+		mem:       mem,
+		accessLat: accessLat,
+		tx:        make(map[uint64]*l2Tx),
+		waiting:   make(map[uint64][]*coherence.Msg),
+	}
+}
+
+func (t *L2) send(now sim.Cycle, m *coherence.Msg) {
+	m.Src = t.id
+	t.net.Send(now, m)
+}
+
+// sendAfterAccess sends m after the tile access latency. Every
+// directory-originated message to an L1 must leave through the same
+// delay so that per-destination FIFO order matches processing order —
+// an invalidation must never overtake an earlier data response.
+func (t *L2) sendAfterAccess(now sim.Cycle, m *coherence.Msg) {
+	t.timers.At(now+t.accessLat, func(nw sim.Cycle) { t.send(nw, m) })
+}
+
+// Deliver implements mesh.Endpoint.
+func (t *L2) Deliver(now sim.Cycle, m *coherence.Msg) { t.inbox = append(t.inbox, m) }
+
+// Busy reports outstanding work (completion/deadlock checks).
+func (t *L2) Busy() bool {
+	return len(t.tx) > 0 || len(t.retryQ) > 0 || len(t.inbox) > 0 || t.timers.Pending() > 0
+}
+
+// Tick processes timers, retries and inbox messages.
+func (t *L2) Tick(now sim.Cycle) {
+	t.timers.Tick(now)
+	if len(t.retryQ) > 0 {
+		rq := t.retryQ
+		t.retryQ = nil
+		for _, m := range rq {
+			t.handle(now, m)
+		}
+	}
+	if len(t.inbox) == 0 {
+		return
+	}
+	msgs := t.inbox
+	t.inbox = nil
+	for _, m := range msgs {
+		t.handle(now, m)
+	}
+}
+
+func (t *L2) handle(now sim.Cycle, m *coherence.Msg) {
+	switch m.Type {
+	case coherence.MsgGetS, coherence.MsgGetX:
+		t.handleRequest(now, m)
+	case coherence.MsgPutS:
+		t.handlePutS(now, m)
+	case coherence.MsgPutE, coherence.MsgPutM:
+		t.handlePut(now, m)
+	case coherence.MsgAck:
+		t.handleAck(now, m)
+	case coherence.MsgInvAck:
+		t.handleInvAck(now, m)
+	case coherence.MsgWBData:
+		t.handleWBData(now, m)
+	default:
+		panic(fmt.Sprintf("mesi: L2 %d: unexpected message %s", t.id, m))
+	}
+}
+
+func (t *L2) busyLine(addr uint64) bool {
+	_, ok := t.tx[addr]
+	return ok
+}
+
+func (t *L2) handleRequest(now sim.Cycle, m *coherence.Msg) {
+	if t.busyLine(m.Addr) {
+		t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+		return
+	}
+	w := t.cache.Peek(m.Addr)
+	if w == nil {
+		t.startFetch(now, m)
+		return
+	}
+	if m.Type == coherence.MsgGetS {
+		t.serveGetS(now, m, w)
+	} else {
+		t.serveGetX(now, m, w)
+	}
+}
+
+// startFetch allocates a line and fills it from memory.
+func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
+	v := t.cache.Victim(m.Addr)
+	if v == nil {
+		// Every way busy: retry next cycle.
+		t.retryQ = append(t.retryQ, m)
+		return
+	}
+	if v.Valid {
+		if t.cache.AnyBusy(m.Addr) {
+			// Another transaction (possibly an eviction) is active in
+			// this set; wait rather than evicting way after way.
+			t.retryQ = append(t.retryQ, m)
+			return
+		}
+		if !t.evictLine(now, v) {
+			// Asynchronous eviction started; retry the request after.
+			t.retryQ = append(t.retryQ, m)
+			return
+		}
+	}
+	t.cache.Install(v, m.Addr)
+	v.Busy = true
+	t.tx[m.Addr] = &l2Tx{kind: txMemFetch, req: m}
+	lat := t.accessLat + t.mem.Latency(m.Addr)
+	addr := m.Addr
+	t.timers.At(now+lat, func(nw sim.Cycle) {
+		way := t.cache.Peek(addr)
+		if way == nil {
+			panic(fmt.Sprintf("mesi: L2 %d: fetched line vanished %#x", t.id, addr))
+		}
+		t.mem.ReadBlock(addr, way.Data)
+		way.Meta.state = dirV
+		way.Busy = false
+		tx := t.tx[addr]
+		delete(t.tx, addr)
+		if tx.req.Type == coherence.MsgGetS {
+			t.serveGetS(nw, tx.req, way)
+		} else {
+			t.serveGetX(nw, tx.req, way)
+		}
+	})
+}
+
+// evictLine evicts v. It returns true if the eviction completed
+// synchronously (line now invalid); false if an asynchronous recall /
+// invalidation transaction was started.
+func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
+	addr := v.Tag
+	switch v.Meta.state {
+	case dirV:
+		if v.Meta.dirty {
+			t.mem.WriteBlock(addr, v.Data)
+		}
+		t.cache.Invalidate(v)
+		return true
+	case dirS:
+		n := 0
+		for c := 0; c < t.cores; c++ {
+			if v.Meta.sharers&(1<<uint(c)) != 0 {
+				t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: addr})
+				n++
+			}
+		}
+		v.Busy = true
+		t.tx[addr] = &l2Tx{kind: txEvict, acksLeft: n}
+		return false
+	case dirX:
+		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: v.Meta.owner, Addr: addr})
+		v.Busy = true
+		t.tx[addr] = &l2Tx{kind: txEvict, acksLeft: 1}
+		return false
+	}
+	panic("mesi: evictLine on invalid state")
+}
+
+func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
+	switch w.Meta.state {
+	case dirV:
+		// Grant Exclusive (the E optimization: no other sharers).
+		w.Busy = true
+		t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m, nextOwner: m.Requestor}
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
+	case dirS:
+		w.Meta.sharers |= 1 << uint(int(m.Requestor))
+		t.respond(now, m.Requestor, coherence.MsgDataS, m.Addr, w.Data)
+	case dirX:
+		if w.Meta.owner == m.Requestor {
+			panic(fmt.Sprintf("mesi: L2 %d: GetS from current owner %s", t.id, m))
+		}
+		w.Busy = true
+		t.tx[m.Addr] = &l2Tx{kind: txFwdGetS, req: m}
+		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgFwdGetS, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor})
+	}
+}
+
+func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
+	reqBit := uint64(1) << uint(int(m.Requestor))
+	switch w.Meta.state {
+	case dirV:
+		w.Busy = true
+		t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m, nextOwner: m.Requestor}
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
+	case dirS:
+		isUpgrade := w.Meta.sharers&reqBit != 0
+		others := 0
+		for c := 0; c < t.cores; c++ {
+			bit := uint64(1) << uint(c)
+			if w.Meta.sharers&bit != 0 && coherence.L1ID(c) != m.Requestor {
+				t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: m.Addr})
+				others++
+			}
+		}
+		w.Busy = true
+		if others == 0 {
+			t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m, nextOwner: m.Requestor, isUpgrade: isUpgrade}
+			t.grantX(now, m, w, isUpgrade)
+		} else {
+			t.tx[m.Addr] = &l2Tx{kind: txInvColl, req: m, acksLeft: others, nextOwner: m.Requestor, isUpgrade: isUpgrade}
+		}
+	case dirX:
+		if w.Meta.owner == m.Requestor {
+			panic(fmt.Sprintf("mesi: L2 %d: GetX from current owner %s", t.id, m))
+		}
+		w.Busy = true
+		t.tx[m.Addr] = &l2Tx{kind: txFwdGetX, req: m, nextOwner: m.Requestor}
+		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgFwdGetX, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor})
+	}
+}
+
+func (t *L2) grantX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line], isUpgrade bool) {
+	if isUpgrade {
+		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgUpgAck, Dst: m.Requestor, Addr: m.Addr})
+	} else {
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
+	}
+}
+
+func (t *L2) respond(now sim.Cycle, dst coherence.NodeID, typ coherence.MsgType, addr uint64, data []byte) {
+	t.sendAfterAccess(now, &coherence.Msg{Type: typ, Dst: dst, Addr: addr, Data: append([]byte(nil), data...)})
+}
+
+func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
+	tx, ok := t.tx[m.Addr]
+	if !ok || (tx.kind != txAwaitAck && tx.kind != txFwdGetX) {
+		panic(fmt.Sprintf("mesi: L2 %d: stray Ack %s", t.id, m))
+	}
+	w := t.cache.Peek(m.Addr)
+	w.Meta.state = dirX
+	w.Meta.owner = tx.nextOwner
+	w.Meta.sharers = 0
+	w.Busy = false
+	delete(t.tx, m.Addr)
+	t.drainWaiting(now, m.Addr)
+}
+
+func (t *L2) handleInvAck(now sim.Cycle, m *coherence.Msg) {
+	tx, ok := t.tx[m.Addr]
+	if !ok {
+		panic(fmt.Sprintf("mesi: L2 %d: stray InvAck %s", t.id, m))
+	}
+	tx.acksLeft--
+	if tx.acksLeft > 0 {
+		return
+	}
+	w := t.cache.Peek(m.Addr)
+	switch tx.kind {
+	case txInvColl:
+		// All sharers gone; grant exclusivity, stay busy until Ack.
+		tx.kind = txAwaitAck
+		w.Meta.sharers = 0
+		t.grantX(now, tx.req, w, tx.isUpgrade)
+	case txEvict:
+		t.finishEvict(now, w)
+	default:
+		panic(fmt.Sprintf("mesi: L2 %d: InvAck in tx kind %d", t.id, tx.kind))
+	}
+}
+
+func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
+	tx, ok := t.tx[m.Addr]
+	if !ok {
+		panic(fmt.Sprintf("mesi: L2 %d: stray WBData %s", t.id, m))
+	}
+	w := t.cache.Peek(m.Addr)
+	switch tx.kind {
+	case txFwdGetS:
+		copy(w.Data, m.Data)
+		if m.Dirty {
+			w.Meta.dirty = true
+		}
+		prevOwner := w.Meta.owner
+		w.Meta.state = dirS
+		w.Meta.sharers = 1 << uint(int(tx.req.Requestor))
+		if !m.NoCopy {
+			// Previous owner kept a downgraded Shared copy.
+			w.Meta.sharers |= 1 << uint(int(prevOwner))
+		}
+		w.Meta.owner = 0
+		w.Busy = false
+		delete(t.tx, m.Addr)
+		t.drainWaiting(now, m.Addr)
+	case txEvict:
+		if m.Dirty {
+			copy(w.Data, m.Data)
+			w.Meta.dirty = true
+		}
+		t.finishEvict(now, w)
+	default:
+		panic(fmt.Sprintf("mesi: L2 %d: WBData in tx kind %d", t.id, tx.kind))
+	}
+}
+
+func (t *L2) finishEvict(now sim.Cycle, w *memsys.Way[l2Line]) {
+	addr := w.Tag
+	if w.Meta.dirty {
+		t.mem.WriteBlock(addr, w.Data)
+	}
+	delete(t.tx, addr)
+	t.cache.Invalidate(w)
+	// Requests that queued behind the eviction now miss and refetch.
+	t.drainWaiting(now, addr)
+}
+
+func (t *L2) handlePutS(now sim.Cycle, m *coherence.Msg) {
+	w := t.cache.Peek(m.Addr)
+	if w == nil || w.Meta.state != dirS {
+		return
+	}
+	if t.busyLine(m.Addr) {
+		// An invalidation round may be counting this sharer; let the
+		// crossing InvAck from the (now absent) sharer settle it.
+		t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+		return
+	}
+	w.Meta.sharers &^= 1 << uint(int(m.Src))
+	if w.Meta.sharers == 0 {
+		w.Meta.state = dirV
+	}
+}
+
+func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
+	if t.busyLine(m.Addr) {
+		t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+		return
+	}
+	w := t.cache.Peek(m.Addr)
+	if w == nil || w.Meta.state != dirX || w.Meta.owner != m.Src {
+		// Stale writeback: ownership already moved on. Ack and drop.
+		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr})
+		return
+	}
+	if m.Type == coherence.MsgPutM {
+		copy(w.Data, m.Data)
+		w.Meta.dirty = true
+	}
+	w.Meta.state = dirV
+	w.Meta.owner = 0
+	t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr})
+}
+
+func (t *L2) drainWaiting(now sim.Cycle, addr uint64) {
+	q, ok := t.waiting[addr]
+	if !ok || len(q) == 0 {
+		delete(t.waiting, addr)
+		return
+	}
+	delete(t.waiting, addr)
+	for _, m := range q {
+		t.handle(now, m)
+	}
+}
+
+// Debug renders outstanding transaction state (deadlock diagnostics).
+func (t *L2) Debug() string {
+	s := fmt.Sprintf("L2 %d:", t.id)
+	for a, tx := range t.tx {
+		s += fmt.Sprintf(" tx=%#x(kind=%d acks=%d)", a, tx.kind, tx.acksLeft)
+	}
+	for a, q := range t.waiting {
+		s += fmt.Sprintf(" wait=%#x(%d)", a, len(q))
+	}
+	s += fmt.Sprintf(" retry=%d timers=%d inbox=%d", len(t.retryQ), t.timers.Pending(), len(t.inbox))
+	return s
+}

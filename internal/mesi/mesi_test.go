@@ -1,0 +1,211 @@
+// Baseline-behaviour tests: these pin down the eager-MESI properties the
+// paper contrasts TSO-CC against (invalidation fan-out on writes,
+// exclusive grants, directory recalls on L2 evictions).
+package mesi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/mesi"
+	"repro/internal/program"
+	"repro/internal/system"
+)
+
+func run(t *testing.T, cfg config.System, w *program.Workload) *system.Result {
+	t.Helper()
+	res, err := system.Run(cfg, mesi.New(), w)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if res.CheckErr != nil {
+		t.Fatalf("%s: %v", w.Name, res.CheckErr)
+	}
+	return res
+}
+
+// TestEagerInvalidationFanout: a write to a line with sharers must
+// invalidate every sharer.
+func TestEagerInvalidationFanout(t *testing.T) {
+	const line = 0x5000
+	reader := func(id int) *program.Program {
+		b := program.NewBuilder(fmt.Sprintf("r%d", id))
+		b.Nop(int64(50 + id*20))
+		b.Li(1, line)
+		b.Ld(2, 1, 0)
+		b.Nop(600)
+		b.Halt()
+		return b.MustBuild()
+	}
+	wr := program.NewBuilder("w")
+	wr.Li(1, line).Li(2, 1)
+	wr.St(1, 0, 2)
+	wr.Nop(400)
+	wr.Li(2, 2)
+	wr.St(1, 0, 2) // second write: sharers must be invalidated
+	wr.Halt()
+	w := &program.Workload{Name: "fanout",
+		Programs: []*program.Program{reader(0), reader(1), reader(2), wr.MustBuild()}}
+	res := run(t, config.Small(4), w)
+	if res.L1.InvalidationsReceived.Value() < 3 {
+		t.Fatalf("invalidations = %d, want >= 3 (one per sharer)",
+			res.L1.InvalidationsReceived.Value())
+	}
+}
+
+// TestExclusiveGrantOnSoleReader: the first reader of an uncached line
+// gets E and silently upgrades to M on a write (no second transaction).
+func TestExclusiveGrantOnSoleReader(t *testing.T) {
+	b := program.NewBuilder("solo")
+	b.Li(1, 0x6000)
+	b.Ld(2, 1, 0) // E grant
+	b.Li(3, 5)
+	b.St(1, 0, 3) // silent E->M: a write HIT, not a miss
+	b.Fence()
+	b.Halt()
+	w := &program.Workload{Name: "egrant", Programs: []*program.Program{b.MustBuild()}}
+	res := run(t, config.Small(2), w)
+	if res.L1.WriteHitPrivate.Value() != 1 {
+		t.Fatalf("write hits = %d, want 1 (silent E->M)", res.L1.WriteHitPrivate.Value())
+	}
+	if res.L1.WriteMissInvalid.Value()+res.L1.WriteMissShared.Value() != 0 {
+		t.Fatal("the write after an E grant should not miss")
+	}
+}
+
+// TestReadSharingNoInvalidations: read-only sharing must not generate
+// invalidations.
+func TestReadSharingNoInvalidations(t *testing.T) {
+	progs := make([]*program.Program, 4)
+	for i := range progs {
+		b := program.NewBuilder(fmt.Sprintf("r%d", i))
+		b.Li(1, 0x7000)
+		b.Li(2, 0)
+		b.Li(3, 100)
+		b.Label("loop")
+		b.Ld(4, 1, 0)
+		b.Addi(2, 2, 1)
+		b.Blt(2, 3, "loop")
+		b.Halt()
+		progs[i] = b.MustBuild()
+	}
+	w := &program.Workload{Name: "roshare", Programs: progs,
+		InitMem: map[uint64]uint64{0x7000: 9}}
+	res := run(t, config.Small(4), w)
+	if res.L1.InvalidationsReceived.Value() != 0 {
+		t.Fatalf("invalidations = %d on read-only sharing", res.L1.InvalidationsReceived.Value())
+	}
+	// After the first reads, everything hits locally.
+	if res.L1.ReadHitShared.Value()+res.L1.ReadHitPrivate.Value() < 350 {
+		t.Fatalf("hits = %d, sharing not effective",
+			res.L1.ReadHitShared.Value()+res.L1.ReadHitPrivate.Value())
+	}
+}
+
+// TestOwnershipMigration: write, then another core writes; ownership
+// moves via FwdGetX and the final value is the last writer's.
+func TestOwnershipMigration(t *testing.T) {
+	const line = 0x8000
+	a := program.NewBuilder("a")
+	a.Li(1, line).Li(2, 1)
+	a.St(1, 0, 2)
+	a.Fence()
+	a.Halt()
+	b := program.NewBuilder("b")
+	b.Li(1, line).Li(2, 1)
+	b.SpinUntilEq(3, 1, 0, 2) // wait until a's write is visible
+	b.Li(2, 2)
+	b.St(1, 0, 2)
+	b.Fence()
+	b.Halt()
+	w := &program.Workload{Name: "migrate",
+		Programs: []*program.Program{a.MustBuild(), b.MustBuild()},
+		Check: func(mem program.MemReader) error {
+			if got := mem.ReadWord(line); got != 2 {
+				return fmt.Errorf("final = %d, want 2", got)
+			}
+			return nil
+		}}
+	run(t, config.Small(2), w)
+}
+
+// TestTinyCacheRecalls: an L2 small enough to thrash forces directory
+// recalls of exclusive lines; data must survive.
+func TestTinyCacheRecalls(t *testing.T) {
+	cfg := config.Small(2)
+	cfg.L2TileSize = 1 << 10 // 16 lines per tile: heavy conflict
+	cfg.L2Ways = 2
+	b := program.NewBuilder("thrash")
+	b.Li(1, 0x10000)
+	b.Li(2, 0)
+	b.Li(3, 256)
+	b.Li(6, 7)
+	b.Label("loop")
+	b.Shl(4, 2, 6)
+	b.Add(4, 4, 1)
+	b.St(4, 0, 2)
+	b.Ld(5, 4, 0)
+	b.Bne(5, 2, "fail")
+	b.Addi(2, 2, 1)
+	b.Blt(2, 3, "loop")
+	b.Li(7, 0x500)
+	b.Li(8, 1)
+	b.St(7, 0, 8)
+	b.Fence()
+	b.Halt()
+	b.Label("fail")
+	b.Li(7, 0x500)
+	b.Li(8, 2)
+	b.St(7, 0, 8)
+	b.Fence()
+	b.Halt()
+	w := &program.Workload{Name: "recalls",
+		Programs: []*program.Program{b.MustBuild()},
+		Check: func(mem program.MemReader) error {
+			if got := mem.ReadWord(0x500); got != 1 {
+				return fmt.Errorf("readback flag = %d, want 1", got)
+			}
+			return nil
+		}}
+	run(t, cfg, w)
+}
+
+// TestUpgradePath: a Shared holder writing takes the data-less upgrade
+// (WriteMissShared) rather than a full refill.
+func TestUpgradePath(t *testing.T) {
+	const line = 0x9000
+	a := program.NewBuilder("a")
+	a.Li(1, line).Li(2, 1)
+	a.St(1, 0, 2) // become owner, dirty
+	a.Nop(300)
+	a.Halt()
+	b := program.NewBuilder("b")
+	b.Li(1, line).Li(2, 1)
+	b.SpinUntilEq(3, 1, 0, 2) // pulls the line Shared
+	b.Li(2, 2)
+	b.St(1, 0, 2) // upgrade from S
+	b.Fence()
+	b.Halt()
+	w := &program.Workload{Name: "upgrade",
+		Programs: []*program.Program{a.MustBuild(), b.MustBuild()}}
+	res := run(t, config.Small(2), w)
+	if res.L1.WriteMissShared.Value() == 0 {
+		t.Fatal("no Shared-state upgrade recorded")
+	}
+}
+
+// TestMESIHasNoSelfInvalidations: the eager baseline never sweeps.
+func TestMESIHasNoSelfInvalidations(t *testing.T) {
+	b := program.NewBuilder("x")
+	b.Li(1, 0x1000).Li(2, 1)
+	b.St(1, 0, 2)
+	b.Fence()
+	b.Ld(3, 1, 0)
+	b.Halt()
+	w := &program.Workload{Name: "noselfinv", Programs: []*program.Program{b.MustBuild()}}
+	res := run(t, config.Small(2), w)
+	if res.L1.SelfInvTotal() != 0 {
+		t.Fatalf("MESI recorded %d self-invalidations", res.L1.SelfInvTotal())
+	}
+}

@@ -1,0 +1,49 @@
+package mesi
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+)
+
+// Protocol is the MESI directory protocol factory.
+type Protocol struct{}
+
+// New returns the MESI baseline protocol.
+func New() Protocol { return Protocol{} }
+
+// Name implements the system protocol interface.
+func (Protocol) Name() string { return "MESI" }
+
+// Build constructs one L1 per core and one directory tile per core.
+func (Protocol) Build(cfg config.System, net *mesh.Network, mem *memsys.Memory) ([]coherence.L1Like, []coherence.Controller) {
+	l1s := make([]coherence.L1Like, cfg.Cores)
+	l2s := make([]coherence.Controller, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		l1s[i] = NewL1(i, cfg.Cores, cfg.L1Size, cfg.L1Ways, cfg.L1HitLat, net)
+		l2s[i] = NewL2(i, cfg.Cores, cfg.L2TileSize, cfg.L2Ways, cfg.L2AccessLat, net, mem)
+	}
+	return l1s, l2s
+}
+
+// L1Stats implements coherence.L1Like.
+func (l *L1) L1Stats() *coherence.L1Stats { return &l.Stats }
+
+// SnoopBlock implements coherence.Controller: L1s are authoritative for
+// Exclusive/Modified lines.
+func (l *L1) SnoopBlock(addr uint64) ([]byte, bool) {
+	if w := l.cache.Peek(addr); w != nil && w.Meta.state != stateS {
+		return w.Data, true
+	}
+	return nil, false
+}
+
+// SnoopBlock implements coherence.Controller: a valid L2 line is
+// authoritative unless an L1 holds it exclusively.
+func (t *L2) SnoopBlock(addr uint64) ([]byte, bool) {
+	if w := t.cache.Peek(addr); w != nil && w.Meta.state != dirX {
+		return w.Data, true
+	}
+	return nil, false
+}

@@ -1,0 +1,50 @@
+package program
+
+import "fmt"
+
+// MemReader lets a workload's Check function inspect final memory state.
+type MemReader interface {
+	ReadWord(addr uint64) uint64
+}
+
+// Workload is a complete multi-threaded benchmark: one program per core
+// (nil entries are idle cores), initial memory words, and an optional
+// functional correctness check run against final memory.
+type Workload struct {
+	Name     string
+	Programs []*Program
+	InitMem  map[uint64]uint64
+	Check    func(mem MemReader) error
+}
+
+// Threads reports the number of non-idle programs.
+func (w *Workload) Threads() int {
+	n := 0
+	for _, p := range w.Programs {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks every program in the workload.
+func (w *Workload) Validate() error {
+	if w.Threads() == 0 {
+		return fmt.Errorf("workload %q: no threads", w.Name)
+	}
+	for i, p := range w.Programs {
+		if p == nil {
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("workload %q core %d: %w", w.Name, i, err)
+		}
+	}
+	for a := range w.InitMem {
+		if a%8 != 0 {
+			return fmt.Errorf("workload %q: init address %#x not 8-aligned", w.Name, a)
+		}
+	}
+	return nil
+}

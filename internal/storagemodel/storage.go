@@ -1,0 +1,180 @@
+// Package storagemodel computes the coherence storage overheads of
+// Table 1 and Figure 2: bits per cache line and per node for MESI and
+// every TSO-CC configuration, as a function of core count. This is an
+// analytical model (as in the paper), independent of the simulator.
+package storagemodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// Geometry describes the cache hierarchy being costed (Figure 2 uses
+// 32KB L1s and 1MB per L2 tile with as many tiles as cores).
+type Geometry struct {
+	Cores       int
+	L1Bytes     int // per core
+	L2TileBytes int // per tile; tiles == cores
+	BlockBytes  int
+}
+
+// PaperGeometry returns the Figure 2 configuration for n cores.
+func PaperGeometry(n int) Geometry {
+	return Geometry{Cores: n, L1Bytes: 32 << 10, L2TileBytes: 1 << 20, BlockBytes: 64}
+}
+
+func (g Geometry) l1Lines() int     { return g.L1Bytes / g.BlockBytes }
+func (g Geometry) l2TileLines() int { return g.L2TileBytes / g.BlockBytes }
+
+// log2ceil returns ceil(log2(n)) with a minimum of 1.
+func log2ceil(n int) int {
+	if n <= 2 {
+		return 1
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// Overhead is a storage accounting in bits.
+type Overhead struct {
+	Protocol    string
+	L1PerLine   int // bits per L1 line
+	L1PerNode   int // bits per core, excluding per-line
+	L2PerLine   int // bits per L2 line
+	L2PerTile   int // bits per tile, excluding per-line
+	TotalBits   int64
+	TotalMiB    float64
+	L1TotalBits int64
+	L2TotalBits int64
+}
+
+func (o *Overhead) finish(g Geometry) {
+	o.L1TotalBits = int64(g.Cores) * (int64(o.L1PerLine)*int64(g.l1Lines()) + int64(o.L1PerNode))
+	o.L2TotalBits = int64(g.Cores) * (int64(o.L2PerLine)*int64(g.l2TileLines()) + int64(o.L2PerTile))
+	o.TotalBits = o.L1TotalBits + o.L2TotalBits
+	o.TotalMiB = float64(o.TotalBits) / 8 / (1 << 20)
+}
+
+// stateBitsL1 and stateBitsL2 cover the stable-state encodings; both
+// protocols need on the order of 2-3 bits per line for states (the paper
+// compares the coherence-specific additions, so we charge both equally).
+const (
+	stateBitsL1 = 2
+	stateBitsL2 = 3
+)
+
+// MESI computes the full-map directory overhead: a sharing vector of one
+// bit per core on every L2 line.
+func MESI(g Geometry) Overhead {
+	o := Overhead{Protocol: "MESI"}
+	o.L1PerLine = stateBitsL1
+	o.L2PerLine = stateBitsL2 + g.Cores // full sharing vector
+	o.finish(g)
+	return o
+}
+
+// TSOCC computes Table 1's accounting for a TSO-CC configuration.
+func TSOCC(g Geometry, c config.TSOCC) Overhead {
+	o := Overhead{Protocol: c.Name()}
+	bTS := c.TimestampBits
+	if bTS > 31 {
+		bTS = 31
+	}
+	bAcc := c.MaxAccBits
+	if c.SharedAlwaysMiss {
+		bAcc = 0
+	}
+	bEpoch := c.EpochBits
+	ownerBits := log2ceil(g.Cores)
+
+	// L1 per line: access counter + last-written timestamp (Table 1).
+	o.L1PerLine = stateBitsL1 + bAcc + bTS
+
+	// L1 per node: current timestamp, write-group counter, epoch-id,
+	// timestamp table over L1 writers, epoch-ids for all L1s; plus the
+	// SharedRO tables over L2 tiles.
+	perNode := bTS + c.WriteGroupBits + bEpoch
+	perNode += g.Cores * bTS    // ts_L1 (full table)
+	perNode += g.Cores * bEpoch // epoch_ids_L1
+	if c.SharedRO && c.Timestamps() {
+		perNode += g.Cores * bTS    // ts_L2 (one entry per tile)
+		perNode += g.Cores * bEpoch // epoch_ids_L2
+	}
+	o.L1PerNode = perNode
+
+	// L2 per line: timestamp + owner/last-writer/sharer-count field.
+	o.L2PerLine = stateBitsL2 + bTS + ownerBits
+
+	// L2 per tile: last-seen table and epoch-ids for every L1; plus the
+	// SharedRO timestamp source, epoch and the two increment flags.
+	perTile := g.Cores*bTS + g.Cores*bEpoch
+	if c.SharedRO && c.Timestamps() {
+		perTile += bTS + bEpoch + 2
+	}
+	o.L2PerTile = perTile
+
+	o.finish(g)
+	return o
+}
+
+// ReductionVsMESI reports the storage saving of o relative to MESI on
+// the same geometry, as a fraction (0.38 = 38% smaller).
+func ReductionVsMESI(g Geometry, o Overhead) float64 {
+	m := MESI(g)
+	if m.TotalBits == 0 {
+		return 0
+	}
+	return 1 - float64(o.TotalBits)/float64(m.TotalBits)
+}
+
+// Figure2Configs returns the configurations plotted in Figure 2.
+func Figure2Configs() []config.TSOCC {
+	return []config.TSOCC{config.C12x3(), config.C12x0(), config.C9x3(), config.Basic()}
+}
+
+// Figure2 renders the storage-overhead sweep (MiB of coherence state vs
+// core count) for MESI and the Figure 2 TSO-CC configurations.
+func Figure2(coreCounts []int) *stats.Table {
+	cfgs := Figure2Configs()
+	cols := []string{"MESI"}
+	for _, c := range cfgs {
+		cols = append(cols, c.Name())
+	}
+	t := stats.NewTable("Figure 2: coherence storage overhead (MiB)", cols...)
+	for _, n := range coreCounts {
+		g := PaperGeometry(n)
+		vals := []float64{MESI(g).TotalMiB}
+		for _, c := range cfgs {
+			vals = append(vals, TSOCC(g, c).TotalMiB)
+		}
+		t.AddFloats(fmt.Sprintf("%d cores", n), 2, vals...)
+	}
+	return t
+}
+
+// Table1 renders the per-line / per-node bit accounting for one core
+// count.
+func Table1(n int) *stats.Table {
+	g := PaperGeometry(n)
+	t := stats.NewTable(
+		fmt.Sprintf("Table 1: storage accounting at %d cores (bits)", n),
+		"L1/line", "L1/node", "L2/line", "L2/tile", "total MiB", "vs MESI")
+	m := MESI(g)
+	t.AddRow("MESI",
+		fmt.Sprintf("%d", m.L1PerLine), fmt.Sprintf("%d", m.L1PerNode),
+		fmt.Sprintf("%d", m.L2PerLine), fmt.Sprintf("%d", m.L2PerTile),
+		fmt.Sprintf("%.2f", m.TotalMiB), "-")
+	for _, c := range []config.TSOCC{
+		config.CCSharedToL2(), config.Basic(), config.C12x3(), config.C12x0(), config.C9x3(),
+	} {
+		o := TSOCC(g, c)
+		t.AddRow(o.Protocol,
+			fmt.Sprintf("%d", o.L1PerLine), fmt.Sprintf("%d", o.L1PerNode),
+			fmt.Sprintf("%d", o.L2PerLine), fmt.Sprintf("%d", o.L2PerTile),
+			fmt.Sprintf("%.2f", o.TotalMiB),
+			fmt.Sprintf("-%.0f%%", 100*ReductionVsMESI(g, o)))
+	}
+	return t
+}

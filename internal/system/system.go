@@ -1,0 +1,264 @@
+// Package system wires a complete simulated CMP: cores, a coherence
+// protocol's L1/L2 controllers, the mesh interconnect and memory — and
+// runs a workload on it to completion, collecting the statistics the
+// paper's figures are built from.
+package system
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/program"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Protocol builds the coherence machinery for a system configuration.
+// Implemented by mesi.Protocol and tsocc.Protocol.
+type Protocol interface {
+	Name() string
+	Build(cfg config.System, net *mesh.Network, mem *memsys.Memory) ([]coherence.L1Like, []coherence.Controller)
+}
+
+// Result captures one run's outcome.
+type Result struct {
+	Protocol string
+	Workload string
+
+	Cycles sim.Cycle
+
+	// Aggregated L1 statistics across all cores.
+	L1 coherence.L1Stats
+
+	// Network traffic.
+	Msgs      int64
+	Flits     int64 // flits injected (message sizes)
+	FlitHops  int64 // flits x links traversed (reported as "traffic")
+	DataFlits int64
+	CtrlFlits int64
+
+	// Core-level counts.
+	Loads, Stores, RMWs, Fences, Instructions int64
+
+	// L2 tile events (TSO-CC only; zero for MESI).
+	SROTransitions int64 // lines that entered SharedRO
+	DecayEvents    int64 // Shared->SharedRO decays
+	SROInvBcasts   int64 // writes to SharedRO lines (broadcast rounds)
+	L2TSResets     int64 // tile timestamp-source wraps
+
+	Mem *memsys.Memory // final memory state (for workload checks)
+
+	CheckErr error // workload functional check outcome
+}
+
+// quiesceDoner declares the system done when all cores have halted and
+// the memory system has gone idle.
+type quiesceDoner struct {
+	cores []*cpu.Core
+	l1s   []coherence.L1Like
+	l2s   []coherence.Controller
+	net   *mesh.Network
+}
+
+func (q *quiesceDoner) Done() bool {
+	for _, c := range q.cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	if q.net.Pending() > 0 {
+		return false
+	}
+	for _, l := range q.l1s {
+		if l.Busy() {
+			return false
+		}
+	}
+	for _, l := range q.l2s {
+		if l.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// Machine is a fully wired system ready to run one workload.
+type Machine struct {
+	Cfg    config.System
+	Engine *sim.Engine
+	Net    *mesh.Network
+	Mem    *memsys.Memory
+	Cores  []*cpu.Core
+	L1s    []coherence.L1Like
+	L2s    []coherence.Controller
+	proto  Protocol
+}
+
+// NewMachine builds a machine for cfg running proto with the workload's
+// programs loaded (w may have fewer programs than cores; extras idle).
+func NewMachine(cfg config.System, proto Protocol, w *program.Workload) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if len(w.Programs) > cfg.Cores {
+		return nil, fmt.Errorf("system: workload %q needs %d cores, have %d",
+			w.Name, len(w.Programs), cfg.Cores)
+	}
+
+	engine := sim.NewEngine(cfg.MaxCycles)
+	net := mesh.New(mesh.Config{Routers: cfg.Cores, Rows: cfg.MeshRows})
+	mem := memsys.NewMemory()
+	mem.Base = cfg.MemBase
+	mem.Spread = cfg.MemSpread
+	for addr, val := range w.InitMem {
+		mem.WriteWord(addr, val)
+	}
+
+	l1s, l2s := proto.Build(cfg, net, mem)
+	for i := 0; i < cfg.Cores; i++ {
+		net.Attach(coherence.L1ID(i), i, endpoint{l1s[i]})
+		net.Attach(coherence.L2ID(i, cfg.Cores), i, endpoint{l2s[i]})
+	}
+
+	cores := make([]*cpu.Core, 0, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		var p *program.Program
+		if i < len(w.Programs) {
+			p = w.Programs[i]
+		}
+		if p == nil {
+			continue
+		}
+		core := cpu.New(i, p, l1s[i], cfg.WriteBuffer)
+		core.SetReg(0, int64(i)) // convention: r0 = thread id
+		cores = append(cores, core)
+	}
+
+	// Deterministic per-cycle order: network delivery, then L2 tiles,
+	// then L1s (timers + message handling), then cores.
+	engine.Register(net)
+	for _, t := range l2s {
+		engine.Register(tick{t})
+	}
+	for _, l := range l1s {
+		engine.Register(tick{l})
+	}
+	for _, c := range cores {
+		engine.Register(c)
+	}
+	engine.RegisterDoner(&quiesceDoner{cores: cores, l1s: l1s, l2s: l2s, net: net})
+
+	return &Machine{Cfg: cfg, Engine: engine, Net: net, Mem: mem,
+		Cores: cores, L1s: l1s, L2s: l2s, proto: proto}, nil
+}
+
+// endpoint adapts a coherence.Controller to mesh.Endpoint.
+type endpoint struct{ c coherence.Controller }
+
+func (e endpoint) Deliver(now sim.Cycle, m *coherence.Msg) { e.c.Deliver(now, m) }
+
+// tick adapts a Controller to sim.Ticker.
+type tick struct{ c coherence.Controller }
+
+func (t tick) Tick(now sim.Cycle) { t.c.Tick(now) }
+
+// Run executes a workload on proto under cfg and returns the collected
+// result. The workload's Check (if any) is evaluated on final memory;
+// its outcome lands in Result.CheckErr, not the returned error, so
+// harnesses can distinguish simulator failures from functional failures.
+func Run(cfg config.System, proto Protocol, w *program.Workload) (*Result, error) {
+	m, err := NewMachine(cfg, proto, w)
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := m.Engine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("system: %s on %s: %w", proto.Name(), w.Name, err)
+	}
+	return m.collect(w, cycles), nil
+}
+
+func (m *Machine) collect(w *program.Workload, cycles sim.Cycle) *Result {
+	r := &Result{
+		Protocol:  m.proto.Name(),
+		Workload:  w.Name,
+		Cycles:    cycles,
+		Msgs:      m.Net.MsgsSent.Value(),
+		Flits:     m.Net.FlitsSent.Value(),
+		FlitHops:  m.Net.FlitHops.Value(),
+		CtrlFlits: m.Net.FlitsByClass[0].Value(),
+		DataFlits: m.Net.FlitsByClass[1].Value(),
+		Mem:       m.Mem,
+	}
+	for _, l := range m.L1s {
+		r.L1.Merge(l.L1Stats())
+	}
+	for _, l2 := range m.L2s {
+		if ts, ok := l2.(interface {
+			TileStats() (int64, int64, int64, int64)
+		}); ok {
+			sro, decay, bc, rs := ts.TileStats()
+			r.SROTransitions += sro
+			r.DecayEvents += decay
+			r.SROInvBcasts += bc
+			r.L2TSResets += rs
+		}
+	}
+	for _, c := range m.Cores {
+		r.Loads += c.Loads.Value()
+		r.Stores += c.Stores.Value()
+		r.RMWs += c.RMWs.Value()
+		r.Fences += c.Fences.Value()
+		r.Instructions += c.Instructions.Value()
+	}
+	if w.Check != nil {
+		r.CheckErr = w.Check(m.Reader())
+	}
+	return r
+}
+
+// Reader returns a MemReader observing the freshest value of every word:
+// exclusive L1 copies first, then the home L2 tile, then memory.
+func (m *Machine) Reader() program.MemReader {
+	return hierReader{m}
+}
+
+type hierReader struct{ m *Machine }
+
+func (r hierReader) ReadWord(addr uint64) uint64 {
+	for _, l1 := range r.m.L1s {
+		if blk, ok := l1.SnoopBlock(addr); ok {
+			return memsys.GetWord(blk, addr)
+		}
+	}
+	tile := int(addr>>coherence.BlockShift) % r.m.Cfg.Cores
+	if blk, ok := r.m.L2s[tile].SnoopBlock(addr); ok {
+		return memsys.GetWord(blk, addr)
+	}
+	return r.m.Mem.ReadWord(addr)
+}
+
+// Summary renders a one-run overview for the CLI tools.
+func (r *Result) Summary() string {
+	t := stats.NewTable(fmt.Sprintf("%s / %s", r.Workload, r.Protocol), "value")
+	t.AddRow("cycles", fmt.Sprintf("%d", r.Cycles))
+	t.AddRow("instructions", fmt.Sprintf("%d", r.Instructions))
+	t.AddRow("loads", fmt.Sprintf("%d", r.Loads))
+	t.AddRow("stores", fmt.Sprintf("%d", r.Stores))
+	t.AddRow("rmws", fmt.Sprintf("%d", r.RMWs))
+	t.AddRow("L1 accesses", fmt.Sprintf("%d", r.L1.Accesses()))
+	t.AddRow("L1 misses", fmt.Sprintf("%d", r.L1.Misses()))
+	t.AddRow("self-invalidations", fmt.Sprintf("%d", r.L1.SelfInvTotal()))
+	t.AddRow("network msgs", fmt.Sprintf("%d", r.Msgs))
+	t.AddRow("network flits", fmt.Sprintf("%d", r.Flits))
+	t.AddRow("flit-hops", fmt.Sprintf("%d", r.FlitHops))
+	t.AddRow("mean RMW latency", fmt.Sprintf("%.1f", r.L1.MeanRMWLatency()))
+	return t.String()
+}

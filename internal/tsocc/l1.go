@@ -1,0 +1,639 @@
+package tsocc
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+)
+
+// L1 line states (invalid way = Invalid).
+const (
+	stateS = iota + 1 // Shared: stale-tolerated, bounded hits, self-invalidated
+	stateR            // SharedRO: eagerly invalidated on (rare) writes
+	stateE            // Exclusive, clean
+	stateM            // Modified
+)
+
+type l1Line struct {
+	state int
+	acnt  uint32 // accesses since last L2 fill (b.acnt)
+	ts    uint32 // last-written timestamp (b.ts)
+	tsOwn bool   // ts was assigned by this core's own writes
+}
+
+type readTx struct {
+	addr     uint64
+	wordAddr uint64
+	cb       func(uint64)
+	squashed bool
+}
+
+type writeTx struct {
+	addr     uint64
+	wordAddr uint64
+	isRMW    bool
+	val      uint64
+	f        func(old uint64) (uint64, bool)
+	storeCb  func()
+	rmwCb    func(uint64)
+	issued   sim.Cycle
+}
+
+type evictEntry struct {
+	data        []byte
+	dirty       bool
+	ts          uint32
+	tsOwn       bool
+	transferred bool
+}
+
+// L1 is one core's TSO-CC private cache controller.
+type L1 struct {
+	id     coherence.NodeID
+	cores  int
+	cfg    config.TSOCC
+	cache  *memsys.Cache[l1Line]
+	net    *mesh.Network
+	hitLat sim.Cycle
+
+	timers coherence.Timers
+	inbox  []*coherence.Msg
+
+	rd    *readTx
+	wr    *writeTx
+	evict map[uint64]*evictEntry
+
+	// Timestamp source (§3.3): a core-local counter incremented every
+	// write-group, plus the reset epoch.
+	tsSrc   uint32
+	wgCount uint32
+	epoch   uint8
+
+	// Last-seen timestamp tables and epoch tables (Table 1).
+	tsL1    lastSeen // per writer L1
+	epochL1 []uint8
+	tsL2    lastSeen // per L2 tile (SharedRO timestamps)
+	epochL2 []uint8
+
+	Stats coherence.L1Stats
+}
+
+// NewL1 builds core `core`'s TSO-CC L1.
+func NewL1(core, cores int, sys config.System, cfg config.TSOCC, net *mesh.Network) *L1 {
+	return &L1{
+		id:      coherence.L1ID(core),
+		cores:   cores,
+		cfg:     cfg,
+		cache:   memsys.NewCache[l1Line](sys.L1Size, sys.L1Ways),
+		net:     net,
+		hitLat:  sys.L1HitLat,
+		evict:   make(map[uint64]*evictEntry),
+		tsSrc:   tsFirst,
+		tsL1:    newLastSeen(cfg.TSTableEntries),
+		epochL1: make([]uint8, cores),
+		tsL2:    newLastSeen(cfg.TSTableEntries),
+		epochL2: make([]uint8, cores),
+	}
+}
+
+func (l *L1) home(addr uint64) coherence.NodeID {
+	return coherence.L2ID(int(addr>>coherence.BlockShift)%l.cores, l.cores)
+}
+
+func (l *L1) send(now sim.Cycle, m *coherence.Msg) {
+	m.Src = l.id
+	l.net.Send(now, m)
+}
+
+// Deliver implements mesh.Endpoint.
+func (l *L1) Deliver(now sim.Cycle, m *coherence.Msg) { l.inbox = append(l.inbox, m) }
+
+// Busy implements coherence.Controller.
+func (l *L1) Busy() bool {
+	return l.rd != nil || l.wr != nil || len(l.evict) > 0 || l.timers.Pending() > 0 || len(l.inbox) > 0
+}
+
+// Tick implements sim.Ticker.
+func (l *L1) Tick(now sim.Cycle) {
+	l.timers.Tick(now)
+	if len(l.inbox) == 0 {
+		return
+	}
+	msgs := l.inbox
+	l.inbox = nil
+	for _, m := range msgs {
+		l.handle(now, m)
+	}
+}
+
+// L1Stats implements coherence.L1Like.
+func (l *L1) L1Stats() *coherence.L1Stats { return &l.Stats }
+
+// SnoopBlock implements coherence.Controller.
+func (l *L1) SnoopBlock(addr uint64) ([]byte, bool) {
+	if w := l.cache.Peek(addr); w != nil && (w.Meta.state == stateE || w.Meta.state == stateM) {
+		return w.Data, true
+	}
+	return nil, false
+}
+
+// ---- Timestamp source ----
+
+// assignTS returns the timestamp for a write and advances the write-group
+// counter, triggering a timestamp reset broadcast on wrap (§3.5).
+func (l *L1) assignTS(now sim.Cycle) uint32 {
+	if !l.cfg.Timestamps() {
+		return tsInvalid
+	}
+	ts := l.tsSrc
+	l.wgCount++
+	if l.wgCount >= l.cfg.WriteGroupSize() {
+		l.wgCount = 0
+		if l.tsSrc >= l.cfg.TSMax() {
+			l.resetTS(now)
+		} else {
+			l.tsSrc++
+		}
+	}
+	return ts
+}
+
+func (l *L1) resetTS(now sim.Cycle) {
+	l.Stats.TimestampResets.Inc()
+	l.epoch = (l.epoch + 1) & uint8((1<<uint(l.cfg.EpochBits))-1)
+	l.tsSrc = tsFirst
+	for c := 0; c < l.cores; c++ {
+		if coherence.L1ID(c) != l.id {
+			l.send(now, &coherence.Msg{Type: coherence.MsgTSResetL1,
+				Dst: coherence.L1ID(c), Epoch: l.epoch})
+		}
+		l.send(now, &coherence.Msg{Type: coherence.MsgTSResetL1,
+			Dst: coherence.L2ID(c, l.cores), Epoch: l.epoch})
+	}
+}
+
+// sendableTS converts a line's stored timestamp into the (ts, valid)
+// pair safe to put on the wire: timestamps ahead of the current source
+// are from a previous epoch and are reported as the smallest valid
+// timestamp, forcing conservative self-invalidation at the receiver.
+func (l *L1) sendableTS(w *l1Line) (uint32, bool) {
+	if !w.tsOwn || w.ts == tsInvalid || !l.cfg.Timestamps() {
+		return tsInvalid, false
+	}
+	if w.ts > l.tsSrc {
+		return tsSmallest, true
+	}
+	return w.ts, true
+}
+
+// ---- CorePort ----
+
+// Load implements coherence.CorePort.
+func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
+	blk := coherence.BlockAddr(addr)
+	if l.rd != nil {
+		return false
+	}
+	if l.wr != nil && l.wr.addr == blk {
+		return false
+	}
+	if w := l.cache.Lookup(addr); w != nil {
+		switch w.Meta.state {
+		case stateE, stateM:
+			l.Stats.ReadHitPrivate.Inc()
+			val := memsys.GetWord(w.Data, addr)
+			l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(val) })
+			return true
+		case stateR:
+			l.Stats.ReadHitSRO.Inc()
+			val := memsys.GetWord(w.Data, addr)
+			l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(val) })
+			return true
+		case stateS:
+			if w.Meta.acnt < l.cfg.MaxAccesses() {
+				// Bounded Shared hit: stale data is permitted until
+				// the access budget forces a re-request (write
+				// propagation, §3.1).
+				w.Meta.acnt++
+				l.Stats.ReadHitShared.Inc()
+				val := memsys.GetWord(w.Data, addr)
+				l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(val) })
+				return true
+			}
+			l.Stats.ReadMissShared.Inc()
+			l.rd = &readTx{addr: blk, wordAddr: addr, cb: cb}
+			l.send(now, &coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+			return true
+		}
+	}
+	l.Stats.ReadMissInvalid.Inc()
+	l.rd = &readTx{addr: blk, wordAddr: addr, cb: cb}
+	l.send(now, &coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	return true
+}
+
+// Store implements coherence.CorePort.
+func (l *L1) Store(now sim.Cycle, addr uint64, val uint64, cb func()) bool {
+	blk := coherence.BlockAddr(addr)
+	if l.wr != nil {
+		return false
+	}
+	if l.rd != nil && l.rd.addr == blk {
+		return false
+	}
+	if w := l.cache.Lookup(addr); w != nil && (w.Meta.state == stateE || w.Meta.state == stateM) {
+		w.Meta.state = stateM
+		memsys.PutWord(w.Data, addr, val)
+		w.Meta.ts = l.assignTS(now)
+		w.Meta.tsOwn = true
+		l.Stats.WriteHitPrivate.Inc()
+		l.timers.At(now+1, func(sim.Cycle) { cb() })
+		return true
+	}
+	l.countWriteMiss(blk)
+	l.wr = &writeTx{addr: blk, wordAddr: addr, val: val, storeCb: cb, issued: now}
+	l.send(now, &coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	return true
+}
+
+// RMW implements coherence.CorePort.
+func (l *L1) RMW(now sim.Cycle, addr uint64, f func(uint64) (uint64, bool), cb func(uint64)) bool {
+	blk := coherence.BlockAddr(addr)
+	if l.wr != nil {
+		return false
+	}
+	if l.rd != nil && l.rd.addr == blk {
+		return false
+	}
+	if w := l.cache.Lookup(addr); w != nil && (w.Meta.state == stateE || w.Meta.state == stateM) {
+		old := memsys.GetWord(w.Data, addr)
+		if nv, doWrite := f(old); doWrite {
+			memsys.PutWord(w.Data, addr, nv)
+			w.Meta.state = stateM
+			w.Meta.ts = l.assignTS(now)
+			w.Meta.tsOwn = true
+		}
+		l.Stats.WriteHitPrivate.Inc()
+		l.Stats.RMWLat.Observe(int64(l.hitLat))
+		l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(old) })
+		return true
+	}
+	l.countWriteMiss(blk)
+	l.wr = &writeTx{addr: blk, wordAddr: addr, isRMW: true, f: f, rmwCb: cb, issued: now}
+	l.send(now, &coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	return true
+}
+
+func (l *L1) countWriteMiss(blk uint64) {
+	w := l.cache.Peek(blk)
+	switch {
+	case w == nil:
+		l.Stats.WriteMissInvalid.Inc()
+	case w.Meta.state == stateS:
+		l.Stats.WriteMissShared.Inc()
+	case w.Meta.state == stateR:
+		l.Stats.WriteMissSRO.Inc()
+	default:
+		l.Stats.WriteMissInvalid.Inc()
+	}
+}
+
+// Fence implements coherence.CorePort: fences unconditionally
+// self-invalidate Shared lines (§3.6).
+func (l *L1) Fence(now sim.Cycle, cb func()) bool {
+	l.selfInvalidate(coherence.CauseFence)
+	l.timers.At(now+1, func(sim.Cycle) { cb() })
+	return true
+}
+
+// selfInvalidate drops every Shared line (SharedRO, Exclusive and
+// Modified lines survive).
+func (l *L1) selfInvalidate(cause coherence.SelfInvCause) {
+	l.Stats.SelfInvEvents[cause].Inc()
+	var dropped int64
+	l.cache.ForEachValid(func(w *memsys.Way[l1Line]) {
+		if w.Meta.state == stateS {
+			l.cache.Invalidate(w)
+			dropped++
+		}
+	})
+	l.Stats.SelfInvLines.Add(dropped)
+}
+
+// maybeSelfInvalidate applies the potential-acquire detection rules
+// (§3.1 basic; §3.3 transitive reduction; §3.4 SharedRO; §3.5 epochs)
+// to an incoming data response.
+func (l *L1) maybeSelfInvalidate(m *coherence.Msg, sro bool) {
+	l.Stats.DataResponses.Inc()
+	if !sro {
+		if m.Owner == l.id {
+			return // last writer is this core: no invalidation needed
+		}
+		if !l.cfg.Timestamps() {
+			// Basic protocol: every remote data response is treated as
+			// a potential acquire.
+			l.selfInvalidate(coherence.CauseInvalidTS)
+			return
+		}
+		writer := int(m.Owner)
+		if writer < 0 || writer >= l.cores {
+			l.selfInvalidate(coherence.CauseInvalidTS)
+			return
+		}
+		if m.Epoch != l.epochL1[writer] {
+			// Missed or raced a timestamp reset: same action as the
+			// reset message (§3.5 epoch-ids), then re-evaluate.
+			l.tsL1.drop(writer)
+			l.epochL1[writer] = m.Epoch
+		}
+		if !m.TSValid || m.TS == tsInvalid || m.TS == tsSmallest {
+			l.selfInvalidate(coherence.CauseInvalidTS)
+			return
+		}
+		last, ok := l.tsL1.get(writer)
+		l.tsL1.update(writer, m.TS)
+		if !ok {
+			// Never read from this writer (or entry lost to a reset).
+			l.selfInvalidate(coherence.CauseInvalidTS)
+			return
+		}
+		acquire := m.TS > last || (l.cfg.WriteGroupBits > 0 && m.TS == last)
+		if acquire {
+			l.selfInvalidate(coherence.CauseAcquireNonSRO)
+		}
+		return
+	}
+
+	// SharedRO response: timestamps come from the L2 tile (§3.4).
+	if !l.cfg.Timestamps() {
+		l.selfInvalidate(coherence.CauseInvalidTS)
+		return
+	}
+	tile := coherence.Router(m.Src, l.cores)
+	if m.Epoch != l.epochL2[tile] {
+		l.tsL2.drop(tile)
+		l.epochL2[tile] = m.Epoch
+	}
+	if !m.TSValid || m.TS <= tsSmallest {
+		l.selfInvalidate(coherence.CauseInvalidTS)
+		return
+	}
+	last, ok := l.tsL2.get(tile)
+	l.tsL2.update(tile, m.TS)
+	if !ok {
+		l.selfInvalidate(coherence.CauseInvalidTS)
+		return
+	}
+	if m.TS > last {
+		l.selfInvalidate(coherence.CauseAcquireSRO)
+	}
+}
+
+// ---- Message handling ----
+
+func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
+	switch m.Type {
+	case coherence.MsgDataE:
+		if l.wr != nil && l.wr.addr == m.Addr {
+			l.maybeSelfInvalidate(m, false)
+			l.completeWrite(now, m)
+			return
+		}
+		l.maybeSelfInvalidate(m, false)
+		l.completeRead(now, m, stateE)
+		l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr})
+
+	case coherence.MsgDataS:
+		l.maybeSelfInvalidate(m, false)
+		l.completeRead(now, m, stateS)
+
+	case coherence.MsgDataOwner:
+		if l.wr != nil && l.wr.addr == m.Addr {
+			l.maybeSelfInvalidate(m, false)
+			l.completeWrite(now, m)
+			return
+		}
+		l.maybeSelfInvalidate(m, false)
+		l.completeRead(now, m, stateS)
+
+	case coherence.MsgDataSRO:
+		l.maybeSelfInvalidate(m, true)
+		l.completeRead(now, m, stateR)
+
+	case coherence.MsgFwdGetS:
+		l.handleFwdGetS(now, m)
+
+	case coherence.MsgFwdGetX:
+		l.handleFwdGetX(now, m)
+
+	case coherence.MsgInv:
+		l.handleInv(now, m)
+
+	case coherence.MsgPutAck:
+		delete(l.evict, m.Addr)
+
+	case coherence.MsgTSResetL1:
+		src := int(m.Src)
+		l.tsL1.drop(src)
+		l.epochL1[src] = m.Epoch
+
+	case coherence.MsgTSResetL2:
+		tile := coherence.Router(m.Src, l.cores)
+		l.tsL2.drop(tile)
+		l.epochL2[tile] = m.Epoch
+
+	default:
+		panic(fmt.Sprintf("tsocc: L1 %d: unexpected message %s", l.id, m))
+	}
+}
+
+func (l *L1) completeWrite(now sim.Cycle, m *coherence.Msg) {
+	tx := l.wr
+	w := l.install(now, tx.addr, m.Data)
+	w.Meta.state = stateM
+	old := memsys.GetWord(w.Data, tx.wordAddr)
+	wrote := true
+	if tx.isRMW {
+		nv, doWrite := tx.f(old)
+		if doWrite {
+			memsys.PutWord(w.Data, tx.wordAddr, nv)
+		}
+		wrote = doWrite
+		l.Stats.RMWLat.Observe(int64(now - tx.issued))
+	} else {
+		memsys.PutWord(w.Data, tx.wordAddr, tx.val)
+	}
+	ackTS := tsInvalid
+	if wrote {
+		ackTS = l.assignTS(now)
+		w.Meta.ts = ackTS
+		w.Meta.tsOwn = true
+	}
+	// Finalize with the L2 (it stays busy until this ack, serializing
+	// writers and carrying the new write's timestamp, §3.2).
+	l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(tx.addr), Addr: tx.addr,
+		TS: ackTS, TSValid: wrote && l.cfg.Timestamps(), Epoch: l.epoch})
+	l.wr = nil
+	if tx.isRMW {
+		tx.rmwCb(old)
+	} else {
+		tx.storeCb()
+	}
+}
+
+func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
+	tx := l.rd
+	if tx == nil || tx.addr != m.Addr {
+		panic(fmt.Sprintf("tsocc: L1 %d: data response without read tx %s", l.id, m))
+	}
+	val := memsys.GetWord(m.Data, tx.wordAddr)
+	// Only owner-forwarded data can be overtaken by a later L2
+	// invalidation; the L2's own responses are FIFO-fresh.
+	install := !tx.squashed || m.Type != coherence.MsgDataOwner
+	if state == stateS && l.cfg.MaxAccesses() == 0 {
+		// CC-shared-to-L2: Shared data is never cached locally.
+		install = false
+	}
+	if install {
+		w := l.install(now, m.Addr, m.Data)
+		w.Meta.state = state
+		w.Meta.acnt = 0
+		w.Meta.ts = m.TS
+		w.Meta.tsOwn = false
+	} else if w := l.cache.Peek(m.Addr); w != nil && w.Meta.state == stateS {
+		// Not re-installing (always-miss mode) but a stale Shared copy
+		// exists from before: refresh it rather than leaving it stale.
+		copy(w.Data, m.Data)
+		w.Meta.acnt = 0
+	}
+	l.rd = nil
+	tx.cb(val)
+}
+
+func (l *L1) install(now sim.Cycle, addr uint64, data []byte) *memsys.Way[l1Line] {
+	if w := l.cache.Peek(addr); w != nil {
+		copy(w.Data, data)
+		w.Meta.acnt = 0
+		return w
+	}
+	w := l.cache.Victim(addr)
+	if w == nil {
+		panic(fmt.Sprintf("tsocc: L1 %d: no victim for %#x", l.id, addr))
+	}
+	if w.Valid {
+		l.evictLine(now, w)
+	}
+	l.cache.Install(w, addr)
+	copy(w.Data, data)
+	return w
+}
+
+func (l *L1) evictLine(now sim.Cycle, w *memsys.Way[l1Line]) {
+	addr := w.Tag
+	switch w.Meta.state {
+	case stateS, stateR:
+		// Shared and SharedRO evictions are silent (§3.2, §3.4).
+	case stateE:
+		l.evict[addr] = &evictEntry{data: append([]byte(nil), w.Data...),
+			ts: w.Meta.ts, tsOwn: w.Meta.tsOwn}
+		l.send(now, &coherence.Msg{Type: coherence.MsgPutE, Dst: l.home(addr), Addr: addr})
+	case stateM:
+		ts, valid := l.sendableTS(&w.Meta)
+		l.evict[addr] = &evictEntry{data: append([]byte(nil), w.Data...), dirty: true,
+			ts: w.Meta.ts, tsOwn: w.Meta.tsOwn}
+		l.send(now, &coherence.Msg{Type: coherence.MsgPutM, Dst: l.home(addr), Addr: addr,
+			Data: append([]byte(nil), w.Data...), Dirty: true,
+			TS: ts, TSValid: valid, Epoch: l.epoch})
+	}
+	l.cache.Invalidate(w)
+}
+
+func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
+	if w := l.cache.Peek(m.Addr); w != nil && (w.Meta.state == stateE || w.Meta.state == stateM) {
+		dirty := w.Meta.state == stateM
+		ts, valid := l.sendableTS(&w.Meta)
+		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Data: append([]byte(nil), w.Data...), Owner: l.id,
+			TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: dirty})
+		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
+			Data: append([]byte(nil), w.Data...), Dirty: dirty,
+			TS: ts, TSValid: valid, Epoch: l.epoch})
+		// Downgrade to Shared, keeping the copy with a fresh budget.
+		w.Meta.state = stateS
+		w.Meta.acnt = 0
+		if l.cfg.MaxAccesses() == 0 {
+			l.cache.Invalidate(w)
+		}
+		return
+	}
+	if e, ok := l.evict[m.Addr]; ok {
+		e.transferred = true
+		meta := l1Line{ts: e.ts, tsOwn: e.tsOwn}
+		ts, valid := l.sendableTS(&meta)
+		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Data: append([]byte(nil), e.data...), Owner: l.id,
+			TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: e.dirty})
+		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
+			Data: append([]byte(nil), e.data...), Dirty: e.dirty,
+			TS: ts, TSValid: valid, Epoch: l.epoch, NoCopy: true})
+		return
+	}
+	panic(fmt.Sprintf("tsocc: L1 %d: FwdGetS for absent line %s", l.id, m))
+}
+
+func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
+	if w := l.cache.Peek(m.Addr); w != nil && (w.Meta.state == stateE || w.Meta.state == stateM) {
+		ts, valid := l.sendableTS(&w.Meta)
+		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Data: append([]byte(nil), w.Data...), Owner: l.id,
+			TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: w.Meta.state == stateM})
+		l.cache.Invalidate(w)
+		return
+	}
+	if e, ok := l.evict[m.Addr]; ok {
+		e.transferred = true
+		meta := l1Line{ts: e.ts, tsOwn: e.tsOwn}
+		ts, valid := l.sendableTS(&meta)
+		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Data: append([]byte(nil), e.data...), Owner: l.id,
+			TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: e.dirty})
+		return
+	}
+	panic(fmt.Sprintf("tsocc: L1 %d: FwdGetX for absent line %s", l.id, m))
+}
+
+func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
+	l.Stats.InvalidationsReceived.Inc()
+	if l.rd != nil && l.rd.addr == m.Addr {
+		l.rd.squashed = true
+	}
+	if w := l.cache.Peek(m.Addr); w != nil {
+		if w.Meta.state == stateE || w.Meta.state == stateM {
+			// Directory recall (L2 eviction of an Exclusive line).
+			ts, valid := l.sendableTS(&w.Meta)
+			l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
+				Data: append([]byte(nil), w.Data...), Dirty: w.Meta.state == stateM,
+				TS: ts, TSValid: valid, Epoch: l.epoch})
+			l.cache.Invalidate(w)
+			return
+		}
+		// SharedRO broadcast invalidation (or a stale Shared copy).
+		l.cache.Invalidate(w)
+		l.send(now, &coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr})
+		return
+	}
+	if e, ok := l.evict[m.Addr]; ok {
+		e.transferred = true
+		meta := l1Line{ts: e.ts, tsOwn: e.tsOwn}
+		ts, valid := l.sendableTS(&meta)
+		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
+			Data: append([]byte(nil), e.data...), Dirty: e.dirty,
+			TS: ts, TSValid: valid, Epoch: l.epoch})
+		return
+	}
+	l.send(now, &coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr})
+}

@@ -1,0 +1,618 @@
+package tsocc
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// L2 directory states (invalid way = not present).
+const (
+	dirV = iota + 1 // Uncached: valid at L2, no tracked L1 copy
+	dirX            // Exclusive: owned by one L1 (owner pointer)
+	dirS            // Shared: untracked sharers, last-writer + timestamp
+	dirR            // SharedRO: read-only, coarse sharing vector
+)
+
+type l2Line struct {
+	state       int
+	owner       coherence.NodeID // owner (X) / last writer (V, S)
+	sharerBits  uint64           // coarse vector (R); reuses the owner field's storage
+	ts          uint32           // writer ts (V/S) or tile SRO ts (R)
+	dirty       bool             // data newer than memory
+	wasModified bool             // written since the L2 obtained this copy
+}
+
+type txKind int
+
+const (
+	txMemFetch txKind = iota + 1
+	txAwaitAck        // DataE sent; waiting for requester Ack
+	txFwdGetS         // waiting for owner WBData
+	txFwdGetX         // waiting for requester Ack after owner handoff
+	txSROInv          // SharedRO write: counting broadcast InvAcks
+	txEvict           // evicting: waiting for recall WBData / InvAcks
+)
+
+type l2Tx struct {
+	kind     txKind
+	req      *coherence.Msg
+	acksLeft int
+}
+
+// L2 is one TSO-CC NUCA tile.
+type L2 struct {
+	id    coherence.NodeID
+	tile  int
+	cores int
+	cfg   config.TSOCC
+	cache *memsys.Cache[l2Line]
+	net   *mesh.Network
+	mem   *memsys.Memory
+
+	accessLat sim.Cycle
+
+	timers  coherence.Timers
+	inbox   []*coherence.Msg
+	tx      map[uint64]*l2Tx
+	waiting map[uint64][]*coherence.Msg
+	retryQ  []*coherence.Msg
+
+	// Last-seen writer timestamps and epochs per L1 (Table 1, L2 side).
+	tsL1    lastSeen
+	epochL1 []uint8
+
+	// SharedRO timestamp source (§3.4) and its reset epoch (§3.5), plus
+	// the two increment flags (dirty-eviction/modified-uncached, and
+	// entered-Shared).
+	sroSrc   uint32
+	sroEpoch uint8
+	flag1    bool
+	flag2    bool
+
+	// Tile-level stats.
+	SROTransitions  stats.Counter
+	SROInvBcasts    stats.Counter
+	DecayEvents     stats.Counter
+	TimestampResets stats.Counter
+}
+
+// NewL2 builds TSO-CC tile `tile`.
+func NewL2(tile, cores int, sys config.System, cfg config.TSOCC, net *mesh.Network, mem *memsys.Memory) *L2 {
+	return &L2{
+		id:        coherence.L2ID(tile, cores),
+		tile:      tile,
+		cores:     cores,
+		cfg:       cfg,
+		cache:     memsys.NewCache[l2Line](sys.L2TileSize, sys.L2Ways),
+		net:       net,
+		mem:       mem,
+		accessLat: sys.L2AccessLat,
+		tx:        make(map[uint64]*l2Tx),
+		waiting:   make(map[uint64][]*coherence.Msg),
+		tsL1:      newLastSeen(0),
+		epochL1:   make([]uint8, cores),
+		sroSrc:    tsFirst,
+	}
+}
+
+func (t *L2) send(now sim.Cycle, m *coherence.Msg) {
+	m.Src = t.id
+	t.net.Send(now, m)
+}
+
+// sendAfterAccess sends m after the tile access latency so that every
+// directory-originated message to a given L1 leaves in processing order
+// (an invalidation must never overtake an earlier data response).
+func (t *L2) sendAfterAccess(now sim.Cycle, m *coherence.Msg) {
+	t.timers.At(now+t.accessLat, func(nw sim.Cycle) { t.send(nw, m) })
+}
+
+// Deliver implements mesh.Endpoint.
+func (t *L2) Deliver(now sim.Cycle, m *coherence.Msg) { t.inbox = append(t.inbox, m) }
+
+// TileStats reports SharedRO transitions, Shared->SharedRO decay events,
+// SharedRO write broadcasts and tile timestamp resets (used by the
+// system-level result collection and the decay ablation).
+func (t *L2) TileStats() (sro, decay, bcasts, resets int64) {
+	return t.SROTransitions.Value(), t.DecayEvents.Value(),
+		t.SROInvBcasts.Value(), t.TimestampResets.Value()
+}
+
+// Busy implements coherence.Controller.
+func (t *L2) Busy() bool {
+	return len(t.tx) > 0 || len(t.retryQ) > 0 || len(t.inbox) > 0 || t.timers.Pending() > 0
+}
+
+// SnoopBlock implements coherence.Controller.
+func (t *L2) SnoopBlock(addr uint64) ([]byte, bool) {
+	if w := t.cache.Peek(addr); w != nil && w.Meta.state != dirX {
+		return w.Data, true
+	}
+	return nil, false
+}
+
+// Tick implements sim.Ticker.
+func (t *L2) Tick(now sim.Cycle) {
+	t.timers.Tick(now)
+	if len(t.retryQ) > 0 {
+		rq := t.retryQ
+		t.retryQ = nil
+		for _, m := range rq {
+			t.handle(now, m)
+		}
+	}
+	if len(t.inbox) == 0 {
+		return
+	}
+	msgs := t.inbox
+	t.inbox = nil
+	for _, m := range msgs {
+		t.handle(now, m)
+	}
+}
+
+func (t *L2) handle(now sim.Cycle, m *coherence.Msg) {
+	switch m.Type {
+	case coherence.MsgGetS, coherence.MsgGetX:
+		t.handleRequest(now, m)
+	case coherence.MsgPutE, coherence.MsgPutM:
+		t.handlePut(now, m)
+	case coherence.MsgAck:
+		t.handleAck(now, m)
+	case coherence.MsgInvAck:
+		t.handleInvAck(now, m)
+	case coherence.MsgWBData:
+		t.handleWBData(now, m)
+	case coherence.MsgTSResetL1:
+		src := int(m.Src)
+		t.tsL1.drop(src)
+		t.epochL1[src] = m.Epoch
+	default:
+		panic(fmt.Sprintf("tsocc: L2 %d: unexpected message %s", t.id, m))
+	}
+}
+
+// ---- Timestamp helpers ----
+
+// respTS computes the (ts, epoch, valid) triple for a non-SharedRO data
+// response (§3.5): the line's timestamp if it provably belongs to the
+// writer's current epoch (tsL1[writer] >= b.ts), otherwise the smallest
+// valid timestamp.
+func (t *L2) respTS(w *l2Line) (uint32, uint8, bool) {
+	if !t.cfg.Timestamps() || w.ts == tsInvalid {
+		return tsInvalid, 0, false
+	}
+	writer := int(w.owner)
+	if writer < 0 || writer >= t.cores {
+		return tsInvalid, 0, false
+	}
+	last, ok := t.tsL1.get(writer)
+	if ok && last >= w.ts {
+		return w.ts, t.epochL1[writer], true
+	}
+	return tsSmallest, t.epochL1[writer], true
+}
+
+// sroTS computes the response timestamp for a SharedRO line.
+func (t *L2) sroTS(w *l2Line) (uint32, uint8, bool) {
+	if !t.cfg.Timestamps() || w.ts == tsInvalid {
+		return tsInvalid, 0, false
+	}
+	if w.ts > t.sroSrc {
+		return tsSmallest, t.sroEpoch, true
+	}
+	return w.ts, t.sroEpoch, true
+}
+
+// assignSROTS produces the timestamp for a line transitioning to
+// SharedRO, incrementing the tile source when either condition flag is
+// set (timestamp grouping for SharedRO lines, §3.4).
+func (t *L2) assignSROTS(now sim.Cycle) uint32 {
+	if !t.cfg.Timestamps() {
+		return tsInvalid
+	}
+	if t.flag1 || t.flag2 {
+		t.flag1, t.flag2 = false, false
+		if t.sroSrc >= t.cfg.TSMax() {
+			t.resetSRO(now)
+		} else {
+			t.sroSrc++
+		}
+	}
+	return t.sroSrc
+}
+
+func (t *L2) resetSRO(now sim.Cycle) {
+	t.TimestampResets.Inc()
+	t.sroEpoch = (t.sroEpoch + 1) & uint8((1<<uint(t.cfg.EpochBits))-1)
+	t.sroSrc = tsFirst
+	for c := 0; c < t.cores; c++ {
+		t.send(now, &coherence.Msg{Type: coherence.MsgTSResetL2,
+			Dst: coherence.L1ID(c), Epoch: t.sroEpoch})
+	}
+}
+
+// noteWriterTS records a writer's timestamp observed in an ack or
+// writeback, advancing the tile's last-seen table.
+func (t *L2) noteWriterTS(writer coherence.NodeID, m *coherence.Msg) {
+	if !m.TSValid || m.TS <= tsSmallest {
+		return
+	}
+	w := int(writer)
+	if m.Epoch != t.epochL1[w] {
+		// A reset raced ahead of us; adopt the new epoch first.
+		t.tsL1.drop(w)
+		t.epochL1[w] = m.Epoch
+	}
+	t.tsL1.update(w, m.TS)
+}
+
+// ---- Request handling ----
+
+func (t *L2) handleRequest(now sim.Cycle, m *coherence.Msg) {
+	if _, busy := t.tx[m.Addr]; busy {
+		t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+		return
+	}
+	w := t.cache.Peek(m.Addr)
+	if w == nil {
+		t.startFetch(now, m)
+		return
+	}
+	if m.Type == coherence.MsgGetS {
+		t.serveGetS(now, m, w)
+	} else {
+		t.serveGetX(now, m, w)
+	}
+}
+
+func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
+	v := t.cache.Victim(m.Addr)
+	if v == nil {
+		t.retryQ = append(t.retryQ, m)
+		return
+	}
+	if v.Valid {
+		if t.cache.AnyBusy(m.Addr) {
+			t.retryQ = append(t.retryQ, m)
+			return
+		}
+		if !t.evictLine(now, v) {
+			t.retryQ = append(t.retryQ, m)
+			return
+		}
+	}
+	t.cache.Install(v, m.Addr)
+	v.Busy = true
+	t.tx[m.Addr] = &l2Tx{kind: txMemFetch, req: m}
+	addr := m.Addr
+	t.timers.At(now+t.accessLat+t.mem.Latency(addr), func(nw sim.Cycle) {
+		way := t.cache.Peek(addr)
+		t.mem.ReadBlock(addr, way.Data)
+		way.Meta = l2Line{state: dirV, owner: -1}
+		way.Busy = false
+		tx := t.tx[addr]
+		delete(t.tx, addr)
+		if tx.req.Type == coherence.MsgGetS {
+			t.serveGetS(nw, tx.req, way)
+		} else {
+			t.serveGetX(nw, tx.req, way)
+		}
+	})
+}
+
+// evictLine evicts v; true = completed synchronously.
+func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
+	addr := v.Tag
+	switch v.Meta.state {
+	case dirV, dirS:
+		// Shared lines are untracked: evict silently; sharers will
+		// self-invalidate their stale copies eventually (§3.2). Their
+		// timestamps are lost, which later forces mandatory
+		// self-invalidation at readers (invalid-ts responses).
+		if v.Meta.dirty {
+			t.mem.WriteBlock(addr, v.Data)
+			t.flag1 = true // condition 1: dirty line left the L2
+		}
+		t.cache.Invalidate(v)
+		return true
+	case dirR:
+		// SharedRO lines are eagerly coherent; recall the coarse
+		// groups before dropping (keeps R copies inclusive — see
+		// DESIGN.md interpretation notes).
+		members := coarseMembers(v.Meta.sharerBits, t.cores)
+		if len(members) == 0 {
+			if v.Meta.dirty {
+				t.mem.WriteBlock(addr, v.Data)
+				t.flag1 = true
+			}
+			t.cache.Invalidate(v)
+			return true
+		}
+		for _, c := range members {
+			t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: addr})
+		}
+		v.Busy = true
+		t.tx[addr] = &l2Tx{kind: txEvict, acksLeft: len(members)}
+		return false
+	case dirX:
+		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: v.Meta.owner, Addr: addr})
+		v.Busy = true
+		t.tx[addr] = &l2Tx{kind: txEvict, acksLeft: 1}
+		return false
+	}
+	panic("tsocc: evictLine on invalid state")
+}
+
+func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
+	switch w.Meta.state {
+	case dirV:
+		// Uncached: grant Exclusive (§3.2).
+		if w.Meta.wasModified {
+			t.flag1 = true // condition 1: modified line re-enters circulation
+		}
+		ts, ep, valid := t.respTS(&w.Meta)
+		w.Busy = true
+		t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m}
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
+	case dirX:
+		if w.Meta.owner == m.Requestor {
+			panic(fmt.Sprintf("tsocc: L2 %d: GetS from current owner %s", t.id, m))
+		}
+		w.Busy = true
+		t.tx[m.Addr] = &l2Tx{kind: txFwdGetS, req: m}
+		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgFwdGetS, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor})
+	case dirS:
+		if t.shouldDecay(&w.Meta) {
+			t.DecayEvents.Inc()
+			t.toSharedRO(now, w)
+			t.serveGetS(now, m, w)
+			return
+		}
+		ts, ep, valid := t.respTS(&w.Meta)
+		t.respond(now, m.Requestor, coherence.MsgDataS, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
+	case dirR:
+		ts, ep, valid := t.sroTS(&w.Meta)
+		w.Meta.sharerBits |= coarseBit(m.Requestor, t.cores)
+		t.respond(now, m.Requestor, coherence.MsgDataSRO, m.Addr, w.Data, -1, ts, ep, valid)
+	}
+}
+
+// shouldDecay applies the Shared→SharedRO decay rule (§3.4): the line has
+// not been written for DecayWrites writes of its last writer, measured in
+// timestamp distance scaled by the write-group size.
+func (t *L2) shouldDecay(w *l2Line) bool {
+	if !t.cfg.SharedRO || !t.cfg.Timestamps() || t.cfg.DecayWrites == 0 {
+		return false
+	}
+	if w.ts <= tsSmallest {
+		return false
+	}
+	writer := int(w.owner)
+	if writer < 0 || writer >= t.cores {
+		return false
+	}
+	last, ok := t.tsL1.get(writer)
+	if !ok || last < w.ts {
+		return false
+	}
+	decayTS := t.cfg.DecayWrites >> uint(t.cfg.WriteGroupBits)
+	if decayTS == 0 {
+		decayTS = 1
+	}
+	return last-w.ts >= decayTS
+}
+
+// toSharedRO transitions a line to SharedRO, assigning a tile timestamp.
+func (t *L2) toSharedRO(now sim.Cycle, w *memsys.Way[l2Line]) {
+	t.SROTransitions.Inc()
+	w.Meta.state = dirR
+	w.Meta.sharerBits = 0
+	w.Meta.ts = t.assignSROTS(now)
+	w.Meta.owner = -1
+}
+
+func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
+	switch w.Meta.state {
+	case dirV:
+		ts, ep, valid := t.respTS(&w.Meta)
+		w.Busy = true
+		t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m}
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
+	case dirX:
+		if w.Meta.owner == m.Requestor {
+			panic(fmt.Sprintf("tsocc: L2 %d: GetX from current owner %s", t.id, m))
+		}
+		w.Busy = true
+		t.tx[m.Addr] = &l2Tx{kind: txFwdGetX, req: m}
+		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgFwdGetX, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor})
+	case dirS:
+		// The lazy write path: respond immediately with the full line;
+		// unaware sharers keep stale copies until they self-invalidate
+		// (§3.2). No invalidation fan-out.
+		ts, ep, valid := t.respTS(&w.Meta)
+		w.Busy = true
+		t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m}
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
+	case dirR:
+		// Writes to SharedRO lines broadcast invalidations to the
+		// coarse sharer groups (§3.4).
+		members := coarseMembers(w.Meta.sharerBits, t.cores)
+		// The requester's own copy is handled by FIFO ordering: its
+		// Inv (if any) arrives before the later DataE.
+		t.SROInvBcasts.Inc()
+		if len(members) == 0 {
+			ts, ep, valid := t.sroTS(&w.Meta)
+			w.Busy = true
+			t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m}
+			t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, -1, ts, ep, valid)
+			return
+		}
+		for _, c := range members {
+			t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: m.Addr})
+		}
+		w.Busy = true
+		t.tx[m.Addr] = &l2Tx{kind: txSROInv, req: m, acksLeft: len(members)}
+	}
+}
+
+func (t *L2) respond(now sim.Cycle, dst coherence.NodeID, typ coherence.MsgType, addr uint64,
+	data []byte, owner coherence.NodeID, ts uint32, epoch uint8, tsValid bool) {
+	t.sendAfterAccess(now, &coherence.Msg{Type: typ, Dst: dst, Addr: addr,
+		Data: append([]byte(nil), data...), Owner: owner,
+		TS: ts, Epoch: epoch, TSValid: tsValid})
+}
+
+// ---- Completion handling ----
+
+func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
+	tx, ok := t.tx[m.Addr]
+	if !ok || (tx.kind != txAwaitAck && tx.kind != txFwdGetX) {
+		panic(fmt.Sprintf("tsocc: L2 %d: stray Ack %s", t.id, m))
+	}
+	w := t.cache.Peek(m.Addr)
+	w.Meta.state = dirX
+	w.Meta.owner = tx.req.Requestor
+	w.Meta.sharerBits = 0
+	if m.TSValid {
+		// The ack finalizes a write: record its timestamp (§3.5's
+		// "updated when the L2 updates a line's timestamp").
+		w.Meta.wasModified = true
+		w.Meta.ts = m.TS
+		t.noteWriterTS(tx.req.Requestor, m)
+	}
+	w.Busy = false
+	delete(t.tx, m.Addr)
+	t.drainWaiting(now, m.Addr)
+}
+
+func (t *L2) handleInvAck(now sim.Cycle, m *coherence.Msg) {
+	tx, ok := t.tx[m.Addr]
+	if !ok {
+		panic(fmt.Sprintf("tsocc: L2 %d: stray InvAck %s", t.id, m))
+	}
+	tx.acksLeft--
+	if tx.acksLeft > 0 {
+		return
+	}
+	w := t.cache.Peek(m.Addr)
+	switch tx.kind {
+	case txSROInv:
+		// All SharedRO copies invalidated; grant exclusivity.
+		ts, ep, valid := t.sroTS(&w.Meta)
+		tx.kind = txAwaitAck
+		w.Meta.sharerBits = 0
+		t.respond(now, tx.req.Requestor, coherence.MsgDataE, m.Addr, w.Data, -1, ts, ep, valid)
+	case txEvict:
+		t.finishEvict(now, w)
+	default:
+		panic(fmt.Sprintf("tsocc: L2 %d: InvAck in tx kind %d", t.id, tx.kind))
+	}
+}
+
+func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
+	tx, ok := t.tx[m.Addr]
+	if !ok {
+		panic(fmt.Sprintf("tsocc: L2 %d: stray WBData %s", t.id, m))
+	}
+	w := t.cache.Peek(m.Addr)
+	switch tx.kind {
+	case txFwdGetS:
+		prevOwner := w.Meta.owner
+		copy(w.Data, m.Data)
+		if m.Dirty {
+			w.Meta.dirty = true
+			w.Meta.wasModified = true
+			if m.TSValid {
+				w.Meta.ts = m.TS
+			} else {
+				w.Meta.ts = tsInvalid
+			}
+			t.noteWriterTS(prevOwner, m)
+			// Modified by the previous owner: enters Shared (§3.4),
+			// last writer = previous owner.
+			w.Meta.state = dirS
+			w.Meta.owner = prevOwner
+			t.flag2 = true // condition 2: line entered Shared
+		} else if t.cfg.SharedRO {
+			// Unmodified by the previous owner: SharedRO.
+			t.toSharedRO(now, w)
+			w.Meta.sharerBits = coarseBit(tx.req.Requestor, t.cores)
+			if !m.NoCopy {
+				w.Meta.sharerBits |= coarseBit(prevOwner, t.cores)
+			}
+		} else {
+			w.Meta.state = dirS
+			w.Meta.owner = prevOwner
+			t.flag2 = true
+		}
+		w.Busy = false
+		delete(t.tx, m.Addr)
+		t.drainWaiting(now, m.Addr)
+	case txEvict:
+		if m.Dirty {
+			copy(w.Data, m.Data)
+			w.Meta.dirty = true
+		}
+		t.finishEvict(now, w)
+	default:
+		panic(fmt.Sprintf("tsocc: L2 %d: WBData in tx kind %d", t.id, tx.kind))
+	}
+}
+
+func (t *L2) finishEvict(now sim.Cycle, w *memsys.Way[l2Line]) {
+	addr := w.Tag
+	if w.Meta.dirty {
+		t.mem.WriteBlock(addr, w.Data)
+		t.flag1 = true
+	}
+	delete(t.tx, addr)
+	t.cache.Invalidate(w)
+	t.drainWaiting(now, addr)
+}
+
+func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
+	if _, busy := t.tx[m.Addr]; busy {
+		t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+		return
+	}
+	w := t.cache.Peek(m.Addr)
+	if w == nil || w.Meta.state != dirX || w.Meta.owner != m.Src {
+		// Stale writeback (ownership moved while the Put was in
+		// flight): acknowledge and drop.
+		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr})
+		return
+	}
+	if m.Type == coherence.MsgPutM {
+		copy(w.Data, m.Data)
+		w.Meta.dirty = true
+		w.Meta.wasModified = true
+		if m.TSValid {
+			w.Meta.ts = m.TS
+		} else {
+			w.Meta.ts = tsInvalid
+		}
+		t.noteWriterTS(m.Src, m)
+	}
+	w.Meta.state = dirV
+	// Keep owner as last-writer for timestamp responses.
+	t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr})
+}
+
+func (t *L2) drainWaiting(now sim.Cycle, addr uint64) {
+	q, ok := t.waiting[addr]
+	if !ok || len(q) == 0 {
+		delete(t.waiting, addr)
+		return
+	}
+	delete(t.waiting, addr)
+	for _, m := range q {
+		t.handle(now, m)
+	}
+}

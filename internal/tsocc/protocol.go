@@ -1,0 +1,31 @@
+package tsocc
+
+import (
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/memsys"
+	"repro/internal/mesh"
+)
+
+// Protocol is the TSO-CC protocol factory, parameterized by a
+// config.TSOCC preset (TSO-CC-4-12-3, CC-shared-to-L2, ...).
+type Protocol struct {
+	Cfg config.TSOCC
+}
+
+// New returns a TSO-CC protocol with the given configuration.
+func New(cfg config.TSOCC) Protocol { return Protocol{Cfg: cfg} }
+
+// Name implements the system protocol interface.
+func (p Protocol) Name() string { return p.Cfg.Name() }
+
+// Build constructs one TSO-CC L1 per core and one tile per core.
+func (p Protocol) Build(cfg config.System, net *mesh.Network, mem *memsys.Memory) ([]coherence.L1Like, []coherence.Controller) {
+	l1s := make([]coherence.L1Like, cfg.Cores)
+	l2s := make([]coherence.Controller, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		l1s[i] = NewL1(i, cfg.Cores, cfg, p.Cfg, net)
+		l2s[i] = NewL2(i, cfg.Cores, cfg, p.Cfg, net, mem)
+	}
+	return l1s, l2s
+}

@@ -1,0 +1,108 @@
+// Package tsocc implements the paper's contribution: TSO-CC, a lazy,
+// consistency-directed coherence protocol for Total Store Order. It
+// tracks no sharers for Shared data. Writes propagate to the shared L2
+// in program order; reads of Shared lines hit locally only a bounded
+// number of times (write propagation); potential acquires — detected
+// with per-line timestamps against per-core last-seen tables (transitive
+// reduction) — self-invalidate all Shared lines (r→r ordering). A
+// SharedRO state excludes read-only data from self-invalidation, and a
+// timestamp-reset/epoch-id scheme keeps timestamps finite (§3.2–§3.6).
+package tsocc
+
+import "repro/internal/coherence"
+
+// Timestamp value conventions. 0 marks "never written / unknown". The
+// smallest valid timestamp (1) is reserved as the value the L2 reports
+// for lines whose timestamp predates the writer's last reset; receivers
+// treat it as forcing self-invalidation, so fresh sources start above it
+// (§3.5: "the next timestamp assigned after a reset must always be
+// larger than the smallest valid timestamp").
+const (
+	tsInvalid  uint32 = 0
+	tsSmallest uint32 = 1
+	tsFirst    uint32 = 2
+)
+
+// lastSeen is a timestamp table: last-seen timestamp per source node
+// (ts_L1 / ts_L2 in the paper's Table 1). The paper notes the table may
+// hold fewer entries than there are cores, at the cost of an eviction
+// policy (§3.3); a capacity of 0 means unbounded. Losing an entry is
+// always safe — the reader treats the source as never-seen and
+// self-invalidates conservatively.
+type lastSeen struct {
+	m   map[int]uint32
+	cap int
+}
+
+func newLastSeen(capacity int) lastSeen {
+	return lastSeen{m: make(map[int]uint32), cap: capacity}
+}
+
+func (t lastSeen) get(src int) (uint32, bool) {
+	v, ok := t.m[src]
+	return v, ok
+}
+
+func (t lastSeen) update(src int, ts uint32) {
+	if cur, ok := t.m[src]; ok {
+		if ts > cur {
+			t.m[src] = ts
+		}
+		return
+	}
+	if t.cap > 0 && len(t.m) >= t.cap {
+		t.evictOne()
+	}
+	t.m[src] = ts
+}
+
+// evictOne drops the entry with the smallest timestamp (deterministic:
+// ties broken by the lowest source id). Smallest-timestamp entries are
+// the ones whose loss costs the fewest skipped self-invalidations.
+func (t lastSeen) evictOne() {
+	victim, victimTS := -1, ^uint32(0)
+	for src, ts := range t.m {
+		if ts < victimTS || (ts == victimTS && (victim < 0 || src < victim)) {
+			victim, victimTS = src, ts
+		}
+	}
+	if victim >= 0 {
+		delete(t.m, victim)
+	}
+}
+
+func (t lastSeen) drop(src int) { delete(t.m, src) }
+
+func (t lastSeen) len() int { return len(t.m) }
+
+// coarseGroups returns the number of coarse-vector groups used when the
+// L2's owner field is reused as a sharing vector for SharedRO lines
+// (§3.4): log2(cores) bits, each covering a contiguous group of cores.
+func coarseGroups(cores int) int {
+	g := 0
+	for v := cores - 1; v > 0; v >>= 1 {
+		g++
+	}
+	if g == 0 {
+		g = 1
+	}
+	return g
+}
+
+// coarseBit returns the group bit covering the given core.
+func coarseBit(core coherence.NodeID, cores int) uint64 {
+	g := coarseGroups(cores)
+	return 1 << uint(int(core)*g/cores)
+}
+
+// coarseMembers lists the cores covered by the set bits of vec.
+func coarseMembers(vec uint64, cores int) []int {
+	g := coarseGroups(cores)
+	var out []int
+	for c := 0; c < cores; c++ {
+		if vec&(1<<uint(c*g/cores)) != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

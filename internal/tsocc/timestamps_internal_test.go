@@ -1,0 +1,65 @@
+package tsocc
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+)
+
+// TestLastSeenEviction checks the table's smallest-timestamp policy.
+func TestLastSeenEviction(t *testing.T) {
+	tbl := newLastSeen(2)
+	tbl.update(1, 10)
+	tbl.update(2, 20)
+	tbl.update(3, 30) // evicts src 1 (smallest ts)
+	if _, ok := tbl.get(1); ok {
+		t.Fatal("smallest-ts entry not evicted")
+	}
+	if v, ok := tbl.get(2); !ok || v != 20 {
+		t.Fatal("entry 2 lost")
+	}
+	if v, ok := tbl.get(3); !ok || v != 30 {
+		t.Fatal("entry 3 missing")
+	}
+	if tbl.len() != 2 {
+		t.Fatalf("len = %d, want 2", tbl.len())
+	}
+	// Updating an existing entry never evicts.
+	tbl.update(2, 25)
+	if tbl.len() != 2 {
+		t.Fatal("in-place update changed occupancy")
+	}
+	// Monotonicity: stale updates are ignored.
+	tbl.update(2, 5)
+	if v, _ := tbl.get(2); v != 25 {
+		t.Fatalf("stale update regressed entry to %d", v)
+	}
+}
+
+// TestCoarseVectorCoversAllCores: every core must be covered by the
+// group bit the coarse vector assigns it.
+func TestCoarseVectorCoversAllCores(t *testing.T) {
+	for _, cores := range []int{2, 4, 8, 16, 32} {
+		for c := 0; c < cores; c++ {
+			vec := coarseBit(coherence.NodeID(c), cores)
+			members := coarseMembers(vec, cores)
+			found := false
+			for _, m := range members {
+				if m == c {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("cores=%d: core %d not covered by its own group bit", cores, c)
+			}
+		}
+		// All groups together must cover every core exactly once set-wise.
+		full := uint64(0)
+		for c := 0; c < cores; c++ {
+			full |= coarseBit(coherence.NodeID(c), cores)
+		}
+		if got := len(coarseMembers(full, cores)); got != cores {
+			t.Fatalf("cores=%d: full vector covers %d cores", cores, got)
+		}
+	}
+}
