@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all vet build test bench-smoke bench perf ci
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick benchmark smoke: exercises the perf-critical paths without the
+# full figure grids.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkEngineStep|BenchmarkEngineIdleSkip|BenchmarkMeshDelivery|BenchmarkL1HitPath' -benchtime 2000x .
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Simulator throughput JSON (for BENCH_*.json trajectories).
+perf:
+	$(GO) run ./cmd/tsocc-bench -perf -cores 8
+
+ci: vet build test bench-smoke

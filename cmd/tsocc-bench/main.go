@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,8 @@ import (
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/storagemodel"
+	"repro/internal/system"
+	"repro/internal/tsocc"
 	"repro/internal/workloads"
 )
 
@@ -30,7 +33,20 @@ func main() {
 	figure := flag.Int("figure", 0, "single figure to produce (2-9; 0 = all)")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
+	perf := flag.Bool("perf", false, "report simulator throughput (cycles/sec, ns/simcycle) as JSON and exit")
 	flag.Parse()
+
+	if *perf {
+		var benches []string
+		if *benchList != "" {
+			benches = strings.Split(*benchList, ",")
+		}
+		if err := runPerf(*cores, *scale, *seed, benches); err != nil {
+			fmt.Fprintln(os.Stderr, "perf failed:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Storage figures need no simulation.
 	if *figure == 2 {
@@ -84,4 +100,77 @@ func main() {
 		fmt.Println(storagemodel.Figure2([]int{8, 16, 32, 48, 64, 80, 96, 112, 128}))
 		fmt.Println(grid.SummaryHighlights())
 	}
+}
+
+// perfRecord is one benchmark's simulator-throughput measurement,
+// emitted as JSON for the BENCH_*.json trajectory.
+type perfRecord struct {
+	Benchmark      string  `json:"benchmark"`
+	Protocol       string  `json:"protocol"`
+	Cores          int     `json:"cores"`
+	SimCycles      int64   `json:"sim_cycles"`
+	WallNsPerCycle float64 `json:"wall_ns_percycle_engine"`
+	WallNsEvent    float64 `json:"wall_ns_event_engine"`
+	CyclesPerSec   float64 `json:"sim_cycles_per_sec"`
+	HostNsPerCycle float64 `json:"host_ns_per_sim_cycle"`
+	SkippedPct     float64 `json:"idle_skipped_pct"`
+	Speedup        float64 `json:"event_vs_percycle_speedup"`
+}
+
+// runPerf measures simulated-cycles-per-second for each benchmark under
+// both engine modes and prints one JSON array.
+func runPerf(cores, scale int, seed uint64, benches []string) error {
+	if len(benches) == 0 {
+		benches = []string{"canneal", "x264", "ssca2"}
+	}
+	proto := tsocc.New(config.C12x3())
+	p := workloads.Params{Threads: cores, Scale: scale, Seed: seed}
+	var out []perfRecord
+	for _, bench := range benches {
+		e := workloads.ByName(bench)
+		if e == nil {
+			return fmt.Errorf("unknown benchmark %q", bench)
+		}
+		rec := perfRecord{Benchmark: bench, Protocol: proto.Name(), Cores: cores}
+		for _, perCycle := range []bool{true, false} {
+			cfg := config.Scaled(cores)
+			cfg.PerCycleEngine = perCycle
+			best := time.Duration(0)
+			var cycles int64
+			var skipped int64
+			for rep := 0; rep < 3; rep++ {
+				m, err := system.NewMachine(cfg, proto, e.Gen(p))
+				if err != nil {
+					return err
+				}
+				t0 := time.Now()
+				cyc, err := m.Engine.Run()
+				if err != nil {
+					return err
+				}
+				if d := time.Since(t0); best == 0 || d < best {
+					best = d
+					skipped = m.Engine.IdleSkipped
+				}
+				cycles = int64(cyc)
+			}
+			nsPerCycle := float64(best.Nanoseconds()) / float64(cycles)
+			if perCycle {
+				rec.WallNsPerCycle = nsPerCycle
+			} else {
+				rec.WallNsEvent = nsPerCycle
+				rec.SimCycles = cycles
+				rec.CyclesPerSec = float64(cycles) / best.Seconds()
+				rec.HostNsPerCycle = nsPerCycle
+				rec.SkippedPct = 100 * float64(skipped) / float64(cycles)
+			}
+		}
+		if rec.WallNsEvent > 0 {
+			rec.Speedup = rec.WallNsPerCycle / rec.WallNsEvent
+		}
+		out = append(out, rec)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

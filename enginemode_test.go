@@ -1,0 +1,133 @@
+package repro_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/litmus"
+	"repro/internal/mesi"
+	"repro/internal/system"
+	"repro/internal/tsocc"
+	"repro/internal/workloads"
+)
+
+// fingerprint flattens every simulation-visible quantity of a Result
+// into a comparable string. Mem (a pointer) and CheckErr are reduced to
+// their observable content.
+func fingerprint(r *system.Result) string {
+	check := "<nil>"
+	if r.CheckErr != nil {
+		check = r.CheckErr.Error()
+	}
+	return fmt.Sprintf(
+		"proto=%s wl=%s cycles=%d msgs=%d flits=%d hops=%d data=%d ctrl=%d "+
+			"ld=%d st=%d rmw=%d fence=%d instr=%d "+
+			"acc=%d miss=%d selfinv=%d selfinvlines=%d datarsp=%d rmwlat=%.6f "+
+			"hitS=%d hitSRO=%d hitP=%d whit=%d invrecv=%d tsresets=%d "+
+			"sro=%d decay=%d bcast=%d l2rs=%d check=%s",
+		r.Protocol, r.Workload, r.Cycles, r.Msgs, r.Flits, r.FlitHops, r.DataFlits, r.CtrlFlits,
+		r.Loads, r.Stores, r.RMWs, r.Fences, r.Instructions,
+		r.L1.Accesses(), r.L1.Misses(), r.L1.SelfInvTotal(), r.L1.SelfInvLines.Value(),
+		r.L1.DataResponses.Value(), r.L1.MeanRMWLatency(),
+		r.L1.ReadHitShared.Value(), r.L1.ReadHitSRO.Value(), r.L1.ReadHitPrivate.Value(),
+		r.L1.WriteHitPrivate.Value(), r.L1.InvalidationsReceived.Value(), r.L1.TimestampResets.Value(),
+		r.SROTransitions, r.DecayEvents, r.SROInvBcasts, r.L2TSResets, check)
+}
+
+// TestEngineModesBitIdentical is the tentpole conformance gate: the
+// event-driven (idle-skip) engine must reproduce the per-cycle ticker's
+// results bit for bit — identical cycle counts and identical statistics
+// — across protocols and workloads.
+func TestEngineModesBitIdentical(t *testing.T) {
+	protos := []system.Protocol{
+		mesi.New(),
+		tsocc.New(config.Basic()),
+		tsocc.New(config.C12x3()),
+		tsocc.New(config.CCSharedToL2()),
+	}
+	benches := []string{"canneal", "x264", "ssca2", "lu-noncont"}
+	p := workloads.Params{Threads: 4, Scale: 1, Seed: 1}
+	for _, proto := range protos {
+		for _, bench := range benches {
+			t.Run(proto.Name()+"/"+bench, func(t *testing.T) {
+				e := workloads.ByName(bench)
+				if e == nil {
+					t.Fatalf("unknown benchmark %q", bench)
+				}
+				var fps [2]string
+				for i, pc := range []bool{true, false} {
+					cfg := config.Small(4)
+					cfg.PerCycleEngine = pc
+					r, err := system.Run(cfg, proto, e.Gen(p))
+					if err != nil {
+						t.Fatalf("perCycle=%v: %v", pc, err)
+					}
+					if r.CheckErr != nil {
+						t.Fatalf("perCycle=%v: functional check: %v", pc, r.CheckErr)
+					}
+					fps[i] = fingerprint(r)
+				}
+				if fps[0] != fps[1] {
+					t.Fatalf("engine modes diverged:\n per-cycle: %s\n event:     %s", fps[0], fps[1])
+				}
+			})
+		}
+	}
+}
+
+// TestEngineModesLitmusIdentical runs the full litmus suite under both
+// engine modes and requires identical outcome histograms (not merely
+// "no violations": the exact multiset of observed outcomes must match).
+func TestEngineModesLitmusIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("litmus A/B sweep is slow")
+	}
+	protos := []system.Protocol{mesi.New(), tsocc.New(config.C12x3())}
+	for _, proto := range protos {
+		for _, test := range litmus.Suite() {
+			t.Run(proto.Name()+"/"+test.Name, func(t *testing.T) {
+				var outcomes [2]map[string]int
+				for i, pc := range []bool{true, false} {
+					cfg := config.Small(4)
+					cfg.PerCycleEngine = pc
+					res, err := litmus.Run(test, proto, cfg, 20, 42)
+					if err != nil {
+						t.Fatalf("perCycle=%v: %v", pc, err)
+					}
+					if !res.Ok() {
+						t.Fatalf("perCycle=%v: forbidden outcomes: %v", pc, res.Violations)
+					}
+					outcomes[i] = res.Outcomes
+				}
+				if !reflect.DeepEqual(outcomes[0], outcomes[1]) {
+					t.Fatalf("litmus outcome histograms diverged:\n per-cycle: %v\n event:     %v",
+						outcomes[0], outcomes[1])
+				}
+			})
+		}
+	}
+}
+
+// TestEngineModesSpinlockIdentical covers the contended-RMW path (the
+// spinlock example's shape) plus write-buffer pressure.
+func TestEngineModesSpinlockIdentical(t *testing.T) {
+	var fps [2]string
+	for i, pc := range []bool{true, false} {
+		cfg := config.Scaled(4)
+		cfg.PerCycleEngine = pc
+		w := spinWorkload(4, 40)
+		r, err := system.Run(cfg, tsocc.New(config.C12x3()), w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CheckErr != nil {
+			t.Fatal(r.CheckErr)
+		}
+		fps[i] = fingerprint(r)
+	}
+	if fps[0] != fps[1] {
+		t.Fatalf("spinlock diverged:\n per-cycle: %s\n event:     %s", fps[0], fps[1])
+	}
+}

@@ -32,7 +32,9 @@ func workload() *program.Workload {
 		b.Li(4, rounds)
 		b.Label("loop")
 		b.Li(10, lockVar)
-		b.LockAcquire(8, 9, 10, 0)
+		// Contended probes back off 16 cycles (the x86 PAUSE hint),
+		// giving the event-driven engine idle windows to skip.
+		b.LockAcquirePause(8, 9, 10, 0, 16)
 		// Critical section: non-atomic read-modify-write. Lost updates
 		// here mean the lock (and the protocol under it) is broken.
 		b.Li(6, counter)

@@ -5,10 +5,13 @@ import "repro/internal/sim"
 // Controller is the engine-facing interface of any coherence endpoint
 // (L1 or L2). Deliver is the mesh endpoint hook; Busy reports whether
 // transactions, queued messages or timers are still outstanding (used by
-// the system-level completion and deadlock checks).
+// the system-level completion and deadlock checks); NextWake is the
+// sim.WakeHinter scheduling contract (the earliest cycle the controller
+// may act on its own, or sim.WakeNever).
 type Controller interface {
 	Deliver(now sim.Cycle, m *Msg)
 	Tick(now sim.Cycle)
+	NextWake(now sim.Cycle) sim.Cycle
 	Busy() bool
 	// SnoopBlock returns the controller's copy of the block at addr if it
 	// holds an authoritative one (L1: Exclusive/Modified; L2: any valid

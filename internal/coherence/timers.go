@@ -2,47 +2,147 @@ package coherence
 
 import "repro/internal/sim"
 
+// timerKind selects which of an event's callback shapes fires. The
+// split exists so the hot paths (L1 hit completions) can schedule a
+// pre-existing callback value with a payload instead of allocating a
+// fresh closure per operation.
+type timerKind uint8
+
+const (
+	timerFn   timerKind = iota // fn(now)
+	timerVal                   // valCb(val)
+	timerDone                  // doneCb()
+	timerMsg                   // msgCb(now, msg)
+)
+
+type timerEvent struct {
+	cycle sim.Cycle
+	seq   uint64
+	kind  timerKind
+	val   uint64
+	msg   *Msg
+	fn    func(now sim.Cycle)
+	valCb func(val uint64)
+	done  func()
+	msgCb func(now sim.Cycle, m *Msg)
+}
+
 // Timers schedules deferred actions inside a controller (array access
 // latencies, memory fills). Actions scheduled for the same cycle run in
-// scheduling order, keeping controllers deterministic.
+// scheduling order, keeping controllers deterministic. The store is a
+// binary min-heap ordered by (cycle, scheduling sequence), so the
+// earliest deadline is exposed in O(1) for the engine's idle-skip
+// scheduling and firing is allocation-free in steady state.
 type Timers struct {
-	due map[sim.Cycle][]func(now sim.Cycle)
+	heap []timerEvent
+	seq  uint64
+}
+
+func (t *Timers) push(ev timerEvent) {
+	ev.seq = t.seq
+	t.seq++
+	t.heap = append(t.heap, ev)
+	i := len(t.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !t.less(i, p) {
+			break
+		}
+		t.heap[i], t.heap[p] = t.heap[p], t.heap[i]
+		i = p
+	}
+}
+
+func (t *Timers) less(i, j int) bool {
+	a, b := &t.heap[i], &t.heap[j]
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	return a.seq < b.seq
+}
+
+func (t *Timers) pop() timerEvent {
+	top := t.heap[0]
+	n := len(t.heap) - 1
+	t.heap[0] = t.heap[n]
+	t.heap[n] = timerEvent{} // drop callback refs
+	t.heap = t.heap[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && t.less(l, s) {
+			s = l
+		}
+		if r < n && t.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		t.heap[i], t.heap[s] = t.heap[s], t.heap[i]
+		i = s
+	}
+	return top
 }
 
 // At schedules f to run at cycle c (or the next tick if c is in the past).
 func (t *Timers) At(c sim.Cycle, f func(now sim.Cycle)) {
-	if t.due == nil {
-		t.due = make(map[sim.Cycle][]func(now sim.Cycle))
-	}
-	t.due[c] = append(t.due[c], f)
+	t.push(timerEvent{cycle: c, kind: timerFn, fn: f})
 }
 
-// Tick runs every action due at now.
+// AtVal schedules cb(val) at cycle c. Unlike At with a capturing
+// closure, this allocates nothing: cb is an existing callback value and
+// val rides in the event.
+func (t *Timers) AtVal(c sim.Cycle, cb func(val uint64), val uint64) {
+	t.push(timerEvent{cycle: c, kind: timerVal, valCb: cb, val: val})
+}
+
+// AtDone schedules cb() at cycle c without allocating.
+func (t *Timers) AtDone(c sim.Cycle, cb func()) {
+	t.push(timerEvent{cycle: c, kind: timerDone, done: cb})
+}
+
+// AtMsg schedules cb(now, m) at cycle c without allocating (cb should be
+// a callback value stored once by the controller, e.g. its send method).
+func (t *Timers) AtMsg(c sim.Cycle, cb func(now sim.Cycle, m *Msg), m *Msg) {
+	t.push(timerEvent{cycle: c, kind: timerMsg, msgCb: cb, msg: m})
+}
+
+// Tick runs every action due at or before now, in (cycle, scheduling)
+// order.
 func (t *Timers) Tick(now sim.Cycle) {
-	fns, ok := t.due[now]
-	if !ok {
-		return
+	for len(t.heap) > 0 && t.heap[0].cycle <= now {
+		ev := t.pop()
+		switch ev.kind {
+		case timerFn:
+			ev.fn(now)
+		case timerVal:
+			ev.valCb(ev.val)
+		case timerDone:
+			ev.done()
+		case timerMsg:
+			ev.msgCb(now, ev.msg)
+		}
 	}
-	delete(t.due, now)
-	for _, f := range fns {
-		f(now)
+}
+
+// NextDue reports the earliest scheduled cycle (engine wake hint).
+func (t *Timers) NextDue() (sim.Cycle, bool) {
+	if len(t.heap) == 0 {
+		return 0, false
 	}
+	return t.heap[0].cycle, true
 }
 
 // Pending reports the number of scheduled actions (deadlock diagnostics).
-func (t *Timers) Pending() int {
-	n := 0
-	for _, fns := range t.due {
-		n += len(fns)
-	}
-	return n
-}
+func (t *Timers) Pending() int { return len(t.heap) }
 
 // DueCycles lists the cycles with scheduled actions (diagnostics).
 func (t *Timers) DueCycles() []sim.Cycle {
 	var out []sim.Cycle
-	for c := range t.due {
-		out = append(out, c)
+	for i := range t.heap {
+		out = append(out, t.heap[i].cycle)
 	}
 	return out
 }

@@ -29,6 +29,11 @@ type System struct {
 	MeshRows    int // 0 = auto
 
 	MaxCycles sim.Cycle // simulation safety limit
+
+	// PerCycleEngine forces the engine's per-cycle conformance mode
+	// instead of event-driven idle-skip scheduling. Both modes produce
+	// bit-identical results; per-cycle exists as the A/B baseline.
+	PerCycleEngine bool
 }
 
 // Table2 returns the paper's 32-core configuration.

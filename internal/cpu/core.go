@@ -31,13 +31,33 @@ type Core struct {
 	regs [program.NumRegs]int64
 	pc   int
 
+	// The write buffer is a fixed-capacity FIFO ring: entries enter at
+	// (head+len)%cap and drain from head, so steady-state store traffic
+	// allocates nothing.
 	wb         []wbEntry
-	wbCap      int
+	wbHead     int
+	wbLen      int
 	wbInFlight bool
+	wbStalled  bool // last drain attempt was rejected by the L1
 
 	waiting    bool // blocked on an outstanding load/RMW/fence callback
 	stallUntil sim.Cycle
 	halted     bool
+
+	// Completion callbacks handed to the L1. The core has at most one
+	// outstanding operation of each kind, so a single preallocated
+	// closure per kind (with the variable bits stored in fields) keeps
+	// the issue path allocation-free.
+	loadCb  func(val uint64)
+	rmwCb   func(old uint64)
+	storeCb func()
+	fenceCb func()
+	opDst   uint8 // destination register of the in-flight load/RMW
+
+	// Preallocated RMW modify functions; the operands of the in-flight
+	// atomic live in rmwA/rmwB.
+	fAdd, fXchg, fCas func(old uint64) (uint64, bool)
+	rmwA, rmwB        uint64
 
 	// Stats.
 	Loads        stats.Counter
@@ -47,7 +67,10 @@ type Core struct {
 	Instructions stats.Counter
 	WBForwards   stats.Counter
 	WBFullStalls stats.Counter
-	FinishCycle  sim.Cycle
+	// FinishCycle is the first ticked cycle at which the core observed
+	// itself fully done (diagnostic only; under idle-skip scheduling a
+	// quiescent core may never tick again, leaving it zero).
+	FinishCycle sim.Cycle
 
 	rmwIssue sim.Cycle
 }
@@ -58,12 +81,35 @@ func New(id int, prog *program.Program, port coherence.CorePort, wbEntries int) 
 	if wbEntries <= 0 {
 		panic("cpu: write buffer must have at least one entry")
 	}
-	return &Core{ID: id, prog: prog, port: port, wbCap: wbEntries}
+	c := &Core{ID: id, prog: prog, port: port, wb: make([]wbEntry, wbEntries)}
+	c.loadCb = func(val uint64) {
+		c.regs[c.opDst] = int64(val)
+		c.waiting = false
+	}
+	c.rmwCb = func(old uint64) {
+		c.regs[c.opDst] = int64(old)
+		c.waiting = false
+	}
+	c.storeCb = func() {
+		c.wbHead = (c.wbHead + 1) % len(c.wb)
+		c.wbLen--
+		c.wbInFlight = false
+	}
+	c.fenceCb = func() { c.waiting = false }
+	c.fAdd = func(old uint64) (uint64, bool) { return old + c.rmwA, true }
+	c.fXchg = func(old uint64) (uint64, bool) { return c.rmwA, true }
+	c.fCas = func(old uint64) (uint64, bool) {
+		if old == c.rmwA {
+			return c.rmwB, true
+		}
+		return 0, false
+	}
+	return c
 }
 
 // Done reports whether the core has halted and fully drained its writes.
 func (c *Core) Done() bool {
-	return c.halted && len(c.wb) == 0 && !c.wbInFlight && !c.waiting
+	return c.halted && c.wbLen == 0 && !c.wbInFlight && !c.waiting
 }
 
 // Reg returns the architectural value of register r (for tests/litmus).
@@ -94,17 +140,39 @@ func (c *Core) Tick(now sim.Cycle) {
 }
 
 func (c *Core) drainWriteBuffer(now sim.Cycle) {
-	if c.wbInFlight || len(c.wb) == 0 {
+	if c.wbInFlight || c.wbLen == 0 {
 		return
 	}
-	head := c.wb[0]
-	ok := c.port.Store(now, head.addr, head.val, func() {
-		c.wb = c.wb[1:]
-		c.wbInFlight = false
-	})
-	if ok {
+	head := c.wb[c.wbHead]
+	if c.port.Store(now, head.addr, head.val, c.storeCb) {
 		c.wbInFlight = true
+		c.wbStalled = false
+	} else {
+		// The L1 declined (a same-block load or another write is in
+		// flight there). It can only free up on a cycle where it handles
+		// a message or timer — an active cycle, on which this core ticks
+		// and retries — so no self-scheduled wake is needed.
+		c.wbStalled = true
 	}
+}
+
+// NextWake implements sim.WakeHinter. The core must be ticked while it
+// has self-driven work: an instruction to execute, a stall expiring, or
+// a write-buffer head to (re)issue. While blocked on an L1 callback it
+// is externally driven — the L1's own wake hint covers the cycle the
+// callback fires, and the core (registered after its L1) ticks that
+// same cycle.
+func (c *Core) NextWake(now sim.Cycle) sim.Cycle {
+	if c.wbLen > 0 && !c.wbInFlight && !c.wbStalled {
+		return now + 1 // a freshly buffered store to issue
+	}
+	if c.halted || c.waiting {
+		return sim.WakeNever
+	}
+	if now+1 < c.stallUntil {
+		return c.stallUntil
+	}
+	return now + 1
 }
 
 func (c *Core) execute(now sim.Cycle, in program.Instr) {
@@ -195,20 +263,17 @@ func (c *Core) doLoad(now sim.Cycle, in program.Instr) bool {
 	addr := c.effAddr(in)
 	// Store→load forwarding: newest matching write-buffer entry wins.
 	// TSO requires reads of pending writes to see them.
-	for i := len(c.wb) - 1; i >= 0; i-- {
-		if c.wb[i].addr == addr {
-			c.regs[in.Dst] = int64(c.wb[i].val)
+	for i := c.wbLen - 1; i >= 0; i-- {
+		e := &c.wb[(c.wbHead+i)%len(c.wb)]
+		if e.addr == addr {
+			c.regs[in.Dst] = int64(e.val)
 			c.Loads.Inc()
 			c.WBForwards.Inc()
 			return true
 		}
 	}
-	dst := in.Dst
-	ok := c.port.Load(now, addr, func(val uint64) {
-		c.regs[dst] = int64(val)
-		c.waiting = false
-	})
-	if !ok {
+	c.opDst = in.Dst
+	if !c.port.Load(now, addr, c.loadCb) {
 		return false // port busy; retry next cycle without advancing pc
 	}
 	c.Loads.Inc()
@@ -219,45 +284,37 @@ func (c *Core) doLoad(now sim.Cycle, in program.Instr) bool {
 }
 
 func (c *Core) doStore(now sim.Cycle, in program.Instr) bool {
-	if len(c.wb) >= c.wbCap {
+	if c.wbLen >= len(c.wb) {
 		c.WBFullStalls.Inc()
 		return false // write buffer full; retry
 	}
-	c.wb = append(c.wb, wbEntry{addr: c.effAddr(in), val: uint64(c.regs[in.B])})
+	c.wb[(c.wbHead+c.wbLen)%len(c.wb)] = wbEntry{addr: c.effAddr(in), val: uint64(c.regs[in.B])}
+	c.wbLen++
 	c.Stores.Inc()
 	return true
 }
 
 func (c *Core) doAtomic(now sim.Cycle, in program.Instr) bool {
 	// x86 locked operations drain the write buffer first (full barrier).
-	if len(c.wb) > 0 || c.wbInFlight {
+	if c.wbLen > 0 || c.wbInFlight {
 		return false
 	}
 	addr := c.effAddr(in)
 	var f func(old uint64) (uint64, bool)
 	switch in.Op {
 	case program.OpRmwAdd:
-		operand := uint64(c.regs[in.B])
-		f = func(old uint64) (uint64, bool) { return old + operand, true }
+		c.rmwA = uint64(c.regs[in.B])
+		f = c.fAdd
 	case program.OpRmwXchg:
-		operand := uint64(c.regs[in.B])
-		f = func(old uint64) (uint64, bool) { return operand, true }
+		c.rmwA = uint64(c.regs[in.B])
+		f = c.fXchg
 	case program.OpCas:
-		expect := uint64(c.regs[in.B])
-		next := uint64(c.regs[in.C])
-		f = func(old uint64) (uint64, bool) {
-			if old == expect {
-				return next, true
-			}
-			return 0, false
-		}
+		c.rmwA = uint64(c.regs[in.B])
+		c.rmwB = uint64(c.regs[in.C])
+		f = c.fCas
 	}
-	dst := in.Dst
-	ok := c.port.RMW(now, addr, f, func(old uint64) {
-		c.regs[dst] = int64(old)
-		c.waiting = false
-	})
-	if !ok {
+	c.opDst = in.Dst
+	if !c.port.RMW(now, addr, f, c.rmwCb) {
 		return false
 	}
 	c.RMWs.Inc()
@@ -268,11 +325,10 @@ func (c *Core) doAtomic(now sim.Cycle, in program.Instr) bool {
 }
 
 func (c *Core) doFence(now sim.Cycle) bool {
-	if len(c.wb) > 0 || c.wbInFlight {
+	if c.wbLen > 0 || c.wbInFlight {
 		return false
 	}
-	ok := c.port.Fence(now, func() { c.waiting = false })
-	if !ok {
+	if !c.port.Fence(now, c.fenceCb) {
 		return false
 	}
 	c.Fences.Inc()
@@ -289,5 +345,5 @@ func (c *Core) Debug() string {
 		instr = c.prog.Instrs[c.pc-1].String()
 	}
 	return fmt.Sprintf("core %d: pc=%d (prev: %s) halted=%v waiting=%v wb=%d inflight=%v stallUntil=%d",
-		c.ID, c.pc, instr, c.halted, c.waiting, len(c.wb), c.wbInFlight, c.stallUntil)
+		c.ID, c.pc, instr, c.halted, c.waiting, c.wbLen, c.wbInFlight, c.stallUntil)
 }

@@ -22,11 +22,16 @@ type Way[L any] struct {
 	Meta    L
 }
 
-// Cache is a set-associative array indexed by block address.
+// Cache is a set-associative array indexed by block address. Storage is
+// fully array-backed: every way lives in one contiguous slice and every
+// data block is a window into one contiguous byte array, so building a
+// cache is two allocations (not sets×ways) and walking a set touches
+// adjacent memory instead of chasing per-way pointers.
 type Cache[L any] struct {
-	sets     [][]*Way[L]
+	ways     []Way[L] // set-major: ways[set*waysPerSet : (set+1)*waysPerSet]
+	data     []byte   // BlockSize bytes per way, same order
 	setMask  uint64
-	ways     int
+	perSet   int
 	useClock int64
 }
 
@@ -44,37 +49,37 @@ func NewCache[L any](sizeBytes, ways int) *Cache[L] {
 	if numSets&(numSets-1) != 0 {
 		panic(fmt.Sprintf("memsys: set count %d not a power of two", numSets))
 	}
+	total := numSets * ways
 	c := &Cache[L]{
-		sets:    make([][]*Way[L], numSets),
+		ways:    make([]Way[L], total),
+		data:    make([]byte, total*coherence.BlockSize),
 		setMask: uint64(numSets - 1),
-		ways:    ways,
+		perSet:  ways,
 	}
-	for i := range c.sets {
-		set := make([]*Way[L], ways)
-		for w := range set {
-			set[w] = &Way[L]{Data: make([]byte, coherence.BlockSize)}
-		}
-		c.sets[i] = set
+	for i := range c.ways {
+		c.ways[i].Data = c.data[i*coherence.BlockSize : (i+1)*coherence.BlockSize : (i+1)*coherence.BlockSize]
 	}
 	return c
 }
 
 // Sets reports the number of sets.
-func (c *Cache[L]) Sets() int { return len(c.sets) }
+func (c *Cache[L]) Sets() int { return len(c.ways) / c.perSet }
 
 // WaysPerSet reports the associativity.
-func (c *Cache[L]) WaysPerSet() int { return c.ways }
+func (c *Cache[L]) WaysPerSet() int { return c.perSet }
 
-func (c *Cache[L]) setFor(addr uint64) []*Way[L] {
-	return c.sets[(addr>>coherence.BlockShift)&c.setMask]
+func (c *Cache[L]) setFor(addr uint64) []Way[L] {
+	s := int((addr >> coherence.BlockShift) & c.setMask)
+	return c.ways[s*c.perSet : (s+1)*c.perSet]
 }
 
 // Lookup returns the way holding addr and refreshes its LRU state, or
 // nil on miss.
 func (c *Cache[L]) Lookup(addr uint64) *Way[L] {
 	addr = coherence.BlockAddr(addr)
-	for _, w := range c.setFor(addr) {
-		if w.Valid && w.Tag == addr {
+	set := c.setFor(addr)
+	for i := range set {
+		if w := &set[i]; w.Valid && w.Tag == addr {
 			c.useClock++
 			w.lastUse = c.useClock
 			return w
@@ -86,8 +91,9 @@ func (c *Cache[L]) Lookup(addr uint64) *Way[L] {
 // Peek returns the way holding addr without touching LRU state.
 func (c *Cache[L]) Peek(addr uint64) *Way[L] {
 	addr = coherence.BlockAddr(addr)
-	for _, w := range c.setFor(addr) {
-		if w.Valid && w.Tag == addr {
+	set := c.setFor(addr)
+	for i := range set {
+		if w := &set[i]; w.Valid && w.Tag == addr {
 			return w
 		}
 	}
@@ -100,7 +106,9 @@ func (c *Cache[L]) Peek(addr uint64) *Way[L] {
 // The returned way may still hold a valid line that needs eviction.
 func (c *Cache[L]) Victim(addr uint64) *Way[L] {
 	var lru *Way[L]
-	for _, w := range c.setFor(coherence.BlockAddr(addr)) {
+	set := c.setFor(coherence.BlockAddr(addr))
+	for i := range set {
+		w := &set[i]
 		if w.Busy {
 			continue
 		}
@@ -139,8 +147,9 @@ func (c *Cache[L]) Invalidate(w *Way[L]) {
 
 // AnyBusy reports whether any way in addr's set is transaction-busy.
 func (c *Cache[L]) AnyBusy(addr uint64) bool {
-	for _, w := range c.setFor(coherence.BlockAddr(addr)) {
-		if w.Busy {
+	set := c.setFor(coherence.BlockAddr(addr))
+	for i := range set {
+		if set[i].Busy {
 			return true
 		}
 	}
@@ -149,11 +158,9 @@ func (c *Cache[L]) AnyBusy(addr uint64) bool {
 
 // ForEachValid visits every valid way in deterministic (set, way) order.
 func (c *Cache[L]) ForEachValid(fn func(w *Way[L])) {
-	for _, set := range c.sets {
-		for _, w := range set {
-			if w.Valid {
-				fn(w)
-			}
+	for i := range c.ways {
+		if c.ways[i].Valid {
+			fn(&c.ways[i])
 		}
 	}
 }

@@ -31,15 +31,11 @@ type Config struct {
 	LocalDelay  sim.Cycle // delivery delay between co-located endpoints
 }
 
-type delivery struct {
-	msg *coherence.Msg
-	dst Endpoint
-	seq int64
-}
-
 // Network is the mesh interconnect. It implements sim.Ticker; it must be
 // ticked before the attached controllers each cycle so that messages due
-// at cycle t are visible to controllers at cycle t.
+// at cycle t are visible to controllers at cycle t. Pending deliveries
+// live in a calendar queue (bucketed ring + overflow heap) that exposes
+// the earliest deadline, enabling the engine's idle-skip scheduling.
 type Network struct {
 	cfg   Config
 	rows  int
@@ -50,8 +46,14 @@ type Network struct {
 	// router r in direction d is reserved.
 	linkBusy [4][]sim.Cycle
 
-	queue map[sim.Cycle][]delivery
-	seq   int64
+	q       calQueue
+	seq     int64
+	scratch []delivery
+
+	// Pool recycles coherence messages flowing through this network.
+	// Protocol controllers draw their messages from here and return them
+	// once consumed.
+	Pool coherence.MsgPool
 
 	// Traffic accounting.
 	MsgsSent     stats.Counter
@@ -93,7 +95,6 @@ func New(cfg Config) *Network {
 		rows:  rows,
 		cols:  cols,
 		nodes: make(map[coherence.NodeID]*attachment),
-		queue: make(map[sim.Cycle][]delivery),
 	}
 	for d := 0; d < 4; d++ {
 		n.linkBusy[d] = make([]sim.Cycle, rows*cols)
@@ -141,7 +142,7 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	if !ok {
 		panic(fmt.Sprintf("mesh: unknown dst %d", m.Dst))
 	}
-	if TraceAddr != 0 && m.Addr == TraceAddr {
+	if TraceAll || (TraceAddr != 0 && m.Addr == TraceAddr) {
 		TraceLog = append(TraceLog, fmt.Sprintf("cyc=%d %s", now, m))
 	}
 	flits := m.Type.Flits()
@@ -182,18 +183,6 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	n.schedule(t+1, m, dst.ep)
 }
 
-// Broadcast sends a copy of m to every destination in dsts.
-func (n *Network) Broadcast(now sim.Cycle, m *coherence.Msg, dsts []coherence.NodeID) {
-	for _, d := range dsts {
-		cp := *m
-		cp.Dst = d
-		if m.Data != nil {
-			cp.Data = append([]byte(nil), m.Data...)
-		}
-		n.Send(now, &cp)
-	}
-}
-
 func (n *Network) xyStep(r, dst int) (dir, next int) {
 	rx, ry := r%n.cols, r/n.cols
 	dx, dy := dst%n.cols, dst/n.cols
@@ -211,31 +200,39 @@ func (n *Network) xyStep(r, dst int) (dir, next int) {
 }
 
 func (n *Network) schedule(at sim.Cycle, m *coherence.Msg, ep Endpoint) {
-	n.queue[at] = append(n.queue[at], delivery{msg: m, dst: ep, seq: n.seq})
+	n.q.schedule(delivery{at: at, seq: n.seq, msg: m, dst: ep})
 	n.seq++
 }
 
-// Tick delivers all messages due at cycle now, in send order.
+// Tick delivers all messages due at cycle now, in send order. The
+// engine must not skip past a pending deadline (Tick panics if it
+// detects one was missed).
 func (n *Network) Tick(now sim.Cycle) {
-	due, ok := n.queue[now]
-	if !ok {
+	if n.q.pending == 0 {
+		n.q.base = now
 		return
 	}
-	delete(n.queue, now)
-	for _, d := range due {
-		d.dst.Deliver(now, d.msg)
+	due := n.q.pop(now, n.scratch)
+	n.scratch = due[:0]
+	for i := range due {
+		if TraceAll {
+			TraceLog = append(TraceLog, fmt.Sprintf("cyc=%d DELIVER(seq=%d) %s", now, due[i].seq, due[i].msg))
+		}
+		due[i].dst.Deliver(now, due[i].msg)
 	}
+}
+
+// NextWake implements sim.WakeHinter: the earliest pending delivery.
+func (n *Network) NextWake(now sim.Cycle) sim.Cycle {
+	if at, ok := n.q.earliestDeadline(); ok {
+		return at
+	}
+	return sim.WakeNever
 }
 
 // Pending reports the number of undelivered messages (used by completion
 // checks and deadlock diagnostics).
-func (n *Network) Pending() int {
-	total := 0
-	for _, ds := range n.queue {
-		total += len(ds)
-	}
-	return total
-}
+func (n *Network) Pending() int { return n.q.pending }
 
 // HopDistance reports the XY hop count between two node IDs.
 func (n *Network) HopDistance(a, b coherence.NodeID) int {
@@ -261,6 +258,9 @@ func abs(x int) int {
 
 // TraceAddr enables message tracing for one block address (debug only).
 var TraceAddr uint64
+
+// TraceAll traces every message (debug only).
+var TraceAll bool
 
 // TraceLog accumulates traced messages.
 var TraceLog []string

@@ -129,10 +129,14 @@ func TestPerPairFIFO(t *testing.T) {
 	}
 }
 
-func TestBroadcast(t *testing.T) {
+func TestBroadcastFanOut(t *testing.T) {
+	// Protocol broadcasts (TS resets, SRO invalidations) are per-copy
+	// sends; fan-out from one source must reach every destination.
 	n, sinks := build(8)
 	dsts := []coherence.NodeID{1, 2, 3, 4, 5, 6, 7}
-	n.Broadcast(0, &coherence.Msg{Type: coherence.MsgTSResetL1, Src: 0}, dsts)
+	for _, d := range dsts {
+		n.Send(0, &coherence.Msg{Type: coherence.MsgTSResetL1, Src: 0, Dst: d})
+	}
 	run(n, 50)
 	for _, d := range dsts {
 		if len(sinks[d].got) != 1 {

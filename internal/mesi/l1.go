@@ -50,15 +50,21 @@ type L1 struct {
 	cores  int
 	cache  *memsys.Cache[l1Line]
 	net    *mesh.Network
+	pool   *coherence.MsgPool
 	hitLat sim.Cycle
 
 	timers coherence.Timers
 	inbox  []*coherence.Msg
 
-	rd *readTx
-	wr *writeTx
+	// rd/wr point at rdBuf/wrBuf when active: one read and one write
+	// transaction at a time, so the records are preallocated scratch.
+	rd    *readTx
+	wr    *writeTx
+	rdBuf readTx
+	wrBuf writeTx
 
-	evict map[uint64]*evictEntry
+	evict     map[uint64]*evictEntry
+	evictFree []*evictEntry
 
 	Stats coherence.L1Stats
 }
@@ -76,6 +82,7 @@ func NewL1(core, cores int, sizeBytes, ways int, hitLat sim.Cycle, net *mesh.Net
 		cores:  cores,
 		cache:  memsys.NewCache[l1Line](sizeBytes, ways),
 		net:    net,
+		pool:   &net.Pool,
 		hitLat: hitLat,
 		evict:  make(map[uint64]*evictEntry),
 	}
@@ -86,9 +93,26 @@ func (l *L1) home(addr uint64) coherence.NodeID {
 	return coherence.L2ID(tile, l.cores)
 }
 
-func (l *L1) send(now sim.Cycle, m *coherence.Msg) {
+// send stamps a pooled copy of tmpl (payload taken from data, not
+// tmpl.Data) and injects it into the mesh.
+func (l *L1) send(now sim.Cycle, tmpl coherence.Msg, data []byte) {
+	m := l.pool.NewFrom(tmpl, data)
 	m.Src = l.id
 	l.net.Send(now, m)
+}
+
+// newEvict builds an eviction-buffer entry from the free list.
+func (l *L1) newEvict(data []byte, dirty bool) *evictEntry {
+	var e *evictEntry
+	if n := len(l.evictFree); n > 0 {
+		e = l.evictFree[n-1]
+		l.evictFree = l.evictFree[:n-1]
+	} else {
+		e = &evictEntry{}
+	}
+	e.data = append(e.data[:0], data...)
+	e.dirty, e.transferred = dirty, false
+	return e
 }
 
 // Deliver implements mesh.Endpoint.
@@ -101,15 +125,29 @@ func (l *L1) Tick(now sim.Cycle) {
 		return
 	}
 	msgs := l.inbox
-	l.inbox = nil
+	l.inbox = l.inbox[:0]
 	for _, m := range msgs {
 		l.handle(now, m)
+		l.pool.Put(m) // L1 handlers never retain a delivered message
 	}
 }
 
 // Busy reports whether any transaction is outstanding (completion check).
 func (l *L1) Busy() bool {
 	return l.rd != nil || l.wr != nil || len(l.evict) > 0 || l.timers.Pending() > 0 || len(l.inbox) > 0
+}
+
+// NextWake implements sim.WakeHinter: the earliest due timer, or next
+// cycle if messages are queued. Outstanding transactions need no wake of
+// their own — they advance only when a message or timer fires.
+func (l *L1) NextWake(now sim.Cycle) sim.Cycle {
+	if len(l.inbox) > 0 {
+		return now + 1
+	}
+	if due, ok := l.timers.NextDue(); ok {
+		return due
+	}
+	return sim.WakeNever
 }
 
 // ---- CorePort ----
@@ -129,13 +167,13 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 		} else {
 			l.Stats.ReadHitPrivate.Inc()
 		}
-		val := memsys.GetWord(w.Data, addr)
-		l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(val) })
+		l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
 		return true
 	}
 	l.Stats.ReadMissInvalid.Inc()
-	l.rd = &readTx{addr: blk, wordAddr: addr, cb: cb}
-	l.send(now, &coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb}
+	l.rd = &l.rdBuf
+	l.send(now, coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
 	return true
 }
 
@@ -152,7 +190,7 @@ func (l *L1) Store(now sim.Cycle, addr uint64, val uint64, cb func()) bool {
 		w.Meta.state = stateM
 		memsys.PutWord(w.Data, addr, val)
 		l.Stats.WriteHitPrivate.Inc()
-		l.timers.At(now+1, func(sim.Cycle) { cb() })
+		l.timers.AtDone(now+1, cb)
 		return true
 	}
 	upgrade := false
@@ -166,8 +204,9 @@ func (l *L1) Store(now sim.Cycle, addr uint64, val uint64, cb func()) bool {
 	} else {
 		l.Stats.WriteMissInvalid.Inc()
 	}
-	l.wr = &writeTx{addr: blk, wordAddr: addr, val: val, storeCb: cb, issued: now, upgrade: upgrade}
-	l.send(now, &coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	l.wrBuf = writeTx{addr: blk, wordAddr: addr, val: val, storeCb: cb, issued: now, upgrade: upgrade}
+	l.wr = &l.wrBuf
+	l.send(now, coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
 	return true
 }
 
@@ -188,7 +227,7 @@ func (l *L1) RMW(now sim.Cycle, addr uint64, f func(uint64) (uint64, bool), cb f
 		}
 		l.Stats.WriteHitPrivate.Inc()
 		l.Stats.RMWLat.Observe(int64(l.hitLat))
-		l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(old) })
+		l.timers.AtVal(now+l.hitLat, cb, old)
 		return true
 	}
 	upgrade := false
@@ -199,15 +238,16 @@ func (l *L1) RMW(now sim.Cycle, addr uint64, f func(uint64) (uint64, bool), cb f
 	} else {
 		l.Stats.WriteMissInvalid.Inc()
 	}
-	l.wr = &writeTx{addr: blk, wordAddr: addr, isRMW: true, f: f, rmwCb: cb, issued: now, upgrade: upgrade}
-	l.send(now, &coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	l.wrBuf = writeTx{addr: blk, wordAddr: addr, isRMW: true, f: f, rmwCb: cb, issued: now, upgrade: upgrade}
+	l.wr = &l.wrBuf
+	l.send(now, coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
 	return true
 }
 
 // Fence implements coherence.CorePort. MESI is eagerly coherent; a fence
 // needs no cache actions beyond the core's write-buffer drain.
 func (l *L1) Fence(now sim.Cycle, cb func()) bool {
-	l.timers.At(now+1, func(sim.Cycle) { cb() })
+	l.timers.AtDone(now+1, cb)
 	return true
 }
 
@@ -219,11 +259,11 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 		l.Stats.DataResponses.Inc()
 		if l.wr != nil && l.wr.addr == m.Addr {
 			l.completeWrite(now, m.Data)
-			l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr})
+			l.send(now, coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr}, nil)
 			return
 		}
 		l.completeRead(now, m, stateE)
-		l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr})
+		l.send(now, coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr}, nil)
 
 	case coherence.MsgDataS:
 		l.Stats.DataResponses.Inc()
@@ -233,7 +273,7 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 		l.Stats.DataResponses.Inc()
 		if l.wr != nil && l.wr.addr == m.Addr {
 			l.completeWrite(now, m.Data)
-			l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr})
+			l.send(now, coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr}, nil)
 			return
 		}
 		l.completeRead(now, m, stateS)
@@ -247,7 +287,7 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 			panic(fmt.Sprintf("mesi: L1 %d: UpgAck without Shared line %s", l.id, m))
 		}
 		l.completeWrite(now, nil)
-		l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr})
+		l.send(now, coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr}, nil)
 
 	case coherence.MsgFwdGetS:
 		l.handleFwdGetS(now, m)
@@ -259,7 +299,10 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 		l.handleInv(now, m)
 
 	case coherence.MsgPutAck:
-		delete(l.evict, m.Addr)
+		if e, ok := l.evict[m.Addr]; ok {
+			delete(l.evict, m.Addr)
+			l.evictFree = append(l.evictFree, e)
+		}
 
 	default:
 		panic(fmt.Sprintf("mesi: L1 %d: unexpected message %s", l.id, m))
@@ -333,14 +376,14 @@ func (l *L1) evictLine(now sim.Cycle, w *memsys.Way[l1Line]) {
 	addr := w.Tag
 	switch w.Meta.state {
 	case stateS:
-		l.send(now, &coherence.Msg{Type: coherence.MsgPutS, Dst: l.home(addr), Addr: addr})
+		l.send(now, coherence.Msg{Type: coherence.MsgPutS, Dst: l.home(addr), Addr: addr}, nil)
 	case stateE:
-		l.evict[addr] = &evictEntry{data: append([]byte(nil), w.Data...), dirty: false}
-		l.send(now, &coherence.Msg{Type: coherence.MsgPutE, Dst: l.home(addr), Addr: addr})
+		l.evict[addr] = l.newEvict(w.Data, false)
+		l.send(now, coherence.Msg{Type: coherence.MsgPutE, Dst: l.home(addr), Addr: addr}, nil)
 	case stateM:
-		l.evict[addr] = &evictEntry{data: append([]byte(nil), w.Data...), dirty: true}
-		l.send(now, &coherence.Msg{Type: coherence.MsgPutM, Dst: l.home(addr), Addr: addr,
-			Data: append([]byte(nil), w.Data...), Dirty: true})
+		l.evict[addr] = l.newEvict(w.Data, true)
+		l.send(now, coherence.Msg{Type: coherence.MsgPutM, Dst: l.home(addr), Addr: addr,
+			Dirty: true}, w.Data)
 	}
 	l.cache.Invalidate(w)
 }
@@ -349,18 +392,16 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 	if w := l.cache.Peek(m.Addr); w != nil && w.Meta.state != stateS {
 		dirty := w.Meta.state == stateM
 		w.Meta.state = stateS
-		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
-			Data: append([]byte(nil), w.Data...)})
-		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
-			Data: append([]byte(nil), w.Data...), Dirty: dirty})
+		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr}, w.Data)
+		l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
+			Dirty: dirty}, w.Data)
 		return
 	}
 	if e, ok := l.evict[m.Addr]; ok {
 		e.transferred = true
-		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
-			Data: append([]byte(nil), e.data...)})
-		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
-			Data: append([]byte(nil), e.data...), Dirty: e.dirty, NoCopy: true})
+		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr}, e.data)
+		l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
+			Dirty: e.dirty, NoCopy: true}, e.data)
 		return
 	}
 	panic(fmt.Sprintf("mesi: L1 %d: FwdGetS for absent line %s", l.id, m))
@@ -368,15 +409,15 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 
 func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
 	if w := l.cache.Peek(m.Addr); w != nil && w.Meta.state != stateS {
-		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
-			Data: append([]byte(nil), w.Data...), Dirty: w.Meta.state == stateM})
+		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Dirty: w.Meta.state == stateM}, w.Data)
 		l.cache.Invalidate(w)
 		return
 	}
 	if e, ok := l.evict[m.Addr]; ok {
 		e.transferred = true
-		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
-			Data: append([]byte(nil), e.data...), Dirty: e.dirty})
+		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Dirty: e.dirty}, e.data)
 		return
 	}
 	panic(fmt.Sprintf("mesi: L1 %d: FwdGetX for absent line %s", l.id, m))
@@ -390,23 +431,23 @@ func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
 	if w := l.cache.Peek(m.Addr); w != nil {
 		if w.Meta.state != stateS {
 			// Directory recall of an exclusive line (L2 eviction).
-			l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
-				Data: append([]byte(nil), w.Data...), Dirty: w.Meta.state == stateM})
+			l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
+				Dirty: w.Meta.state == stateM}, w.Data)
 			l.cache.Invalidate(w)
 			return
 		}
 		l.cache.Invalidate(w)
-		l.send(now, &coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr})
+		l.send(now, coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr}, nil)
 		return
 	}
 	if e, ok := l.evict[m.Addr]; ok {
 		e.transferred = true
-		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
-			Data: append([]byte(nil), e.data...), Dirty: e.dirty})
+		l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
+			Dirty: e.dirty}, e.data)
 		return
 	}
 	// Invalidation for a line we no longer hold (crossed a PutS).
-	l.send(now, &coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr})
+	l.send(now, coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr}, nil)
 }
 
 // Debug renders outstanding transaction state (deadlock diagnostics).

@@ -49,15 +49,27 @@ type L2 struct {
 	cores int
 	cache *memsys.Cache[l2Line]
 	net   *mesh.Network
+	pool  *coherence.MsgPool
 	mem   *memsys.Memory
 
 	accessLat sim.Cycle
 
 	timers  coherence.Timers
+	sendFn  func(now sim.Cycle, m *coherence.Msg) // bound once; see sendAfterAccess
 	inbox   []*coherence.Msg
 	tx      map[uint64]*l2Tx
+	txFree  []*l2Tx
 	waiting map[uint64][]*coherence.Msg
-	retryQ  []*coherence.Msg
+
+	// retryQ swaps with retryScratch each Tick: handlers may re-append
+	// to retryQ while the drained batch is still being iterated.
+	retryQ       []*coherence.Msg
+	retryScratch []*coherence.Msg
+
+	// retained marks whether the message currently being handled was
+	// stored (tx request, waiting queue, retry queue) and must not be
+	// recycled by the consume wrapper.
+	retained bool
 }
 
 // NewL2 builds directory tile `tile`.
@@ -65,17 +77,20 @@ func NewL2(tile, cores int, sizeBytes, ways int, accessLat sim.Cycle, net *mesh.
 	if cores > 64 {
 		panic("mesi: full sharing vector limited to 64 cores in this model")
 	}
-	return &L2{
+	l2 := &L2{
 		id:        coherence.L2ID(tile, cores),
 		tile:      tile,
 		cores:     cores,
 		cache:     memsys.NewCache[l2Line](sizeBytes, ways),
 		net:       net,
+		pool:      &net.Pool,
 		mem:       mem,
 		accessLat: accessLat,
 		tx:        make(map[uint64]*l2Tx),
 		waiting:   make(map[uint64][]*coherence.Msg),
 	}
+	l2.sendFn = l2.send
+	return l2
 }
 
 func (t *L2) send(now sim.Cycle, m *coherence.Msg) {
@@ -87,8 +102,63 @@ func (t *L2) send(now sim.Cycle, m *coherence.Msg) {
 // directory-originated message to an L1 must leave through the same
 // delay so that per-destination FIFO order matches processing order —
 // an invalidation must never overtake an earlier data response.
-func (t *L2) sendAfterAccess(now sim.Cycle, m *coherence.Msg) {
-	t.timers.At(now+t.accessLat, func(nw sim.Cycle) { t.send(nw, m) })
+func (t *L2) sendAfterAccess(now sim.Cycle, tmpl coherence.Msg, data []byte) {
+	t.timers.AtMsg(now+t.accessLat, t.sendFn, t.pool.NewFrom(tmpl, data))
+}
+
+// newTx builds a transaction record from the free list and registers it.
+func (t *L2) newTx(addr uint64, kind txKind, req *coherence.Msg, acks int) *l2Tx {
+	var tx *l2Tx
+	if n := len(t.txFree); n > 0 {
+		tx = t.txFree[n-1]
+		t.txFree = t.txFree[:n-1]
+	} else {
+		tx = &l2Tx{}
+	}
+	tx.kind, tx.req, tx.acksLeft = kind, req, acks
+	tx.nextOwner, tx.isUpgrade = 0, false
+	t.tx[addr] = tx
+	if req != nil {
+		t.retained = true
+	}
+	return tx
+}
+
+// delTx retires a transaction, recycling it and (optionally) the request
+// message it retained.
+func (t *L2) delTx(addr uint64, tx *l2Tx, freeReq bool) {
+	delete(t.tx, addr)
+	if freeReq && tx.req != nil {
+		t.pool.Put(tx.req)
+	}
+	tx.req = nil
+	t.txFree = append(t.txFree, tx)
+}
+
+// enqueueWaiting parks m behind a busy line; drainWaiting re-dispatches
+// it when the transaction retires. Owns the retained flag.
+func (t *L2) enqueueWaiting(m *coherence.Msg) {
+	t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+	t.retained = true
+}
+
+// enqueueRetry re-queues m for the next Tick. Owns the retained flag.
+func (t *L2) enqueueRetry(m *coherence.Msg) {
+	t.retryQ = append(t.retryQ, m)
+	t.retained = true
+}
+
+// consume dispatches a message the tile owns, recycling it unless a
+// handler retained it. Save/restore keeps nested consumption (a handler
+// draining the waiting queue) from clobbering the caller's flag.
+func (t *L2) consume(now sim.Cycle, m *coherence.Msg) {
+	saved := t.retained
+	t.retained = false
+	t.handle(now, m)
+	if !t.retained {
+		t.pool.Put(m)
+	}
+	t.retained = saved
 }
 
 // Deliver implements mesh.Endpoint.
@@ -99,23 +169,38 @@ func (t *L2) Busy() bool {
 	return len(t.tx) > 0 || len(t.retryQ) > 0 || len(t.inbox) > 0 || t.timers.Pending() > 0
 }
 
+// NextWake implements sim.WakeHinter: queued messages and retries need
+// the very next cycle; otherwise the earliest due timer.
+func (t *L2) NextWake(now sim.Cycle) sim.Cycle {
+	if len(t.inbox) > 0 || len(t.retryQ) > 0 {
+		return now + 1
+	}
+	if due, ok := t.timers.NextDue(); ok {
+		return due
+	}
+	return sim.WakeNever
+}
+
 // Tick processes timers, retries and inbox messages.
 func (t *L2) Tick(now sim.Cycle) {
 	t.timers.Tick(now)
 	if len(t.retryQ) > 0 {
 		rq := t.retryQ
-		t.retryQ = nil
+		t.retryQ = t.retryScratch[:0]
 		for _, m := range rq {
-			t.handle(now, m)
+			t.consume(now, m)
 		}
+		t.retryScratch = rq[:0]
 	}
 	if len(t.inbox) == 0 {
 		return
 	}
+	// Deliveries happen only inside Network.Tick, so nothing appends to
+	// the inbox while this batch drains; the backing array is reusable.
 	msgs := t.inbox
-	t.inbox = nil
+	t.inbox = t.inbox[:0]
 	for _, m := range msgs {
-		t.handle(now, m)
+		t.consume(now, m)
 	}
 }
 
@@ -145,7 +230,7 @@ func (t *L2) busyLine(addr uint64) bool {
 
 func (t *L2) handleRequest(now sim.Cycle, m *coherence.Msg) {
 	if t.busyLine(m.Addr) {
-		t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+		t.enqueueWaiting(m)
 		return
 	}
 	w := t.cache.Peek(m.Addr)
@@ -165,25 +250,25 @@ func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 	v := t.cache.Victim(m.Addr)
 	if v == nil {
 		// Every way busy: retry next cycle.
-		t.retryQ = append(t.retryQ, m)
+		t.enqueueRetry(m)
 		return
 	}
 	if v.Valid {
 		if t.cache.AnyBusy(m.Addr) {
 			// Another transaction (possibly an eviction) is active in
 			// this set; wait rather than evicting way after way.
-			t.retryQ = append(t.retryQ, m)
+			t.enqueueRetry(m)
 			return
 		}
 		if !t.evictLine(now, v) {
 			// Asynchronous eviction started; retry the request after.
-			t.retryQ = append(t.retryQ, m)
+			t.enqueueRetry(m)
 			return
 		}
 	}
 	t.cache.Install(v, m.Addr)
 	v.Busy = true
-	t.tx[m.Addr] = &l2Tx{kind: txMemFetch, req: m}
+	t.newTx(m.Addr, txMemFetch, m, 0)
 	lat := t.accessLat + t.mem.Latency(m.Addr)
 	addr := m.Addr
 	t.timers.At(now+lat, func(nw sim.Cycle) {
@@ -195,12 +280,21 @@ func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 		way.Meta.state = dirV
 		way.Busy = false
 		tx := t.tx[addr]
-		delete(t.tx, addr)
-		if tx.req.Type == coherence.MsgGetS {
-			t.serveGetS(nw, tx.req, way)
+		req := tx.req
+		t.delTx(addr, tx, false)
+		// The request's ownership flows into serve*: recycled here
+		// unless a fresh transaction retains it.
+		saved := t.retained
+		t.retained = false
+		if req.Type == coherence.MsgGetS {
+			t.serveGetS(nw, req, way)
 		} else {
-			t.serveGetX(nw, tx.req, way)
+			t.serveGetX(nw, req, way)
 		}
+		if !t.retained {
+			t.pool.Put(req)
+		}
+		t.retained = saved
 	})
 }
 
@@ -220,17 +314,17 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 		n := 0
 		for c := 0; c < t.cores; c++ {
 			if v.Meta.sharers&(1<<uint(c)) != 0 {
-				t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: addr})
+				t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: addr}, nil)
 				n++
 			}
 		}
 		v.Busy = true
-		t.tx[addr] = &l2Tx{kind: txEvict, acksLeft: n}
+		t.newTx(addr, txEvict, nil, n)
 		return false
 	case dirX:
-		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: v.Meta.owner, Addr: addr})
+		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: v.Meta.owner, Addr: addr}, nil)
 		v.Busy = true
-		t.tx[addr] = &l2Tx{kind: txEvict, acksLeft: 1}
+		t.newTx(addr, txEvict, nil, 1)
 		return false
 	}
 	panic("mesi: evictLine on invalid state")
@@ -241,7 +335,8 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 	case dirV:
 		// Grant Exclusive (the E optimization: no other sharers).
 		w.Busy = true
-		t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m, nextOwner: m.Requestor}
+		tx := t.newTx(m.Addr, txAwaitAck, m, 0)
+		tx.nextOwner = m.Requestor
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
 	case dirS:
 		w.Meta.sharers |= 1 << uint(int(m.Requestor))
@@ -251,8 +346,8 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 			panic(fmt.Sprintf("mesi: L2 %d: GetS from current owner %s", t.id, m))
 		}
 		w.Busy = true
-		t.tx[m.Addr] = &l2Tx{kind: txFwdGetS, req: m}
-		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgFwdGetS, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor})
+		t.newTx(m.Addr, txFwdGetS, m, 0)
+		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgFwdGetS, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor}, nil)
 	}
 }
 
@@ -261,7 +356,8 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 	switch w.Meta.state {
 	case dirV:
 		w.Busy = true
-		t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m, nextOwner: m.Requestor}
+		tx := t.newTx(m.Addr, txAwaitAck, m, 0)
+		tx.nextOwner = m.Requestor
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
 	case dirS:
 		isUpgrade := w.Meta.sharers&reqBit != 0
@@ -269,37 +365,40 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		for c := 0; c < t.cores; c++ {
 			bit := uint64(1) << uint(c)
 			if w.Meta.sharers&bit != 0 && coherence.L1ID(c) != m.Requestor {
-				t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: m.Addr})
+				t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: m.Addr}, nil)
 				others++
 			}
 		}
 		w.Busy = true
 		if others == 0 {
-			t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m, nextOwner: m.Requestor, isUpgrade: isUpgrade}
+			tx := t.newTx(m.Addr, txAwaitAck, m, 0)
+			tx.nextOwner, tx.isUpgrade = m.Requestor, isUpgrade
 			t.grantX(now, m, w, isUpgrade)
 		} else {
-			t.tx[m.Addr] = &l2Tx{kind: txInvColl, req: m, acksLeft: others, nextOwner: m.Requestor, isUpgrade: isUpgrade}
+			tx := t.newTx(m.Addr, txInvColl, m, others)
+			tx.nextOwner, tx.isUpgrade = m.Requestor, isUpgrade
 		}
 	case dirX:
 		if w.Meta.owner == m.Requestor {
 			panic(fmt.Sprintf("mesi: L2 %d: GetX from current owner %s", t.id, m))
 		}
 		w.Busy = true
-		t.tx[m.Addr] = &l2Tx{kind: txFwdGetX, req: m, nextOwner: m.Requestor}
-		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgFwdGetX, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor})
+		tx := t.newTx(m.Addr, txFwdGetX, m, 0)
+		tx.nextOwner = m.Requestor
+		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgFwdGetX, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor}, nil)
 	}
 }
 
 func (t *L2) grantX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line], isUpgrade bool) {
 	if isUpgrade {
-		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgUpgAck, Dst: m.Requestor, Addr: m.Addr})
+		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgUpgAck, Dst: m.Requestor, Addr: m.Addr}, nil)
 	} else {
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
 	}
 }
 
 func (t *L2) respond(now sim.Cycle, dst coherence.NodeID, typ coherence.MsgType, addr uint64, data []byte) {
-	t.sendAfterAccess(now, &coherence.Msg{Type: typ, Dst: dst, Addr: addr, Data: append([]byte(nil), data...)})
+	t.sendAfterAccess(now, coherence.Msg{Type: typ, Dst: dst, Addr: addr}, data)
 }
 
 func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
@@ -312,7 +411,7 @@ func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
 	w.Meta.owner = tx.nextOwner
 	w.Meta.sharers = 0
 	w.Busy = false
-	delete(t.tx, m.Addr)
+	t.delTx(m.Addr, tx, true)
 	t.drainWaiting(now, m.Addr)
 }
 
@@ -360,7 +459,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 		}
 		w.Meta.owner = 0
 		w.Busy = false
-		delete(t.tx, m.Addr)
+		t.delTx(m.Addr, tx, true)
 		t.drainWaiting(now, m.Addr)
 	case txEvict:
 		if m.Dirty {
@@ -378,7 +477,7 @@ func (t *L2) finishEvict(now sim.Cycle, w *memsys.Way[l2Line]) {
 	if w.Meta.dirty {
 		t.mem.WriteBlock(addr, w.Data)
 	}
-	delete(t.tx, addr)
+	t.delTx(addr, t.tx[addr], false)
 	t.cache.Invalidate(w)
 	// Requests that queued behind the eviction now miss and refetch.
 	t.drainWaiting(now, addr)
@@ -392,7 +491,7 @@ func (t *L2) handlePutS(now sim.Cycle, m *coherence.Msg) {
 	if t.busyLine(m.Addr) {
 		// An invalidation round may be counting this sharer; let the
 		// crossing InvAck from the (now absent) sharer settle it.
-		t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+		t.enqueueWaiting(m)
 		return
 	}
 	w.Meta.sharers &^= 1 << uint(int(m.Src))
@@ -403,13 +502,13 @@ func (t *L2) handlePutS(now sim.Cycle, m *coherence.Msg) {
 
 func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 	if t.busyLine(m.Addr) {
-		t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+		t.enqueueWaiting(m)
 		return
 	}
 	w := t.cache.Peek(m.Addr)
 	if w == nil || w.Meta.state != dirX || w.Meta.owner != m.Src {
 		// Stale writeback: ownership already moved on. Ack and drop.
-		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr})
+		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr}, nil)
 		return
 	}
 	if m.Type == coherence.MsgPutM {
@@ -418,7 +517,7 @@ func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 	}
 	w.Meta.state = dirV
 	w.Meta.owner = 0
-	t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr})
+	t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr}, nil)
 }
 
 func (t *L2) drainWaiting(now sim.Cycle, addr uint64) {
@@ -429,7 +528,7 @@ func (t *L2) drainWaiting(now sim.Cycle, addr uint64) {
 	}
 	delete(t.waiting, addr)
 	for _, m := range q {
-		t.handle(now, m)
+		t.consume(now, m)
 	}
 }
 

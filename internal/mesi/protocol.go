@@ -47,3 +47,13 @@ func (t *L2) SnoopBlock(addr uint64) ([]byte, bool) {
 	}
 	return nil, false
 }
+
+// SnoopOwner reports the L1 holding addr exclusively, if any (used by
+// post-run functional reads to snoop only the cache that can hold the
+// freshest copy).
+func (t *L2) SnoopOwner(addr uint64) (coherence.NodeID, bool) {
+	if w := t.cache.Peek(addr); w != nil && w.Meta.state == dirX {
+		return w.Meta.owner, true
+	}
+	return 0, false
+}

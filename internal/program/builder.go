@@ -223,6 +223,33 @@ func (b *Builder) LockRelease(base uint8, off int64) *Builder {
 	return b.St(base, off, regZeroScratch)
 }
 
+// LockAcquirePause is LockAcquire with a backoff pause after each failed
+// probe — the x86 PAUSE hint every production spinlock issues in its
+// spin body. Contending cores go quiet for pauseCycles between probes,
+// which both models real hardware and exposes idle time the
+// event-driven engine can skip.
+func (b *Builder) LockAcquirePause(tmp, one, base uint8, off, pauseCycles int64) *Builder {
+	id := len(b.instrs)
+	retry := fmt.Sprintf(".lockp%d", id)
+	test := fmt.Sprintf(".lockptest%d", id)
+	gotIt := fmt.Sprintf(".lockpok%d", id)
+	b.Li(one, 1)
+	b.Li(regZeroScratch, 0)
+	b.Jmp(test)
+	b.Label(retry)
+	b.Nop(pauseCycles)
+	b.Label(test)
+	// Test: spin on a plain load while the lock is held.
+	b.Ld(tmp, base, off)
+	b.Bne(tmp, regZeroScratch, retry)
+	// Test-and-set.
+	b.RmwXchg(tmp, base, off, one)
+	b.Beq(tmp, regZeroScratch, gotIt)
+	b.Jmp(retry)
+	b.Label(gotIt)
+	return b
+}
+
 // Barrier implements a sense-reversing centralized barrier.
 // barrierBase points at two words: [count, sense]. senseReg must hold the
 // thread's current sense (flipped by this call); nthreads is total

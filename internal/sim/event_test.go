@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// timedTicker does work at a fixed set of cycles and records every cycle
+// at which it was ticked while having work.
+type timedTicker struct {
+	due  map[Cycle]bool
+	last Cycle // largest due cycle
+	work []Cycle
+}
+
+func newTimedTicker(due ...Cycle) *timedTicker {
+	t := &timedTicker{due: map[Cycle]bool{}}
+	for _, c := range due {
+		t.due[c] = true
+		if c > t.last {
+			t.last = c
+		}
+	}
+	return t
+}
+
+func (t *timedTicker) Tick(now Cycle) {
+	if t.due[now] {
+		t.work = append(t.work, now)
+		delete(t.due, now)
+	}
+}
+
+func (t *timedTicker) NextWake(now Cycle) Cycle {
+	earliest := WakeNever
+	for c := range t.due {
+		if c > now && c < earliest {
+			earliest = c
+		}
+	}
+	return earliest
+}
+
+func (t *timedTicker) Done() bool { return len(t.due) == 0 }
+
+// TestEventDrivenMatchesPerCycle: same components, both modes, identical
+// work cycles and final cycle count — with most cycles skipped.
+func TestEventDrivenMatchesPerCycle(t *testing.T) {
+	mk := func() []*timedTicker {
+		return []*timedTicker{
+			newTimedTicker(3, 90, 91, 4000),
+			newTimedTicker(1, 250, 4000, 7777),
+			newTimedTicker(500),
+		}
+	}
+	run := func(perCycle bool) ([]*timedTicker, Cycle, int64) {
+		ts := mk()
+		e := NewEngine(100_000)
+		e.SetPerCycle(perCycle)
+		for _, tk := range ts {
+			e.Register(tk)
+		}
+		cycles, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts, cycles, e.IdleSkipped
+	}
+	pcTicks, pcCycles, _ := run(true)
+	evTicks, evCycles, skipped := run(false)
+	if pcCycles != evCycles {
+		t.Fatalf("cycle counts differ: per-cycle %d, event %d", pcCycles, evCycles)
+	}
+	for i := range pcTicks {
+		if len(pcTicks[i].work) != len(evTicks[i].work) {
+			t.Fatalf("ticker %d work counts differ", i)
+		}
+		for j := range pcTicks[i].work {
+			if pcTicks[i].work[j] != evTicks[i].work[j] {
+				t.Fatalf("ticker %d work[%d]: per-cycle %d, event %d",
+					i, j, pcTicks[i].work[j], evTicks[i].work[j])
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("event mode skipped nothing on a sparse schedule")
+	}
+	if skipped < 7000 {
+		t.Fatalf("expected most of the 7777 cycles skipped, got %d", skipped)
+	}
+}
+
+// TestEventDrivenFallback: one ticker without a wake hint reverts the
+// engine to per-cycle conformance ticking.
+func TestEventDrivenFallback(t *testing.T) {
+	e := NewEngine(1000)
+	e.Register(newTimedTicker(500))
+	if !e.EventDriven() {
+		t.Fatal("hinting ticker should allow event-driven mode")
+	}
+	plain := &countTicker{limit: 10}
+	e.Register(plain)
+	if e.EventDriven() {
+		t.Fatal("non-hinting ticker must force per-cycle fallback")
+	}
+	cycles, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 500 {
+		t.Fatalf("cycles = %d, want 500", cycles)
+	}
+	if plain.ticks != 500 {
+		t.Fatalf("plain ticker ticked %d times, want every cycle (500)", plain.ticks)
+	}
+}
+
+// TestEventDrivenCycleLimit: a deadlocked (never-waking) system must hit
+// the cycle limit with the same error as per-cycle mode.
+func TestEventDrivenCycleLimit(t *testing.T) {
+	for _, pc := range []bool{true, false} {
+		e := NewEngine(50)
+		e.SetPerCycle(pc)
+		e.Register(newTimedTicker()) // no work, but Done() == true... use a stuck doner instead
+		e.RegisterDoner(doneNever{})
+		_, err := e.Run()
+		if !errors.Is(err, ErrCycleLimit) {
+			t.Fatalf("perCycle=%v: err = %v, want ErrCycleLimit", pc, err)
+		}
+		if e.Now() != 50 {
+			t.Fatalf("perCycle=%v: stopped at %d, want maxCycle 50", pc, e.Now())
+		}
+	}
+}
+
+type doneNever struct{}
+
+func (doneNever) Done() bool { return false }

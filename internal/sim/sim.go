@@ -1,8 +1,23 @@
-// Package sim provides the deterministic, cycle-driven simulation kernel
-// used by the TSO-CC reproduction. All simulated components implement
-// Ticker and are advanced in a fixed registration order once per cycle,
-// which makes every simulation run bit-for-bit reproducible for a given
-// seed and configuration.
+// Package sim provides the deterministic simulation kernel used by the
+// TSO-CC reproduction. All simulated components implement Ticker and are
+// advanced in a fixed registration order, which makes every simulation
+// run bit-for-bit reproducible for a given seed and configuration.
+//
+// The engine runs in one of two time-advancement modes that produce
+// identical results:
+//
+//   - Per-cycle: every ticker is ticked once per cycle, in registration
+//     order. Simple and the conformance baseline.
+//   - Event-driven (default): when every registered ticker also
+//     implements WakeHinter, the engine asks each component for the
+//     earliest cycle at which it may act and leaps `now` directly there,
+//     skipping cycles in which every component would have been a no-op.
+//     Because a correct NextWake never overshoots the component's next
+//     action, the sequence of non-idle ticks — and therefore all
+//     simulated state — is bit-identical to per-cycle execution.
+//
+// If any ticker does not implement WakeHinter, the engine transparently
+// falls back to per-cycle ticking.
 package sim
 
 import (
@@ -13,12 +28,34 @@ import (
 // Cycle is a point in simulated time, measured in core clock cycles.
 type Cycle int64
 
+// WakeNever is the NextWake sentinel for "no self-scheduled work": the
+// component has nothing to do until some other component's activity
+// (a message delivery, a callback) re-enables it at an already-active
+// cycle.
+const WakeNever Cycle = 1<<63 - 1
+
 // Ticker is a component advanced once per simulated cycle.
 // Components must not assume any particular ordering relative to other
 // tickers beyond the engine's fixed registration order.
 type Ticker interface {
 	// Tick advances the component to the given cycle.
 	Tick(now Cycle)
+}
+
+// WakeHinter is the optional scheduling contract that enables idle-skip
+// execution. NextWake reports the earliest cycle strictly after now at
+// which the component may perform work on its own (a due timer, a
+// pending retry, an instruction to execute), or WakeNever if it is
+// quiescent until externally stimulated.
+//
+// The hint must never be later than the component's true next action:
+// returning now+1 is always safe (it degenerates to per-cycle ticking),
+// returning too large a value skips real work and breaks determinism.
+// Work triggered by another component within a cycle (e.g. a callback
+// fired by an earlier-registered ticker) needs no hint: the engine ticks
+// every component at every active cycle.
+type WakeHinter interface {
+	NextWake(now Cycle) Cycle
 }
 
 // Doner is implemented by components that can report completion.
@@ -29,10 +66,18 @@ type Doner interface {
 
 // Engine drives a set of tickers in deterministic order.
 type Engine struct {
-	now      Cycle
-	tickers  []Ticker
-	doners   []Doner
-	maxCycle Cycle
+	now       Cycle
+	tickers   []Ticker
+	hinters   []WakeHinter // parallel to tickers; nil = no hint
+	allHint   bool
+	perCycle  bool
+	scanStart int
+	doners    []Doner
+	maxCycle  Cycle
+
+	// IdleSkipped counts cycles the event-driven mode never simulated
+	// (throughput diagnostics; not part of any Result).
+	IdleSkipped int64
 }
 
 // ErrCycleLimit is returned by Run when the cycle limit is reached
@@ -46,17 +91,31 @@ func NewEngine(maxCycle Cycle) *Engine {
 	if maxCycle <= 0 {
 		maxCycle = 500_000_000
 	}
-	return &Engine{maxCycle: maxCycle}
+	return &Engine{maxCycle: maxCycle, allHint: true}
 }
 
 // Now reports the current cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
+// SetPerCycle forces per-cycle ticking even when every component offers
+// wake hints (the conformance baseline for A/B determinism testing).
+func (e *Engine) SetPerCycle(on bool) { e.perCycle = on }
+
+// EventDriven reports whether the engine will use idle-skip scheduling.
+func (e *Engine) EventDriven() bool { return !e.perCycle && e.allHint }
+
 // Register adds a ticker. If the ticker also implements Doner it
 // participates in the completion check. Registration order defines
-// per-cycle execution order.
+// per-cycle execution order. Tickers that also implement WakeHinter
+// enable event-driven time advancement; a single ticker without a hint
+// reverts the whole engine to per-cycle ticking (conformance fallback).
 func (e *Engine) Register(t Ticker) {
 	e.tickers = append(e.tickers, t)
+	h, ok := t.(WakeHinter)
+	if !ok {
+		e.allHint = false
+	}
+	e.hinters = append(e.hinters, h)
 	if d, ok := t.(Doner); ok {
 		e.doners = append(e.doners, d)
 	}
@@ -73,18 +132,60 @@ func (e *Engine) Step() {
 	}
 }
 
+// nextWake computes the earliest cycle any component may act at, never
+// earlier than now+1 (a hint at or before now means "tick me next
+// cycle"). The scan starts at the component that bound the previous
+// decision: during dense phases (a spinning core) the first probe
+// answers immediately, making the scan O(1) instead of O(components).
+// Scan order cannot affect the result — only the early exit.
+func (e *Engine) nextWake() Cycle {
+	n := len(e.hinters)
+	earliest := WakeNever
+	for k := 0; k < n; k++ {
+		i := e.scanStart + k
+		if i >= n {
+			i -= n
+		}
+		if w := e.hinters[i].NextWake(e.now); w < earliest {
+			earliest = w
+			if earliest <= e.now+1 {
+				e.scanStart = i
+				return e.now + 1
+			}
+		}
+	}
+	if earliest <= e.now {
+		earliest = e.now + 1
+	}
+	return earliest
+}
+
 // Run advances the simulation until every Doner reports done, or the
 // cycle limit is hit. It returns the final cycle count.
 func (e *Engine) Run() (Cycle, error) {
 	if len(e.doners) == 0 {
 		return e.now, fmt.Errorf("sim: no completion conditions registered")
 	}
+	event := e.EventDriven()
 	for {
 		if e.allDone() {
 			return e.now, nil
 		}
 		if e.now >= e.maxCycle {
 			return e.now, fmt.Errorf("%w (limit %d)", ErrCycleLimit, e.maxCycle)
+		}
+		if event {
+			next := e.nextWake()
+			if next > e.now+1 {
+				// Everything is idle until `next`: leap straight there.
+				// WakeNever with pending Doners is a deadlock; advance to
+				// the limit so the error path matches per-cycle mode.
+				if next > e.maxCycle {
+					next = e.maxCycle
+				}
+				e.IdleSkipped += int64(next - e.now - 1)
+				e.now = next - 1
+			}
 		}
 		e.Step()
 	}

@@ -56,30 +56,45 @@ type Result struct {
 }
 
 // quiesceDoner declares the system done when all cores have halted and
-// the memory system has gone idle.
+// the memory system has gone idle. The check runs every engine
+// iteration, so it probes the component that was busy last time first:
+// while the system is running, that single probe usually answers.
 type quiesceDoner struct {
 	cores []*cpu.Core
 	l1s   []coherence.L1Like
 	l2s   []coherence.Controller
 	net   *mesh.Network
+
+	lastBusyCore int
+	lastBusyL1   int
+	lastBusyL2   int
 }
 
 func (q *quiesceDoner) Done() bool {
-	for _, c := range q.cores {
+	if !q.cores[q.lastBusyCore].Done() {
+		return false
+	}
+	if q.l1s[q.lastBusyL1].Busy() || q.l2s[q.lastBusyL2].Busy() {
+		return false
+	}
+	for i, c := range q.cores {
 		if !c.Done() {
+			q.lastBusyCore = i
 			return false
 		}
 	}
 	if q.net.Pending() > 0 {
 		return false
 	}
-	for _, l := range q.l1s {
+	for i, l := range q.l1s {
 		if l.Busy() {
+			q.lastBusyL1 = i
 			return false
 		}
 	}
-	for _, l := range q.l2s {
+	for i, l := range q.l2s {
 		if l.Busy() {
+			q.lastBusyL2 = i
 			return false
 		}
 	}
@@ -113,6 +128,7 @@ func NewMachine(cfg config.System, proto Protocol, w *program.Workload) (*Machin
 	}
 
 	engine := sim.NewEngine(cfg.MaxCycles)
+	engine.SetPerCycle(cfg.PerCycleEngine)
 	net := mesh.New(mesh.Config{Routers: cfg.Cores, Rows: cfg.MeshRows})
 	mem := memsys.NewMemory()
 	mem.Base = cfg.MemBase
@@ -142,13 +158,15 @@ func NewMachine(cfg config.System, proto Protocol, w *program.Workload) (*Machin
 	}
 
 	// Deterministic per-cycle order: network delivery, then L2 tiles,
-	// then L1s (timers + message handling), then cores.
+	// then L1s (timers + message handling), then cores. Controllers are
+	// registered directly: coherence.Controller is a superset of
+	// sim.Ticker + sim.WakeHinter.
 	engine.Register(net)
 	for _, t := range l2s {
-		engine.Register(tick{t})
+		engine.Register(t)
 	}
 	for _, l := range l1s {
-		engine.Register(tick{l})
+		engine.Register(l)
 	}
 	for _, c := range cores {
 		engine.Register(c)
@@ -163,11 +181,6 @@ func NewMachine(cfg config.System, proto Protocol, w *program.Workload) (*Machin
 type endpoint struct{ c coherence.Controller }
 
 func (e endpoint) Deliver(now sim.Cycle, m *coherence.Msg) { e.c.Deliver(now, m) }
-
-// tick adapts a Controller to sim.Ticker.
-type tick struct{ c coherence.Controller }
-
-func (t tick) Tick(now sim.Cycle) { t.c.Tick(now) }
 
 // Run executes a workload on proto under cfg and returns the collected
 // result. The workload's Check (if any) is evaluated on final memory;
@@ -232,14 +245,35 @@ func (m *Machine) Reader() program.MemReader {
 
 type hierReader struct{ m *Machine }
 
+// ownerSnooper is implemented by directory tiles that can name the L1
+// holding a block exclusively. It lets the reader consult the single
+// cache that can hold a fresher copy instead of scanning every L1 per
+// word read.
+type ownerSnooper interface {
+	SnoopOwner(addr uint64) (coherence.NodeID, bool)
+}
+
 func (r hierReader) ReadWord(addr uint64) uint64 {
-	for _, l1 := range r.m.L1s {
-		if blk, ok := l1.SnoopBlock(addr); ok {
-			return memsys.GetWord(blk, addr)
+	// Resolve the home tile once; on a quiesced machine its directory
+	// state is exact (exclusive L2 lines are inclusive of their L1 copy),
+	// so only the recorded owner can hold the block dirty.
+	tile := int(addr>>coherence.BlockShift) % r.m.Cfg.Cores
+	home := r.m.L2s[tile]
+	if os, ok := home.(ownerSnooper); ok {
+		if owner, held := os.SnoopOwner(addr); held {
+			if blk, ok := r.m.L1s[int(owner)].SnoopBlock(addr); ok {
+				return memsys.GetWord(blk, addr)
+			}
+		}
+	} else {
+		// Unknown directory flavor: fall back to scanning every L1.
+		for _, l1 := range r.m.L1s {
+			if blk, ok := l1.SnoopBlock(addr); ok {
+				return memsys.GetWord(blk, addr)
+			}
 		}
 	}
-	tile := int(addr>>coherence.BlockShift) % r.m.Cfg.Cores
-	if blk, ok := r.m.L2s[tile].SnoopBlock(addr); ok {
+	if blk, ok := home.SnoopBlock(addr); ok {
 		return memsys.GetWord(blk, addr)
 	}
 	return r.m.Mem.ReadWord(addr)

@@ -58,14 +58,28 @@ type L1 struct {
 	cfg    config.TSOCC
 	cache  *memsys.Cache[l1Line]
 	net    *mesh.Network
+	pool   *coherence.MsgPool
 	hitLat sim.Cycle
 
 	timers coherence.Timers
 	inbox  []*coherence.Msg
 
-	rd    *readTx
-	wr    *writeTx
-	evict map[uint64]*evictEntry
+	// rd/wr point at rdBuf/wrBuf when active: the L1 serves one read and
+	// one write transaction at a time, so the transaction records are
+	// preallocated scratch, not per-miss allocations.
+	rd        *readTx
+	wr        *writeTx
+	rdBuf     readTx
+	wrBuf     writeTx
+	evict     map[uint64]*evictEntry
+	evictFree []*evictEntry
+
+	// sharedHint over-counts lines that entered Shared since the last
+	// self-invalidation sweep: incremented on every transition into
+	// stateS, reset by the sweep (which drops all Shared lines). Zero
+	// proves the cache holds no Shared line, letting sweeps skip the
+	// array walk; it never undercounts, so skipping is always safe.
+	sharedHint int
 
 	// Timestamp source (§3.3): a core-local counter incremented every
 	// write-group, plus the reset epoch.
@@ -90,6 +104,7 @@ func NewL1(core, cores int, sys config.System, cfg config.TSOCC, net *mesh.Netwo
 		cfg:     cfg,
 		cache:   memsys.NewCache[l1Line](sys.L1Size, sys.L1Ways),
 		net:     net,
+		pool:    &net.Pool,
 		hitLat:  sys.L1HitLat,
 		evict:   make(map[uint64]*evictEntry),
 		tsSrc:   tsFirst,
@@ -104,9 +119,26 @@ func (l *L1) home(addr uint64) coherence.NodeID {
 	return coherence.L2ID(int(addr>>coherence.BlockShift)%l.cores, l.cores)
 }
 
-func (l *L1) send(now sim.Cycle, m *coherence.Msg) {
+// send stamps a pooled copy of tmpl (payload taken from data, not
+// tmpl.Data) and injects it into the mesh.
+func (l *L1) send(now sim.Cycle, tmpl coherence.Msg, data []byte) {
+	m := l.pool.NewFrom(tmpl, data)
 	m.Src = l.id
 	l.net.Send(now, m)
+}
+
+// newEvict builds an eviction-buffer entry from the free list.
+func (l *L1) newEvict(data []byte, dirty bool, ts uint32, tsOwn bool) *evictEntry {
+	var e *evictEntry
+	if n := len(l.evictFree); n > 0 {
+		e = l.evictFree[n-1]
+		l.evictFree = l.evictFree[:n-1]
+	} else {
+		e = &evictEntry{}
+	}
+	e.data = append(e.data[:0], data...)
+	e.dirty, e.ts, e.tsOwn, e.transferred = dirty, ts, tsOwn, false
+	return e
 }
 
 // Deliver implements mesh.Endpoint.
@@ -117,6 +149,19 @@ func (l *L1) Busy() bool {
 	return l.rd != nil || l.wr != nil || len(l.evict) > 0 || l.timers.Pending() > 0 || len(l.inbox) > 0
 }
 
+// NextWake implements sim.WakeHinter: the earliest due timer, or next
+// cycle if messages are queued. Outstanding transactions need no wake of
+// their own — they advance only when a message or timer fires.
+func (l *L1) NextWake(now sim.Cycle) sim.Cycle {
+	if len(l.inbox) > 0 {
+		return now + 1
+	}
+	if due, ok := l.timers.NextDue(); ok {
+		return due
+	}
+	return sim.WakeNever
+}
+
 // Tick implements sim.Ticker.
 func (l *L1) Tick(now sim.Cycle) {
 	l.timers.Tick(now)
@@ -124,9 +169,10 @@ func (l *L1) Tick(now sim.Cycle) {
 		return
 	}
 	msgs := l.inbox
-	l.inbox = nil
+	l.inbox = l.inbox[:0]
 	for _, m := range msgs {
 		l.handle(now, m)
+		l.pool.Put(m) // L1 handlers never retain a delivered message
 	}
 }
 
@@ -168,11 +214,11 @@ func (l *L1) resetTS(now sim.Cycle) {
 	l.tsSrc = tsFirst
 	for c := 0; c < l.cores; c++ {
 		if coherence.L1ID(c) != l.id {
-			l.send(now, &coherence.Msg{Type: coherence.MsgTSResetL1,
-				Dst: coherence.L1ID(c), Epoch: l.epoch})
+			l.send(now, coherence.Msg{Type: coherence.MsgTSResetL1,
+				Dst: coherence.L1ID(c), Epoch: l.epoch}, nil)
 		}
-		l.send(now, &coherence.Msg{Type: coherence.MsgTSResetL1,
-			Dst: coherence.L2ID(c, l.cores), Epoch: l.epoch})
+		l.send(now, coherence.Msg{Type: coherence.MsgTSResetL1,
+			Dst: coherence.L2ID(c, l.cores), Epoch: l.epoch}, nil)
 	}
 }
 
@@ -205,13 +251,11 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 		switch w.Meta.state {
 		case stateE, stateM:
 			l.Stats.ReadHitPrivate.Inc()
-			val := memsys.GetWord(w.Data, addr)
-			l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(val) })
+			l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
 			return true
 		case stateR:
 			l.Stats.ReadHitSRO.Inc()
-			val := memsys.GetWord(w.Data, addr)
-			l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(val) })
+			l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
 			return true
 		case stateS:
 			if w.Meta.acnt < l.cfg.MaxAccesses() {
@@ -220,19 +264,20 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 				// propagation, §3.1).
 				w.Meta.acnt++
 				l.Stats.ReadHitShared.Inc()
-				val := memsys.GetWord(w.Data, addr)
-				l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(val) })
+				l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
 				return true
 			}
 			l.Stats.ReadMissShared.Inc()
-			l.rd = &readTx{addr: blk, wordAddr: addr, cb: cb}
-			l.send(now, &coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+			l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb}
+			l.rd = &l.rdBuf
+			l.send(now, coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
 			return true
 		}
 	}
 	l.Stats.ReadMissInvalid.Inc()
-	l.rd = &readTx{addr: blk, wordAddr: addr, cb: cb}
-	l.send(now, &coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb}
+	l.rd = &l.rdBuf
+	l.send(now, coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
 	return true
 }
 
@@ -251,12 +296,13 @@ func (l *L1) Store(now sim.Cycle, addr uint64, val uint64, cb func()) bool {
 		w.Meta.ts = l.assignTS(now)
 		w.Meta.tsOwn = true
 		l.Stats.WriteHitPrivate.Inc()
-		l.timers.At(now+1, func(sim.Cycle) { cb() })
+		l.timers.AtDone(now+1, cb)
 		return true
 	}
 	l.countWriteMiss(blk)
-	l.wr = &writeTx{addr: blk, wordAddr: addr, val: val, storeCb: cb, issued: now}
-	l.send(now, &coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	l.wrBuf = writeTx{addr: blk, wordAddr: addr, val: val, storeCb: cb, issued: now}
+	l.wr = &l.wrBuf
+	l.send(now, coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
 	return true
 }
 
@@ -279,12 +325,13 @@ func (l *L1) RMW(now sim.Cycle, addr uint64, f func(uint64) (uint64, bool), cb f
 		}
 		l.Stats.WriteHitPrivate.Inc()
 		l.Stats.RMWLat.Observe(int64(l.hitLat))
-		l.timers.At(now+l.hitLat, func(sim.Cycle) { cb(old) })
+		l.timers.AtVal(now+l.hitLat, cb, old)
 		return true
 	}
 	l.countWriteMiss(blk)
-	l.wr = &writeTx{addr: blk, wordAddr: addr, isRMW: true, f: f, rmwCb: cb, issued: now}
-	l.send(now, &coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id})
+	l.wrBuf = writeTx{addr: blk, wordAddr: addr, isRMW: true, f: f, rmwCb: cb, issued: now}
+	l.wr = &l.wrBuf
+	l.send(now, coherence.Msg{Type: coherence.MsgGetX, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
 	return true
 }
 
@@ -306,7 +353,7 @@ func (l *L1) countWriteMiss(blk uint64) {
 // self-invalidate Shared lines (§3.6).
 func (l *L1) Fence(now sim.Cycle, cb func()) bool {
 	l.selfInvalidate(coherence.CauseFence)
-	l.timers.At(now+1, func(sim.Cycle) { cb() })
+	l.timers.AtDone(now+1, cb)
 	return true
 }
 
@@ -314,6 +361,10 @@ func (l *L1) Fence(now sim.Cycle, cb func()) bool {
 // Modified lines survive).
 func (l *L1) selfInvalidate(cause coherence.SelfInvCause) {
 	l.Stats.SelfInvEvents[cause].Inc()
+	if l.sharedHint == 0 {
+		return // provably no Shared lines; the sweep would drop nothing
+	}
+	l.sharedHint = 0
 	var dropped int64
 	l.cache.ForEachValid(func(w *memsys.Way[l1Line]) {
 		if w.Meta.state == stateS {
@@ -405,7 +456,7 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 		}
 		l.maybeSelfInvalidate(m, false)
 		l.completeRead(now, m, stateE)
-		l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr})
+		l.send(now, coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr}, nil)
 
 	case coherence.MsgDataS:
 		l.maybeSelfInvalidate(m, false)
@@ -434,7 +485,10 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 		l.handleInv(now, m)
 
 	case coherence.MsgPutAck:
-		delete(l.evict, m.Addr)
+		if e, ok := l.evict[m.Addr]; ok {
+			delete(l.evict, m.Addr)
+			l.evictFree = append(l.evictFree, e)
+		}
 
 	case coherence.MsgTSResetL1:
 		src := int(m.Src)
@@ -475,8 +529,8 @@ func (l *L1) completeWrite(now sim.Cycle, m *coherence.Msg) {
 	}
 	// Finalize with the L2 (it stays busy until this ack, serializing
 	// writers and carrying the new write's timestamp, §3.2).
-	l.send(now, &coherence.Msg{Type: coherence.MsgAck, Dst: l.home(tx.addr), Addr: tx.addr,
-		TS: ackTS, TSValid: wrote && l.cfg.Timestamps(), Epoch: l.epoch})
+	l.send(now, coherence.Msg{Type: coherence.MsgAck, Dst: l.home(tx.addr), Addr: tx.addr,
+		TS: ackTS, TSValid: wrote && l.cfg.Timestamps(), Epoch: l.epoch}, nil)
 	l.wr = nil
 	if tx.isRMW {
 		tx.rmwCb(old)
@@ -504,6 +558,9 @@ func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 		w.Meta.acnt = 0
 		w.Meta.ts = m.TS
 		w.Meta.tsOwn = false
+		if state == stateS {
+			l.sharedHint++
+		}
 	} else if w := l.cache.Peek(m.Addr); w != nil && w.Meta.state == stateS {
 		// Not re-installing (always-miss mode) but a stale Shared copy
 		// exists from before: refresh it rather than leaving it stale.
@@ -538,16 +595,13 @@ func (l *L1) evictLine(now sim.Cycle, w *memsys.Way[l1Line]) {
 	case stateS, stateR:
 		// Shared and SharedRO evictions are silent (§3.2, §3.4).
 	case stateE:
-		l.evict[addr] = &evictEntry{data: append([]byte(nil), w.Data...),
-			ts: w.Meta.ts, tsOwn: w.Meta.tsOwn}
-		l.send(now, &coherence.Msg{Type: coherence.MsgPutE, Dst: l.home(addr), Addr: addr})
+		l.evict[addr] = l.newEvict(w.Data, false, w.Meta.ts, w.Meta.tsOwn)
+		l.send(now, coherence.Msg{Type: coherence.MsgPutE, Dst: l.home(addr), Addr: addr}, nil)
 	case stateM:
 		ts, valid := l.sendableTS(&w.Meta)
-		l.evict[addr] = &evictEntry{data: append([]byte(nil), w.Data...), dirty: true,
-			ts: w.Meta.ts, tsOwn: w.Meta.tsOwn}
-		l.send(now, &coherence.Msg{Type: coherence.MsgPutM, Dst: l.home(addr), Addr: addr,
-			Data: append([]byte(nil), w.Data...), Dirty: true,
-			TS: ts, TSValid: valid, Epoch: l.epoch})
+		l.evict[addr] = l.newEvict(w.Data, true, w.Meta.ts, w.Meta.tsOwn)
+		l.send(now, coherence.Msg{Type: coherence.MsgPutM, Dst: l.home(addr), Addr: addr,
+			Dirty: true, TS: ts, TSValid: valid, Epoch: l.epoch}, w.Data)
 	}
 	l.cache.Invalidate(w)
 }
@@ -556,15 +610,14 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 	if w := l.cache.Peek(m.Addr); w != nil && (w.Meta.state == stateE || w.Meta.state == stateM) {
 		dirty := w.Meta.state == stateM
 		ts, valid := l.sendableTS(&w.Meta)
-		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
-			Data: append([]byte(nil), w.Data...), Owner: l.id,
-			TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: dirty})
-		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
-			Data: append([]byte(nil), w.Data...), Dirty: dirty,
-			TS: ts, TSValid: valid, Epoch: l.epoch})
+		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Owner: l.id, TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: dirty}, w.Data)
+		l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
+			Dirty: dirty, TS: ts, TSValid: valid, Epoch: l.epoch}, w.Data)
 		// Downgrade to Shared, keeping the copy with a fresh budget.
 		w.Meta.state = stateS
 		w.Meta.acnt = 0
+		l.sharedHint++
 		if l.cfg.MaxAccesses() == 0 {
 			l.cache.Invalidate(w)
 		}
@@ -574,12 +627,10 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 		e.transferred = true
 		meta := l1Line{ts: e.ts, tsOwn: e.tsOwn}
 		ts, valid := l.sendableTS(&meta)
-		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
-			Data: append([]byte(nil), e.data...), Owner: l.id,
-			TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: e.dirty})
-		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
-			Data: append([]byte(nil), e.data...), Dirty: e.dirty,
-			TS: ts, TSValid: valid, Epoch: l.epoch, NoCopy: true})
+		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Owner: l.id, TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: e.dirty}, e.data)
+		l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
+			Dirty: e.dirty, TS: ts, TSValid: valid, Epoch: l.epoch, NoCopy: true}, e.data)
 		return
 	}
 	panic(fmt.Sprintf("tsocc: L1 %d: FwdGetS for absent line %s", l.id, m))
@@ -588,9 +639,9 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
 	if w := l.cache.Peek(m.Addr); w != nil && (w.Meta.state == stateE || w.Meta.state == stateM) {
 		ts, valid := l.sendableTS(&w.Meta)
-		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
-			Data: append([]byte(nil), w.Data...), Owner: l.id,
-			TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: w.Meta.state == stateM})
+		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Owner: l.id, TS: ts, TSValid: valid, Epoch: l.epoch,
+			Dirty: w.Meta.state == stateM}, w.Data)
 		l.cache.Invalidate(w)
 		return
 	}
@@ -598,9 +649,8 @@ func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
 		e.transferred = true
 		meta := l1Line{ts: e.ts, tsOwn: e.tsOwn}
 		ts, valid := l.sendableTS(&meta)
-		l.send(now, &coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
-			Data: append([]byte(nil), e.data...), Owner: l.id,
-			TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: e.dirty})
+		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
+			Owner: l.id, TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: e.dirty}, e.data)
 		return
 	}
 	panic(fmt.Sprintf("tsocc: L1 %d: FwdGetX for absent line %s", l.id, m))
@@ -615,25 +665,24 @@ func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
 		if w.Meta.state == stateE || w.Meta.state == stateM {
 			// Directory recall (L2 eviction of an Exclusive line).
 			ts, valid := l.sendableTS(&w.Meta)
-			l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
-				Data: append([]byte(nil), w.Data...), Dirty: w.Meta.state == stateM,
-				TS: ts, TSValid: valid, Epoch: l.epoch})
+			l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
+				Dirty: w.Meta.state == stateM,
+				TS:    ts, TSValid: valid, Epoch: l.epoch}, w.Data)
 			l.cache.Invalidate(w)
 			return
 		}
 		// SharedRO broadcast invalidation (or a stale Shared copy).
 		l.cache.Invalidate(w)
-		l.send(now, &coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr})
+		l.send(now, coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr}, nil)
 		return
 	}
 	if e, ok := l.evict[m.Addr]; ok {
 		e.transferred = true
 		meta := l1Line{ts: e.ts, tsOwn: e.tsOwn}
 		ts, valid := l.sendableTS(&meta)
-		l.send(now, &coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
-			Data: append([]byte(nil), e.data...), Dirty: e.dirty,
-			TS: ts, TSValid: valid, Epoch: l.epoch})
+		l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
+			Dirty: e.dirty, TS: ts, TSValid: valid, Epoch: l.epoch}, e.data)
 		return
 	}
-	l.send(now, &coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr})
+	l.send(now, coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr}, nil)
 }

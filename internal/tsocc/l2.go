@@ -53,15 +53,29 @@ type L2 struct {
 	cfg   config.TSOCC
 	cache *memsys.Cache[l2Line]
 	net   *mesh.Network
+	pool  *coherence.MsgPool
 	mem   *memsys.Memory
 
 	accessLat sim.Cycle
 
 	timers  coherence.Timers
+	sendFn  func(now sim.Cycle, m *coherence.Msg) // bound once; see sendAfterAccess
 	inbox   []*coherence.Msg
 	tx      map[uint64]*l2Tx
+	txFree  []*l2Tx
 	waiting map[uint64][]*coherence.Msg
-	retryQ  []*coherence.Msg
+
+	// retryQ swaps with retryScratch each Tick: handlers may re-append
+	// to retryQ while the drained batch is still being iterated.
+	retryQ       []*coherence.Msg
+	retryScratch []*coherence.Msg
+
+	// retained marks whether the message currently being handled was
+	// stored (tx request, waiting queue, retry queue) and must not be
+	// recycled by the consume wrapper.
+	retained bool
+
+	membersBuf []int // scratch for coarse sharer expansion
 
 	// Last-seen writer timestamps and epochs per L1 (Table 1, L2 side).
 	tsL1    lastSeen
@@ -84,13 +98,14 @@ type L2 struct {
 
 // NewL2 builds TSO-CC tile `tile`.
 func NewL2(tile, cores int, sys config.System, cfg config.TSOCC, net *mesh.Network, mem *memsys.Memory) *L2 {
-	return &L2{
+	l2 := &L2{
 		id:        coherence.L2ID(tile, cores),
 		tile:      tile,
 		cores:     cores,
 		cfg:       cfg,
 		cache:     memsys.NewCache[l2Line](sys.L2TileSize, sys.L2Ways),
 		net:       net,
+		pool:      &net.Pool,
 		mem:       mem,
 		accessLat: sys.L2AccessLat,
 		tx:        make(map[uint64]*l2Tx),
@@ -99,6 +114,8 @@ func NewL2(tile, cores int, sys config.System, cfg config.TSOCC, net *mesh.Netwo
 		epochL1:   make([]uint8, cores),
 		sroSrc:    tsFirst,
 	}
+	l2.sendFn = l2.send
+	return l2
 }
 
 func (t *L2) send(now sim.Cycle, m *coherence.Msg) {
@@ -109,8 +126,69 @@ func (t *L2) send(now sim.Cycle, m *coherence.Msg) {
 // sendAfterAccess sends m after the tile access latency so that every
 // directory-originated message to a given L1 leaves in processing order
 // (an invalidation must never overtake an earlier data response).
-func (t *L2) sendAfterAccess(now sim.Cycle, m *coherence.Msg) {
-	t.timers.At(now+t.accessLat, func(nw sim.Cycle) { t.send(nw, m) })
+func (t *L2) sendAfterAccess(now sim.Cycle, tmpl coherence.Msg, data []byte) {
+	t.timers.AtMsg(now+t.accessLat, t.sendFn, t.pool.NewFrom(tmpl, data))
+}
+
+// newTx builds a transaction record from the free list and registers it.
+func (t *L2) newTx(addr uint64, kind txKind, req *coherence.Msg, acks int) *l2Tx {
+	var tx *l2Tx
+	if n := len(t.txFree); n > 0 {
+		tx = t.txFree[n-1]
+		t.txFree = t.txFree[:n-1]
+	} else {
+		tx = &l2Tx{}
+	}
+	tx.kind, tx.req, tx.acksLeft = kind, req, acks
+	t.tx[addr] = tx
+	if req != nil {
+		t.retained = true
+	}
+	return tx
+}
+
+// delTx retires a transaction, recycling it and (optionally) the request
+// message it retained.
+func (t *L2) delTx(addr uint64, tx *l2Tx, freeReq bool) {
+	delete(t.tx, addr)
+	if freeReq && tx.req != nil {
+		t.pool.Put(tx.req)
+	}
+	tx.req = nil
+	t.txFree = append(t.txFree, tx)
+}
+
+// enqueueWaiting parks m behind a busy line; drainWaiting re-dispatches
+// it when the transaction retires. Owns the retained flag.
+func (t *L2) enqueueWaiting(m *coherence.Msg) {
+	t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+	t.retained = true
+}
+
+// enqueueRetry re-queues m for the next Tick. Owns the retained flag.
+func (t *L2) enqueueRetry(m *coherence.Msg) {
+	t.retryQ = append(t.retryQ, m)
+	t.retained = true
+}
+
+// consume dispatches a message the tile owns, recycling it unless a
+// handler retained it. Save/restore keeps nested consumption (a handler
+// draining the waiting queue) from clobbering the caller's flag.
+func (t *L2) consume(now sim.Cycle, m *coherence.Msg) {
+	saved := t.retained
+	t.retained = false
+	t.handle(now, m)
+	if !t.retained {
+		t.pool.Put(m)
+	}
+	t.retained = saved
+}
+
+// coarseMembersBuf expands a coarse sharer vector into preallocated
+// scratch (valid until the next call).
+func (t *L2) coarseMembersBuf(vec uint64) []int {
+	t.membersBuf = appendCoarseMembers(t.membersBuf[:0], vec, t.cores)
+	return t.membersBuf
 }
 
 // Deliver implements mesh.Endpoint.
@@ -129,6 +207,18 @@ func (t *L2) Busy() bool {
 	return len(t.tx) > 0 || len(t.retryQ) > 0 || len(t.inbox) > 0 || t.timers.Pending() > 0
 }
 
+// NextWake implements sim.WakeHinter: queued messages and retries need
+// the very next cycle; otherwise the earliest due timer.
+func (t *L2) NextWake(now sim.Cycle) sim.Cycle {
+	if len(t.inbox) > 0 || len(t.retryQ) > 0 {
+		return now + 1
+	}
+	if due, ok := t.timers.NextDue(); ok {
+		return due
+	}
+	return sim.WakeNever
+}
+
 // SnoopBlock implements coherence.Controller.
 func (t *L2) SnoopBlock(addr uint64) ([]byte, bool) {
 	if w := t.cache.Peek(addr); w != nil && w.Meta.state != dirX {
@@ -137,23 +227,36 @@ func (t *L2) SnoopBlock(addr uint64) ([]byte, bool) {
 	return nil, false
 }
 
+// SnoopOwner reports the L1 holding addr exclusively, if any (used by
+// post-run functional reads to snoop only the cache that can hold the
+// freshest copy).
+func (t *L2) SnoopOwner(addr uint64) (coherence.NodeID, bool) {
+	if w := t.cache.Peek(addr); w != nil && w.Meta.state == dirX {
+		return w.Meta.owner, true
+	}
+	return 0, false
+}
+
 // Tick implements sim.Ticker.
 func (t *L2) Tick(now sim.Cycle) {
 	t.timers.Tick(now)
 	if len(t.retryQ) > 0 {
 		rq := t.retryQ
-		t.retryQ = nil
+		t.retryQ = t.retryScratch[:0]
 		for _, m := range rq {
-			t.handle(now, m)
+			t.consume(now, m)
 		}
+		t.retryScratch = rq[:0]
 	}
 	if len(t.inbox) == 0 {
 		return
 	}
+	// Deliveries happen only inside Network.Tick, so nothing appends to
+	// the inbox while this batch drains; the backing array is reusable.
 	msgs := t.inbox
-	t.inbox = nil
+	t.inbox = t.inbox[:0]
 	for _, m := range msgs {
-		t.handle(now, m)
+		t.consume(now, m)
 	}
 }
 
@@ -233,8 +336,8 @@ func (t *L2) resetSRO(now sim.Cycle) {
 	t.sroEpoch = (t.sroEpoch + 1) & uint8((1<<uint(t.cfg.EpochBits))-1)
 	t.sroSrc = tsFirst
 	for c := 0; c < t.cores; c++ {
-		t.send(now, &coherence.Msg{Type: coherence.MsgTSResetL2,
-			Dst: coherence.L1ID(c), Epoch: t.sroEpoch})
+		t.send(now, t.pool.NewFrom(coherence.Msg{Type: coherence.MsgTSResetL2,
+			Dst: coherence.L1ID(c), Epoch: t.sroEpoch}, nil))
 	}
 }
 
@@ -257,7 +360,7 @@ func (t *L2) noteWriterTS(writer coherence.NodeID, m *coherence.Msg) {
 
 func (t *L2) handleRequest(now sim.Cycle, m *coherence.Msg) {
 	if _, busy := t.tx[m.Addr]; busy {
-		t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+		t.enqueueWaiting(m)
 		return
 	}
 	w := t.cache.Peek(m.Addr)
@@ -275,22 +378,22 @@ func (t *L2) handleRequest(now sim.Cycle, m *coherence.Msg) {
 func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 	v := t.cache.Victim(m.Addr)
 	if v == nil {
-		t.retryQ = append(t.retryQ, m)
+		t.enqueueRetry(m)
 		return
 	}
 	if v.Valid {
 		if t.cache.AnyBusy(m.Addr) {
-			t.retryQ = append(t.retryQ, m)
+			t.enqueueRetry(m)
 			return
 		}
 		if !t.evictLine(now, v) {
-			t.retryQ = append(t.retryQ, m)
+			t.enqueueRetry(m)
 			return
 		}
 	}
 	t.cache.Install(v, m.Addr)
 	v.Busy = true
-	t.tx[m.Addr] = &l2Tx{kind: txMemFetch, req: m}
+	t.newTx(m.Addr, txMemFetch, m, 0)
 	addr := m.Addr
 	t.timers.At(now+t.accessLat+t.mem.Latency(addr), func(nw sim.Cycle) {
 		way := t.cache.Peek(addr)
@@ -298,12 +401,21 @@ func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 		way.Meta = l2Line{state: dirV, owner: -1}
 		way.Busy = false
 		tx := t.tx[addr]
-		delete(t.tx, addr)
-		if tx.req.Type == coherence.MsgGetS {
-			t.serveGetS(nw, tx.req, way)
+		req := tx.req
+		t.delTx(addr, tx, false)
+		// The request's ownership flows into serve*: recycled here
+		// unless a fresh transaction retains it.
+		saved := t.retained
+		t.retained = false
+		if req.Type == coherence.MsgGetS {
+			t.serveGetS(nw, req, way)
 		} else {
-			t.serveGetX(nw, tx.req, way)
+			t.serveGetX(nw, req, way)
 		}
+		if !t.retained {
+			t.pool.Put(req)
+		}
+		t.retained = saved
 	})
 }
 
@@ -326,7 +438,7 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 		// SharedRO lines are eagerly coherent; recall the coarse
 		// groups before dropping (keeps R copies inclusive — see
 		// DESIGN.md interpretation notes).
-		members := coarseMembers(v.Meta.sharerBits, t.cores)
+		members := t.coarseMembersBuf(v.Meta.sharerBits)
 		if len(members) == 0 {
 			if v.Meta.dirty {
 				t.mem.WriteBlock(addr, v.Data)
@@ -336,15 +448,15 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 			return true
 		}
 		for _, c := range members {
-			t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: addr})
+			t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: addr}, nil)
 		}
 		v.Busy = true
-		t.tx[addr] = &l2Tx{kind: txEvict, acksLeft: len(members)}
+		t.newTx(addr, txEvict, nil, len(members))
 		return false
 	case dirX:
-		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: v.Meta.owner, Addr: addr})
+		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: v.Meta.owner, Addr: addr}, nil)
 		v.Busy = true
-		t.tx[addr] = &l2Tx{kind: txEvict, acksLeft: 1}
+		t.newTx(addr, txEvict, nil, 1)
 		return false
 	}
 	panic("tsocc: evictLine on invalid state")
@@ -359,15 +471,15 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		}
 		ts, ep, valid := t.respTS(&w.Meta)
 		w.Busy = true
-		t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m}
+		t.newTx(m.Addr, txAwaitAck, m, 0)
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
 	case dirX:
 		if w.Meta.owner == m.Requestor {
 			panic(fmt.Sprintf("tsocc: L2 %d: GetS from current owner %s", t.id, m))
 		}
 		w.Busy = true
-		t.tx[m.Addr] = &l2Tx{kind: txFwdGetS, req: m}
-		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgFwdGetS, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor})
+		t.newTx(m.Addr, txFwdGetS, m, 0)
+		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgFwdGetS, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor}, nil)
 	case dirS:
 		if t.shouldDecay(&w.Meta) {
 			t.DecayEvents.Inc()
@@ -423,50 +535,49 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 	case dirV:
 		ts, ep, valid := t.respTS(&w.Meta)
 		w.Busy = true
-		t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m}
+		t.newTx(m.Addr, txAwaitAck, m, 0)
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
 	case dirX:
 		if w.Meta.owner == m.Requestor {
 			panic(fmt.Sprintf("tsocc: L2 %d: GetX from current owner %s", t.id, m))
 		}
 		w.Busy = true
-		t.tx[m.Addr] = &l2Tx{kind: txFwdGetX, req: m}
-		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgFwdGetX, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor})
+		t.newTx(m.Addr, txFwdGetX, m, 0)
+		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgFwdGetX, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor}, nil)
 	case dirS:
 		// The lazy write path: respond immediately with the full line;
 		// unaware sharers keep stale copies until they self-invalidate
 		// (§3.2). No invalidation fan-out.
 		ts, ep, valid := t.respTS(&w.Meta)
 		w.Busy = true
-		t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m}
+		t.newTx(m.Addr, txAwaitAck, m, 0)
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
 	case dirR:
 		// Writes to SharedRO lines broadcast invalidations to the
 		// coarse sharer groups (§3.4).
-		members := coarseMembers(w.Meta.sharerBits, t.cores)
+		members := t.coarseMembersBuf(w.Meta.sharerBits)
 		// The requester's own copy is handled by FIFO ordering: its
 		// Inv (if any) arrives before the later DataE.
 		t.SROInvBcasts.Inc()
 		if len(members) == 0 {
 			ts, ep, valid := t.sroTS(&w.Meta)
 			w.Busy = true
-			t.tx[m.Addr] = &l2Tx{kind: txAwaitAck, req: m}
+			t.newTx(m.Addr, txAwaitAck, m, 0)
 			t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, -1, ts, ep, valid)
 			return
 		}
 		for _, c := range members {
-			t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: m.Addr})
+			t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: m.Addr}, nil)
 		}
 		w.Busy = true
-		t.tx[m.Addr] = &l2Tx{kind: txSROInv, req: m, acksLeft: len(members)}
+		t.newTx(m.Addr, txSROInv, m, len(members))
 	}
 }
 
 func (t *L2) respond(now sim.Cycle, dst coherence.NodeID, typ coherence.MsgType, addr uint64,
 	data []byte, owner coherence.NodeID, ts uint32, epoch uint8, tsValid bool) {
-	t.sendAfterAccess(now, &coherence.Msg{Type: typ, Dst: dst, Addr: addr,
-		Data: append([]byte(nil), data...), Owner: owner,
-		TS: ts, Epoch: epoch, TSValid: tsValid})
+	t.sendAfterAccess(now, coherence.Msg{Type: typ, Dst: dst, Addr: addr, Owner: owner,
+		TS: ts, Epoch: epoch, TSValid: tsValid}, data)
 }
 
 // ---- Completion handling ----
@@ -488,7 +599,7 @@ func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
 		t.noteWriterTS(tx.req.Requestor, m)
 	}
 	w.Busy = false
-	delete(t.tx, m.Addr)
+	t.delTx(m.Addr, tx, true)
 	t.drainWaiting(now, m.Addr)
 }
 
@@ -553,7 +664,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 			t.flag2 = true
 		}
 		w.Busy = false
-		delete(t.tx, m.Addr)
+		t.delTx(m.Addr, tx, true)
 		t.drainWaiting(now, m.Addr)
 	case txEvict:
 		if m.Dirty {
@@ -572,21 +683,21 @@ func (t *L2) finishEvict(now sim.Cycle, w *memsys.Way[l2Line]) {
 		t.mem.WriteBlock(addr, w.Data)
 		t.flag1 = true
 	}
-	delete(t.tx, addr)
+	t.delTx(addr, t.tx[addr], false)
 	t.cache.Invalidate(w)
 	t.drainWaiting(now, addr)
 }
 
 func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 	if _, busy := t.tx[m.Addr]; busy {
-		t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+		t.enqueueWaiting(m)
 		return
 	}
 	w := t.cache.Peek(m.Addr)
 	if w == nil || w.Meta.state != dirX || w.Meta.owner != m.Src {
 		// Stale writeback (ownership moved while the Put was in
 		// flight): acknowledge and drop.
-		t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr})
+		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr}, nil)
 		return
 	}
 	if m.Type == coherence.MsgPutM {
@@ -602,7 +713,7 @@ func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 	}
 	w.Meta.state = dirV
 	// Keep owner as last-writer for timestamp responses.
-	t.sendAfterAccess(now, &coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr})
+	t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr}, nil)
 }
 
 func (t *L2) drainWaiting(now sim.Cycle, addr uint64) {
@@ -613,6 +724,6 @@ func (t *L2) drainWaiting(now sim.Cycle, addr uint64) {
 	}
 	delete(t.waiting, addr)
 	for _, m := range q {
-		t.handle(now, m)
+		t.consume(now, m)
 	}
 }

@@ -95,14 +95,19 @@ func coarseBit(core coherence.NodeID, cores int) uint64 {
 	return 1 << uint(int(core)*g/cores)
 }
 
-// coarseMembers lists the cores covered by the set bits of vec.
-func coarseMembers(vec uint64, cores int) []int {
+// appendCoarseMembers appends the cores covered by the set bits of vec
+// to dst — the single implementation of the coarse-group mapping.
+func appendCoarseMembers(dst []int, vec uint64, cores int) []int {
 	g := coarseGroups(cores)
-	var out []int
 	for c := 0; c < cores; c++ {
 		if vec&(1<<uint(c*g/cores)) != 0 {
-			out = append(out, c)
+			dst = append(dst, c)
 		}
 	}
-	return out
+	return dst
+}
+
+// coarseMembers lists the cores covered by the set bits of vec.
+func coarseMembers(vec uint64, cores int) []int {
+	return appendCoarseMembers(nil, vec, cores)
 }
