@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test bench-smoke bench perf ci
+.PHONY: all vet build test race bench-smoke bench perf ci
 
 all: ci
 
@@ -12,6 +12,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Unit-test packages under the race detector with the TxTable lifecycle
+# assertions compiled in (mirrors the CI race job).
+race:
+	$(GO) test -race -tags txdebug ./internal/...
 
 # Quick benchmark smoke: exercises the perf-critical paths without the
 # full figure grids.
@@ -25,4 +30,4 @@ bench:
 perf:
 	$(GO) run ./cmd/tsocc-bench -perf -cores 8
 
-ci: vet build test bench-smoke
+ci: vet build test race bench-smoke

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/storagemodel"
@@ -32,16 +33,36 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	figure := flag.Int("figure", 0, "single figure to produce (2-9; 0 = all)")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset")
+	protoList := flag.String("proto", "", "comma-separated protocol subset (registry names; default all)")
+	listProtos := flag.Bool("list-protocols", false, "list registered protocols and exit")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	perf := flag.Bool("perf", false, "report simulator throughput (cycles/sec, ns/simcycle) as JSON and exit")
 	flag.Parse()
+
+	if *listProtos {
+		for _, name := range coherence.ProtocolNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	var protos []system.Protocol
+	if *protoList != "" {
+		for _, name := range strings.Split(*protoList, ",") {
+			p, err := coherence.ProtocolByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			protos = append(protos, p)
+		}
+	}
 
 	if *perf {
 		var benches []string
 		if *benchList != "" {
 			benches = strings.Split(*benchList, ",")
 		}
-		if err := runPerf(*cores, *scale, *seed, benches); err != nil {
+		if err := runPerf(*cores, *scale, *seed, benches, protos); err != nil {
 			fmt.Fprintln(os.Stderr, "perf failed:", err)
 			os.Exit(1)
 		}
@@ -66,7 +87,7 @@ func main() {
 		progress = nil
 	}
 	t0 := time.Now()
-	grid, err := harness.RunGrid(cfg, p, nil, benches, progress)
+	grid, err := harness.RunGrid(cfg, p, protos, benches, progress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "grid failed:", err)
 		os.Exit(1)
@@ -117,13 +138,16 @@ type perfRecord struct {
 	Speedup        float64 `json:"event_vs_percycle_speedup"`
 }
 
-// runPerf measures simulated-cycles-per-second for each benchmark under
-// both engine modes and prints one JSON array.
-func runPerf(cores, scale int, seed uint64, benches []string) error {
+// runPerf measures simulated-cycles-per-second for each benchmark ×
+// protocol under both engine modes and prints one JSON array. With no
+// -proto selection it measures the paper's best realistic configuration.
+func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Protocol) error {
 	if len(benches) == 0 {
 		benches = []string{"canneal", "x264", "ssca2"}
 	}
-	proto := tsocc.New(config.C12x3())
+	if len(protos) == 0 {
+		protos = []system.Protocol{tsocc.New(config.C12x3())}
+	}
 	p := workloads.Params{Threads: cores, Scale: scale, Seed: seed}
 	var out []perfRecord
 	for _, bench := range benches {
@@ -131,44 +155,46 @@ func runPerf(cores, scale int, seed uint64, benches []string) error {
 		if e == nil {
 			return fmt.Errorf("unknown benchmark %q", bench)
 		}
-		rec := perfRecord{Benchmark: bench, Protocol: proto.Name(), Cores: cores}
-		for _, perCycle := range []bool{true, false} {
-			cfg := config.Scaled(cores)
-			cfg.PerCycleEngine = perCycle
-			best := time.Duration(0)
-			var cycles int64
-			var skipped int64
-			for rep := 0; rep < 3; rep++ {
-				m, err := system.NewMachine(cfg, proto, e.Gen(p))
-				if err != nil {
-					return err
+		for _, proto := range protos {
+			rec := perfRecord{Benchmark: bench, Protocol: proto.Name(), Cores: cores}
+			for _, perCycle := range []bool{true, false} {
+				cfg := config.Scaled(cores)
+				cfg.PerCycleEngine = perCycle
+				best := time.Duration(0)
+				var cycles int64
+				var skipped int64
+				for rep := 0; rep < 3; rep++ {
+					m, err := system.NewMachine(cfg, proto, e.Gen(p))
+					if err != nil {
+						return err
+					}
+					t0 := time.Now()
+					cyc, err := m.Engine.Run()
+					if err != nil {
+						return err
+					}
+					if d := time.Since(t0); best == 0 || d < best {
+						best = d
+						skipped = m.Engine.IdleSkipped
+					}
+					cycles = int64(cyc)
 				}
-				t0 := time.Now()
-				cyc, err := m.Engine.Run()
-				if err != nil {
-					return err
+				nsPerCycle := float64(best.Nanoseconds()) / float64(cycles)
+				if perCycle {
+					rec.WallNsPerCycle = nsPerCycle
+				} else {
+					rec.WallNsEvent = nsPerCycle
+					rec.SimCycles = cycles
+					rec.CyclesPerSec = float64(cycles) / best.Seconds()
+					rec.HostNsPerCycle = nsPerCycle
+					rec.SkippedPct = 100 * float64(skipped) / float64(cycles)
 				}
-				if d := time.Since(t0); best == 0 || d < best {
-					best = d
-					skipped = m.Engine.IdleSkipped
-				}
-				cycles = int64(cyc)
 			}
-			nsPerCycle := float64(best.Nanoseconds()) / float64(cycles)
-			if perCycle {
-				rec.WallNsPerCycle = nsPerCycle
-			} else {
-				rec.WallNsEvent = nsPerCycle
-				rec.SimCycles = cycles
-				rec.CyclesPerSec = float64(cycles) / best.Seconds()
-				rec.HostNsPerCycle = nsPerCycle
-				rec.SkippedPct = 100 * float64(skipped) / float64(cycles)
+			if rec.WallNsEvent > 0 {
+				rec.Speedup = rec.WallNsPerCycle / rec.WallNsEvent
 			}
+			out = append(out, rec)
 		}
-		if rec.WallNsEvent > 0 {
-			rec.Speedup = rec.WallNsPerCycle / rec.WallNsEvent
-		}
-		out = append(out, rec)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

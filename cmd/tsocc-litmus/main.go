@@ -10,22 +10,42 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/coherence"
 	"repro/internal/config"
-	"repro/internal/harness"
 	"repro/internal/litmus"
+
+	// Protocol packages register themselves; importing them populates
+	// the registry this command enumerates.
+	_ "repro/internal/mesi"
+	_ "repro/internal/tsocc"
 )
 
 func main() {
 	iters := flag.Int("iters", 40, "iterations per test per protocol")
 	cores := flag.Int("cores", 4, "core count (tests use up to 4 threads)")
 	seed := flag.Uint64("seed", 0xC0FFEE, "perturbation seed")
+	protoList := flag.String("proto", "", "comma-separated protocol subset (registry names; default all)")
 	verbose := flag.Bool("v", false, "print outcome histograms")
 	flag.Parse()
 
+	protos := coherence.Protocols()
+	if *protoList != "" {
+		protos = protos[:0]
+		for _, name := range strings.Split(*protoList, ",") {
+			p, err := coherence.ProtocolByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			protos = append(protos, p)
+		}
+	}
+
 	cfg := config.Small(*cores)
 	failed := false
-	for _, proto := range harness.Protocols() {
+	for _, proto := range protos {
 		fmt.Printf("== %s ==\n", proto.Name())
 		for _, t := range litmus.Suite() {
 			res, err := litmus.Run(t, proto, cfg, *iters, *seed)

@@ -1,0 +1,130 @@
+package coherence
+
+import "repro/internal/sim"
+
+// EventItem is one entry of an EventHeap: a payload ordered by
+// (Cycle, Seq). Seq breaks same-cycle ties deterministically — either a
+// caller-supplied sequence (the mesh's global send order) or the heap's
+// own push order (timers).
+type EventItem[T any] struct {
+	Cycle sim.Cycle
+	Seq   uint64
+	Item  T
+}
+
+// EventHeap is the shared (cycle, seq) binary min-heap used by every
+// time-ordered store in the simulator: controller timers and the mesh
+// calendar queue's overflow region. It is generic over a concrete
+// payload type — no interface boxing — so pushing and popping allocate
+// nothing in steady state (the backing slice is reused after pops).
+type EventHeap[T any] struct {
+	h       []EventItem[T]
+	autoSeq uint64
+}
+
+// Push inserts item at cycle c with an explicit tie-break sequence.
+// The body is kept small enough to inline: sifting only happens when
+// the new item does not already belong at the end (the common hot-path
+// case is a near-empty heap, where append is the whole cost).
+func (eh *EventHeap[T]) Push(c sim.Cycle, seq uint64, item T) {
+	eh.h = append(eh.h, EventItem[T]{Cycle: c, Seq: seq, Item: item})
+	if i := len(eh.h) - 1; i > 0 && eh.less(i, (i-1)/2) {
+		eh.siftUp(i)
+	}
+}
+
+// PushAuto inserts item at cycle c, tie-broken by push order: same-cycle
+// items pop in the order they were pushed.
+func (eh *EventHeap[T]) PushAuto(c sim.Cycle, item T) {
+	seq := eh.autoSeq
+	eh.autoSeq++
+	eh.Push(c, seq, item)
+}
+
+func (eh *EventHeap[T]) less(i, j int) bool {
+	a, b := &eh.h[i], &eh.h[j]
+	if a.Cycle != b.Cycle {
+		return a.Cycle < b.Cycle
+	}
+	return a.Seq < b.Seq
+}
+
+func (eh *EventHeap[T]) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eh.less(i, p) {
+			break
+		}
+		eh.h[i], eh.h[p] = eh.h[p], eh.h[i]
+		i = p
+	}
+}
+
+// Pop removes and returns the earliest (cycle, seq) item. It panics on
+// an empty heap. The vacated slot is zeroed so popped payloads drop any
+// pointer references (callbacks, messages) they held.
+func (eh *EventHeap[T]) Pop() EventItem[T] {
+	top := eh.h[0]
+	eh.DropMin()
+	return top
+}
+
+// DropMin removes the earliest item without returning it. Callers that
+// already read the head through MinItem use this to avoid copying the
+// payload out of the heap a second time.
+func (eh *EventHeap[T]) DropMin() {
+	n := len(eh.h) - 1
+	eh.h[0] = eh.h[n]
+	eh.h[n] = EventItem[T]{}
+	eh.h = eh.h[:n]
+	if n > 1 {
+		eh.siftDown(n)
+	}
+}
+
+func (eh *EventHeap[T]) siftDown(n int) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && eh.less(l, s) {
+			s = l
+		}
+		if r < n && eh.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		eh.h[i], eh.h[s] = eh.h[s], eh.h[i]
+		i = s
+	}
+}
+
+// Min reports the earliest scheduled cycle without popping.
+func (eh *EventHeap[T]) Min() (sim.Cycle, bool) {
+	if len(eh.h) == 0 {
+		return 0, false
+	}
+	return eh.h[0].Cycle, true
+}
+
+// MinItem returns a pointer to the earliest item (valid until the next
+// heap mutation), letting callers inspect the head without copying.
+func (eh *EventHeap[T]) MinItem() *EventItem[T] {
+	if len(eh.h) == 0 {
+		return nil
+	}
+	return &eh.h[0]
+}
+
+// Len reports the number of scheduled items.
+func (eh *EventHeap[T]) Len() int { return len(eh.h) }
+
+// Scan visits every item in heap (not chronological) order —
+// diagnostics only.
+func (eh *EventHeap[T]) Scan(f func(c sim.Cycle, item *T)) {
+	for i := range eh.h {
+		f(eh.h[i].Cycle, &eh.h[i].Item)
+	}
+}

@@ -1,0 +1,120 @@
+package coherence
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestEventHeapPopOrder is the property test: for any push sequence,
+// pops come out in exactly sorted (cycle, seq) order.
+func TestEventHeapPopOrder(t *testing.T) {
+	rng := sim.NewRNG(11)
+	type key struct {
+		c sim.Cycle
+		s uint64
+	}
+	var eh EventHeap[int]
+	var want []key
+	for i := 0; i < 5000; i++ {
+		c := sim.Cycle(rng.Intn(64)) // dense cycles force seq tie-breaks
+		eh.PushAuto(c, i)
+		want = append(want, key{c: c, s: uint64(i)})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].c != want[j].c {
+			return want[i].c < want[j].c
+		}
+		return want[i].s < want[j].s
+	})
+	for i, w := range want {
+		min, ok := eh.Min()
+		if !ok || min != w.c {
+			t.Fatalf("pop %d: Min = %d,%v, want %d", i, min, ok, w.c)
+		}
+		it := eh.Pop()
+		if it.Cycle != w.c || it.Seq != w.s {
+			t.Fatalf("pop %d: (%d,%d), want (%d,%d)", i, it.Cycle, it.Seq, w.c, w.s)
+		}
+		if it.Item != int(w.s) {
+			t.Fatalf("pop %d: payload %d, want %d", i, it.Item, w.s)
+		}
+	}
+	if eh.Len() != 0 {
+		t.Fatalf("heap not drained: %d left", eh.Len())
+	}
+}
+
+// TestEventHeapInterleaved mixes pushes and pops (the timers' usage
+// pattern) and checks the popped stream never goes backwards.
+func TestEventHeapInterleaved(t *testing.T) {
+	rng := sim.NewRNG(23)
+	var eh EventHeap[uint64]
+	var lastC sim.Cycle = -1
+	var lastS uint64
+	popped := 0
+	for round := 0; round < 2000; round++ {
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			eh.PushAuto(sim.Cycle(rng.Intn(1000)), uint64(round))
+		}
+		for k := rng.Intn(5); k > 0 && eh.Len() > 0; k-- {
+			it := eh.Pop()
+			// Pops must be monotone in (cycle, seq) only among items
+			// present simultaneously; a later push may rewind the cycle.
+			// The strong invariant that always holds: Min() == popped key.
+			if it.Cycle == lastC && it.Seq < lastS {
+				t.Fatalf("same-cycle seq went backwards: (%d,%d) after (%d,%d)",
+					it.Cycle, it.Seq, lastC, lastS)
+			}
+			lastC, lastS = it.Cycle, it.Seq
+			popped++
+		}
+	}
+	for eh.Len() > 0 {
+		eh.Pop()
+		popped++
+	}
+	if popped == 0 {
+		t.Fatal("no pops exercised")
+	}
+}
+
+// FuzzEventHeap feeds arbitrary byte strings as push/pop scripts and
+// checks the heap invariant (Min never decreases across a pop-only
+// stretch, Len stays consistent) plus full drain ordering.
+func FuzzEventHeap(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 4, 0, 0})
+	f.Add([]byte{255, 0, 255, 0})
+	f.Add([]byte{7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var eh EventHeap[int]
+		live := 0
+		for i, b := range script {
+			if b == 0 && eh.Len() > 0 {
+				before, _ := eh.Min()
+				it := eh.Pop()
+				if it.Cycle != before {
+					t.Fatalf("Pop cycle %d != Min %d", it.Cycle, before)
+				}
+				live--
+			} else {
+				eh.PushAuto(sim.Cycle(b), i)
+				live++
+			}
+			if eh.Len() != live {
+				t.Fatalf("Len = %d, want %d", eh.Len(), live)
+			}
+		}
+		// Drain: the remaining stream must be sorted by (cycle, seq).
+		prevC, prevS := sim.Cycle(-1), uint64(0)
+		for eh.Len() > 0 {
+			it := eh.Pop()
+			if it.Cycle < prevC || (it.Cycle == prevC && it.Seq <= prevS && prevC >= 0) {
+				t.Fatalf("drain out of order: (%d,%d) after (%d,%d)", it.Cycle, it.Seq, prevC, prevS)
+			}
+			prevC, prevS = it.Cycle, it.Seq
+		}
+	})
+}

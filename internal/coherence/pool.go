@@ -1,5 +1,7 @@
 package coherence
 
+import "fmt"
+
 // MsgPool is a free-list allocator for coherence messages, eliminating
 // steady-state allocation on the message path. Simulations are
 // single-goroutine, so the pool is deliberately unsynchronized.
@@ -18,10 +20,12 @@ package coherence
 type MsgPool struct {
 	free []*Msg
 
-	// Gets/News count pool traffic: News is the number of Gets that had
-	// to allocate. After warm-up News stops growing.
+	// Gets/News/Puts count pool traffic: News is the number of Gets that
+	// had to allocate (after warm-up it stops growing); Puts counts
+	// returns, so Gets-Puts is the number of live pooled messages.
 	Gets int64
 	News int64
+	Puts int64
 }
 
 // Get returns a zeroed message. The Data slice of a recycled message
@@ -58,10 +62,27 @@ func (p *MsgPool) Put(m *Msg) {
 	if m == nil {
 		return
 	}
+	p.Puts++
 	data := m.Data[:0]
 	*m = Msg{}
 	m.Data = data
 	p.free = append(p.free, m)
+}
+
+// Live reports the number of messages currently checked out of the pool.
+func (p *MsgPool) Live() int64 { return p.Gets - p.Puts }
+
+// LeakCheck returns an error if any pooled message is still live. On a
+// quiesced system every message has been consumed and returned (the
+// TxTable ownership discipline), so integration tests call this after a
+// run to catch ownership bugs that would otherwise surface as silent
+// pool growth.
+func (p *MsgPool) LeakCheck() error {
+	if live := p.Live(); live != 0 {
+		return fmt.Errorf("coherence: MsgPool leak: %d message(s) not returned (gets=%d puts=%d)",
+			live, p.Gets, p.Puts)
+	}
+	return nil
 }
 
 // SetData fills m's payload with a copy of src, reusing m's buffer

@@ -16,8 +16,6 @@ const (
 )
 
 type timerEvent struct {
-	cycle sim.Cycle
-	seq   uint64
 	kind  timerKind
 	val   uint64
 	msg   *Msg
@@ -29,91 +27,49 @@ type timerEvent struct {
 
 // Timers schedules deferred actions inside a controller (array access
 // latencies, memory fills). Actions scheduled for the same cycle run in
-// scheduling order, keeping controllers deterministic. The store is a
-// binary min-heap ordered by (cycle, scheduling sequence), so the
+// scheduling order, keeping controllers deterministic. The store is the
+// shared EventHeap ordered by (cycle, scheduling sequence), so the
 // earliest deadline is exposed in O(1) for the engine's idle-skip
 // scheduling and firing is allocation-free in steady state.
 type Timers struct {
-	heap []timerEvent
-	seq  uint64
-}
-
-func (t *Timers) push(ev timerEvent) {
-	ev.seq = t.seq
-	t.seq++
-	t.heap = append(t.heap, ev)
-	i := len(t.heap) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !t.less(i, p) {
-			break
-		}
-		t.heap[i], t.heap[p] = t.heap[p], t.heap[i]
-		i = p
-	}
-}
-
-func (t *Timers) less(i, j int) bool {
-	a, b := &t.heap[i], &t.heap[j]
-	if a.cycle != b.cycle {
-		return a.cycle < b.cycle
-	}
-	return a.seq < b.seq
-}
-
-func (t *Timers) pop() timerEvent {
-	top := t.heap[0]
-	n := len(t.heap) - 1
-	t.heap[0] = t.heap[n]
-	t.heap[n] = timerEvent{} // drop callback refs
-	t.heap = t.heap[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		if l < n && t.less(l, s) {
-			s = l
-		}
-		if r < n && t.less(r, s) {
-			s = r
-		}
-		if s == i {
-			break
-		}
-		t.heap[i], t.heap[s] = t.heap[s], t.heap[i]
-		i = s
-	}
-	return top
+	heap EventHeap[timerEvent]
 }
 
 // At schedules f to run at cycle c (or the next tick if c is in the past).
 func (t *Timers) At(c sim.Cycle, f func(now sim.Cycle)) {
-	t.push(timerEvent{cycle: c, kind: timerFn, fn: f})
+	t.heap.PushAuto(c, timerEvent{kind: timerFn, fn: f})
 }
 
 // AtVal schedules cb(val) at cycle c. Unlike At with a capturing
 // closure, this allocates nothing: cb is an existing callback value and
 // val rides in the event.
 func (t *Timers) AtVal(c sim.Cycle, cb func(val uint64), val uint64) {
-	t.push(timerEvent{cycle: c, kind: timerVal, valCb: cb, val: val})
+	t.heap.PushAuto(c, timerEvent{kind: timerVal, valCb: cb, val: val})
 }
 
 // AtDone schedules cb() at cycle c without allocating.
 func (t *Timers) AtDone(c sim.Cycle, cb func()) {
-	t.push(timerEvent{cycle: c, kind: timerDone, done: cb})
+	t.heap.PushAuto(c, timerEvent{kind: timerDone, done: cb})
 }
 
 // AtMsg schedules cb(now, m) at cycle c without allocating (cb should be
 // a callback value stored once by the controller, e.g. its send method).
 func (t *Timers) AtMsg(c sim.Cycle, cb func(now sim.Cycle, m *Msg), m *Msg) {
-	t.push(timerEvent{cycle: c, kind: timerMsg, msgCb: cb, msg: m})
+	t.heap.PushAuto(c, timerEvent{kind: timerMsg, msgCb: cb, msg: m})
 }
 
 // Tick runs every action due at or before now, in (cycle, scheduling)
 // order.
 func (t *Timers) Tick(now sim.Cycle) {
-	for len(t.heap) > 0 && t.heap[0].cycle <= now {
-		ev := t.pop()
+	for {
+		it := t.heap.MinItem()
+		if it == nil || it.Cycle > now {
+			return
+		}
+		// Copy the payload out before dropping the slot: the callback may
+		// schedule new timers, which reuses the heap storage.
+		ev := it.Item
+		t.heap.DropMin()
 		switch ev.kind {
 		case timerFn:
 			ev.fn(now)
@@ -128,21 +84,14 @@ func (t *Timers) Tick(now sim.Cycle) {
 }
 
 // NextDue reports the earliest scheduled cycle (engine wake hint).
-func (t *Timers) NextDue() (sim.Cycle, bool) {
-	if len(t.heap) == 0 {
-		return 0, false
-	}
-	return t.heap[0].cycle, true
-}
+func (t *Timers) NextDue() (sim.Cycle, bool) { return t.heap.Min() }
 
 // Pending reports the number of scheduled actions (deadlock diagnostics).
-func (t *Timers) Pending() int { return len(t.heap) }
+func (t *Timers) Pending() int { return t.heap.Len() }
 
 // DueCycles lists the cycles with scheduled actions (diagnostics).
 func (t *Timers) DueCycles() []sim.Cycle {
 	var out []sim.Cycle
-	for i := range t.heap {
-		out = append(out, t.heap[i].cycle)
-	}
+	t.heap.Scan(func(c sim.Cycle, _ *timerEvent) { out = append(out, c) })
 	return out
 }

@@ -1,0 +1,23 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkTimersValPath isolates the L1 hit-path timer sequence:
+// schedule one closure-free callback, fire it next cycle.
+func BenchmarkTimersValPath(b *testing.B) {
+	var tm Timers
+	var sink uint64
+	cb := func(v uint64) { sink = v }
+	now := sim.Cycle(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.AtVal(now+1, cb, uint64(i))
+		now++
+		tm.Tick(now)
+	}
+	_ = sink
+}

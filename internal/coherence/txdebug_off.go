@@ -1,0 +1,8 @@
+//go:build !txdebug
+
+package coherence
+
+// txDebug gates the TxTable lifecycle assertions. The default build
+// compiles them out of the hot path; `go test -tags txdebug` turns them
+// on (CI's race job runs the unit packages with this tag).
+const txDebug = false

@@ -1,0 +1,6 @@
+//go:build txdebug
+
+package coherence
+
+// txDebug enables the TxTable lifecycle assertions (see txdebug_off.go).
+const txDebug = true

@@ -1,0 +1,216 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Tx is one outstanding directory transaction. Kind is a protocol-defined
+// discriminant; Req is the request message the transaction retains (the
+// table recycles it at retirement unless told otherwise); AcksLeft counts
+// outstanding acknowledgements. NextOwner and IsUpgrade are optional
+// protocol scratch (used by MESI's invalidation collection; zero for
+// protocols that don't need them).
+type Tx struct {
+	Kind      int
+	Req       *Msg
+	AcksLeft  int
+	NextOwner NodeID
+	IsUpgrade bool
+}
+
+// TxTable owns the transaction lifecycle and message-ownership
+// discipline of a directory controller. Both L2 implementations used to
+// duplicate this machinery (newTx/delTx, waiter lists, retry queues, the
+// consume/retained recycling dance over MsgPool); it now lives here once.
+//
+// Ownership rules:
+//
+//   - A delivered message is owned by the table from Deliver until the
+//     bound handler returns inside Consume; it is then recycled to the
+//     pool unless the handler retained it.
+//   - Retaining happens implicitly through the table: New(addr, ..., req)
+//     with a non-nil req, EnqueueWaiting, and EnqueueRetry all mark the
+//     in-flight message retained. Handlers never touch the flag directly.
+//   - A retained request is recycled when its transaction retires
+//     (Del with freeReq=true), or re-enters the dispatch path via
+//     Consume when re-dispatched (waiters, retries, fetch completions),
+//     restoring single ownership.
+//
+// Build-tagged assertions (-tags txdebug) verify the lifecycle: no
+// transaction is double-registered and retired transactions match the
+// registered record.
+type TxTable struct {
+	pool   *MsgPool
+	handle func(now sim.Cycle, m *Msg)
+
+	tx      map[uint64]*Tx
+	free    []*Tx
+	waiting map[uint64][]*Msg
+
+	inbox []*Msg
+
+	// retryQ swaps with retryScratch each Drain: handlers may re-append
+	// to retryQ while the drained batch is still being iterated.
+	retryQ       []*Msg
+	retryScratch []*Msg
+
+	// retained marks whether the message currently being handled was
+	// stored (tx request, waiting queue, retry queue) and must not be
+	// recycled by the Consume wrapper.
+	retained bool
+}
+
+// Init prepares the table: pool is the message free list, handle the
+// controller's dispatch function (bound once — Consume calls it for
+// every owned message).
+func (t *TxTable) Init(pool *MsgPool, handle func(now sim.Cycle, m *Msg)) {
+	t.pool = pool
+	t.handle = handle
+	t.tx = make(map[uint64]*Tx)
+	t.waiting = make(map[uint64][]*Msg)
+}
+
+// New builds a transaction record from the free list and registers it
+// for addr. A non-nil req is retained by the transaction.
+func (t *TxTable) New(addr uint64, kind int, req *Msg, acks int) *Tx {
+	if txDebug {
+		if _, dup := t.tx[addr]; dup {
+			panic(fmt.Sprintf("coherence: TxTable: double transaction for %#x", addr))
+		}
+	}
+	var tx *Tx
+	if n := len(t.free); n > 0 {
+		tx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		tx = &Tx{}
+	}
+	tx.Kind, tx.Req, tx.AcksLeft = kind, req, acks
+	tx.NextOwner, tx.IsUpgrade = 0, false
+	t.tx[addr] = tx
+	if req != nil {
+		t.retained = true
+	}
+	return tx
+}
+
+// Del retires a transaction, recycling the record and (when freeReq) the
+// request message it retained. With freeReq false the caller takes over
+// ownership of tx.Req before the call (e.g. to re-dispatch it).
+func (t *TxTable) Del(addr uint64, tx *Tx, freeReq bool) {
+	if txDebug {
+		if reg, ok := t.tx[addr]; !ok || reg != tx {
+			panic(fmt.Sprintf("coherence: TxTable: retiring unregistered transaction for %#x", addr))
+		}
+	}
+	delete(t.tx, addr)
+	if freeReq && tx.Req != nil {
+		t.pool.Put(tx.Req)
+	}
+	tx.Req = nil
+	t.free = append(t.free, tx)
+}
+
+// Get returns the transaction registered for addr, if any.
+func (t *TxTable) Get(addr uint64) (*Tx, bool) {
+	tx, ok := t.tx[addr]
+	return tx, ok
+}
+
+// BusyLine reports whether a transaction is outstanding for addr.
+func (t *TxTable) BusyLine(addr uint64) bool {
+	_, ok := t.tx[addr]
+	return ok
+}
+
+// EnqueueWaiting parks m behind a busy line; DrainWaiting re-dispatches
+// it when the transaction retires. Owns the retained flag.
+func (t *TxTable) EnqueueWaiting(m *Msg) {
+	t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
+	t.retained = true
+}
+
+// EnqueueRetry re-queues m for the next Drain. Owns the retained flag.
+func (t *TxTable) EnqueueRetry(m *Msg) {
+	t.retryQ = append(t.retryQ, m)
+	t.retained = true
+}
+
+// Deliver appends a delivered message to the inbox (mesh.Endpoint hook).
+func (t *TxTable) Deliver(m *Msg) { t.inbox = append(t.inbox, m) }
+
+// Consume dispatches a message the controller owns through the bound
+// handler, recycling it unless a handler retained it. Save/restore keeps
+// nested consumption (a handler draining the waiting queue) from
+// clobbering the caller's flag.
+func (t *TxTable) Consume(now sim.Cycle, m *Msg) {
+	saved := t.retained
+	t.retained = false
+	t.handle(now, m)
+	if !t.retained {
+		t.pool.Put(m)
+	}
+	t.retained = saved
+}
+
+// Drain processes the retry queue, then the inbox, consuming each
+// message in arrival order. Call once per controller Tick.
+func (t *TxTable) Drain(now sim.Cycle) {
+	if len(t.retryQ) > 0 {
+		rq := t.retryQ
+		t.retryQ = t.retryScratch[:0]
+		for _, m := range rq {
+			t.Consume(now, m)
+		}
+		t.retryScratch = rq[:0]
+	}
+	if len(t.inbox) == 0 {
+		return
+	}
+	// Deliveries happen only inside Network.Tick, so nothing appends to
+	// the inbox while this batch drains; the backing array is reusable.
+	msgs := t.inbox
+	t.inbox = t.inbox[:0]
+	for _, m := range msgs {
+		t.Consume(now, m)
+	}
+}
+
+// DrainWaiting re-dispatches every message parked behind addr (after its
+// transaction retired), in arrival order.
+func (t *TxTable) DrainWaiting(now sim.Cycle, addr uint64) {
+	q, ok := t.waiting[addr]
+	if !ok || len(q) == 0 {
+		delete(t.waiting, addr)
+		return
+	}
+	delete(t.waiting, addr)
+	for _, m := range q {
+		t.Consume(now, m)
+	}
+}
+
+// QueuedWork reports whether messages are queued for the next tick
+// (sim.WakeHinter input: queued work needs the very next cycle).
+func (t *TxTable) QueuedWork() bool { return len(t.inbox) > 0 || len(t.retryQ) > 0 }
+
+// Outstanding reports whether any transaction, queued retry or inbox
+// message is pending (completion/deadlock checks).
+func (t *TxTable) Outstanding() bool {
+	return len(t.tx) > 0 || len(t.retryQ) > 0 || len(t.inbox) > 0
+}
+
+// Debug renders outstanding transaction state (deadlock diagnostics).
+func (t *TxTable) Debug() string {
+	s := ""
+	for a, tx := range t.tx {
+		s += fmt.Sprintf(" tx=%#x(kind=%d acks=%d)", a, tx.Kind, tx.AcksLeft)
+	}
+	for a, q := range t.waiting {
+		s += fmt.Sprintf(" wait=%#x(%d)", a, len(q))
+	}
+	s += fmt.Sprintf(" retry=%d inbox=%d", len(t.retryQ), len(t.inbox))
+	return s
+}

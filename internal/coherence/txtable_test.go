@@ -1,0 +1,178 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// txHarness binds a TxTable to a scripted handler.
+type txHarness struct {
+	pool    MsgPool
+	txs     TxTable
+	handler func(now sim.Cycle, m *Msg)
+	handled []*Msg
+}
+
+func newTxHarness() *txHarness {
+	h := &txHarness{}
+	h.txs.Init(&h.pool, func(now sim.Cycle, m *Msg) {
+		h.handled = append(h.handled, m)
+		if h.handler != nil {
+			h.handler(now, m)
+		}
+	})
+	return h
+}
+
+func TestTxTableLifecycle(t *testing.T) {
+	h := newTxHarness()
+	req := h.pool.Get()
+	req.Addr = 0x40
+
+	tx := h.txs.New(0x40, 1, req, 2)
+	if !h.txs.BusyLine(0x40) || h.txs.BusyLine(0x80) {
+		t.Fatal("BusyLine wrong")
+	}
+	got, ok := h.txs.Get(0x40)
+	if !ok || got != tx || got.Req != req || got.AcksLeft != 2 {
+		t.Fatalf("Get returned %+v", got)
+	}
+	if !h.txs.Outstanding() {
+		t.Fatal("open transaction not outstanding")
+	}
+	h.txs.Del(0x40, tx, true)
+	if h.txs.Outstanding() {
+		t.Fatal("still outstanding after Del")
+	}
+	if h.pool.Live() != 0 {
+		t.Fatalf("retained request leaked: live=%d", h.pool.Live())
+	}
+	// The record is recycled through the free list.
+	tx2 := h.txs.New(0x80, 2, nil, 0)
+	if tx2 != tx {
+		t.Fatal("transaction record not recycled")
+	}
+	if tx2.NextOwner != 0 || tx2.IsUpgrade {
+		t.Fatal("recycled record not cleared")
+	}
+	h.txs.Del(0x80, tx2, true)
+}
+
+// TestTxTableConsumeRecycles: a message the handler does not retain goes
+// straight back to the pool; a retained one survives until its
+// transaction retires.
+func TestTxTableConsumeRecycles(t *testing.T) {
+	h := newTxHarness()
+
+	m1 := h.pool.Get()
+	h.txs.Consume(1, m1)
+	if h.pool.Live() != 0 {
+		t.Fatalf("unretained message not recycled: live=%d", h.pool.Live())
+	}
+
+	m2 := h.pool.Get()
+	m2.Addr = 0x100
+	h.handler = func(now sim.Cycle, m *Msg) { h.txs.New(m.Addr, 1, m, 0) }
+	h.txs.Consume(2, m2)
+	if h.pool.Live() != 1 {
+		t.Fatalf("retained message recycled early: live=%d", h.pool.Live())
+	}
+	tx, _ := h.txs.Get(0x100)
+	h.handler = nil
+	h.txs.Del(0x100, tx, true)
+	if err := h.pool.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxTableWaitingAndRetry: parked messages re-dispatch in arrival
+// order, and the nested-consumption save/restore keeps an outer retained
+// flag intact while waiters drain.
+func TestTxTableWaitingAndRetry(t *testing.T) {
+	h := newTxHarness()
+	mk := func(addr uint64, req NodeID) *Msg {
+		m := h.pool.Get()
+		m.Addr, m.Requestor = addr, req
+		return m
+	}
+
+	// Open a transaction, park two waiters behind it.
+	h.handler = func(now sim.Cycle, m *Msg) {
+		if h.txs.BusyLine(m.Addr) {
+			h.txs.EnqueueWaiting(m)
+		}
+	}
+	h.txs.New(0x40, 1, nil, 0)
+	h.txs.Consume(1, mk(0x40, 7))
+	h.txs.Consume(1, mk(0x40, 8))
+	if h.pool.Live() != 2 {
+		t.Fatalf("waiters not retained: live=%d", h.pool.Live())
+	}
+
+	// Retire the transaction; waiters drain in arrival order and recycle.
+	tx, _ := h.txs.Get(0x40)
+	h.txs.Del(0x40, tx, true)
+	var order []NodeID
+	h.handler = func(now sim.Cycle, m *Msg) { order = append(order, m.Requestor) }
+	h.txs.DrainWaiting(2, 0x40)
+	if len(order) != 2 || order[0] != 7 || order[1] != 8 || h.pool.Live() != 0 {
+		t.Fatalf("waiters drained wrong: order=%v live=%d", order, h.pool.Live())
+	}
+
+	// Retry queue: enqueued messages re-dispatch on the next Drain, and
+	// a handler re-retrying does not corrupt the in-flight batch.
+	retries := 0
+	h.handler = func(now sim.Cycle, m *Msg) {
+		if retries == 0 {
+			retries++
+			h.txs.EnqueueRetry(m)
+		}
+	}
+	h.txs.EnqueueRetry(mk(0x80, 9))
+	if !h.txs.QueuedWork() {
+		t.Fatal("retry not queued")
+	}
+	h.txs.Drain(3) // first pass re-enqueues
+	h.txs.Drain(4) // second pass consumes
+	if h.txs.QueuedWork() || h.pool.Live() != 0 {
+		t.Fatalf("retry not settled: queued=%v live=%d", h.txs.QueuedWork(), h.pool.Live())
+	}
+}
+
+// TestTxTableInboxDrain: delivered messages consume in arrival order.
+func TestTxTableInboxDrain(t *testing.T) {
+	h := newTxHarness()
+	var order []uint64
+	h.handler = func(now sim.Cycle, m *Msg) { order = append(order, m.Addr) }
+	for i := uint64(1); i <= 3; i++ {
+		m := h.pool.Get()
+		m.Addr = i * 0x40
+		h.txs.Deliver(m)
+	}
+	if !h.txs.QueuedWork() || !h.txs.Outstanding() {
+		t.Fatal("inbox not visible")
+	}
+	h.txs.Drain(1)
+	if len(order) != 3 || order[0] != 0x40 || order[1] != 0x80 || order[2] != 0xc0 {
+		t.Fatalf("inbox order %v", order)
+	}
+	if err := h.pool.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgPoolLeakCheck(t *testing.T) {
+	var p MsgPool
+	m := p.Get()
+	if err := p.LeakCheck(); err == nil {
+		t.Fatal("live message not reported as leak")
+	}
+	p.Put(m)
+	if err := p.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Live() != 0 {
+		t.Fatalf("live = %d", p.Live())
+	}
+}

@@ -192,6 +192,20 @@ func C9x3() TSOCC {
 		EpochBits: 3, DecayWrites: 256}
 }
 
+// Presets returns the paper's six evaluated TSO-CC configurations in
+// plotting order (§4.2). The protocol registry is seeded from this list,
+// so adding a preset here adds it to every harness grid and CLI sweep.
+func Presets() []TSOCC {
+	return []TSOCC{
+		CCSharedToL2(),
+		Basic(),
+		NoReset(),
+		C12x3(),
+		C12x0(),
+		C9x3(),
+	}
+}
+
 // Name renders the paper's configuration name.
 func (c TSOCC) Name() string {
 	switch {

@@ -10,25 +10,23 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/coherence"
 	"repro/internal/config"
-	"repro/internal/mesi"
 	"repro/internal/system"
-	"repro/internal/tsocc"
 	"repro/internal/workloads"
+
+	// Protocol packages register themselves; importing them populates
+	// the registry this harness enumerates.
+	_ "repro/internal/mesi"
+	_ "repro/internal/tsocc"
 )
 
-// Protocols returns the seven configurations evaluated in §4.2/§5, in
-// the paper's plotting order.
+// Protocols returns every registered protocol configuration — the seven
+// evaluated in §4.2/§5 — in the paper's plotting order. The list comes
+// from the coherence protocol registry, so a newly registered protocol
+// package joins every grid without touching this package.
 func Protocols() []system.Protocol {
-	return []system.Protocol{
-		mesi.New(),
-		tsocc.New(config.CCSharedToL2()),
-		tsocc.New(config.Basic()),
-		tsocc.New(config.NoReset()),
-		tsocc.New(config.C12x3()),
-		tsocc.New(config.C12x0()),
-		tsocc.New(config.C9x3()),
-	}
+	return coherence.Protocols()
 }
 
 // Grid holds the full result matrix.

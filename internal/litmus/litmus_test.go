@@ -3,29 +3,33 @@ package litmus_test
 import (
 	"testing"
 
+	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/litmus"
 	"repro/internal/mesi"
 	"repro/internal/system"
-	"repro/internal/tsocc"
+
+	"repro/internal/tsocc" // also registers the TSO-CC presets
 )
 
+// protocols enumerates the registry: every registered protocol — the
+// MESI baseline plus all six TSO-CC presets — is litmus-tested without
+// this file naming them.
 func protocols() map[string]system.Protocol {
-	return map[string]system.Protocol{
-		"MESI":             mesi.New(),
-		"CC-shared-to-L2":  tsocc.New(config.CCSharedToL2()),
-		"TSO-CC-4-basic":   tsocc.New(config.Basic()),
-		"TSO-CC-4-noreset": tsocc.New(config.NoReset()),
-		"TSO-CC-4-12-3":    tsocc.New(config.C12x3()),
-		"TSO-CC-4-12-0":    tsocc.New(config.C12x0()),
-		"TSO-CC-4-9-3":     tsocc.New(config.C9x3()),
+	out := make(map[string]system.Protocol)
+	for _, p := range coherence.Protocols() {
+		out[p.Name()] = p
 	}
+	return out
 }
 
 const itersPerTest = 24
 
 func TestLitmusSuiteAllProtocols(t *testing.T) {
 	cfg := config.Small(4)
+	if got := len(protocols()); got < 7 {
+		t.Fatalf("registry lists %d protocols, want >= 7", got)
+	}
 	for name, proto := range protocols() {
 		name, proto := name, proto
 		t.Run(name, func(t *testing.T) {

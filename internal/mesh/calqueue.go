@@ -10,7 +10,7 @@ import (
 
 type delivery struct {
 	at  sim.Cycle
-	seq int64
+	seq uint64
 	msg *coherence.Msg
 	dst Endpoint
 }
@@ -24,17 +24,19 @@ type delivery struct {
 const calBuckets = 256
 
 // calQueue is a calendar queue: a power-of-two bucketed ring buffer of
-// pending deliveries indexed by delivery cycle, with a (cycle, seq)
-// min-heap for events beyond the ring horizon. It replaces the former
-// map[sim.Cycle][]delivery, which hashed and allocated on every send —
-// the hottest path in the simulator. Bucket slices are recycled after
-// delivery, so steady-state scheduling allocates nothing.
+// pending deliveries indexed by delivery cycle, with the shared
+// coherence.EventHeap for events beyond the ring horizon (ordered by
+// the delivery's global send sequence, not heap insertion order). It
+// replaces the former map[sim.Cycle][]delivery, which hashed and
+// allocated on every send — the hottest path in the simulator. Bucket
+// slices are recycled after delivery, so steady-state scheduling
+// allocates nothing.
 type calQueue struct {
 	buckets  [calBuckets][]delivery
 	occ      [calBuckets / 64]uint64 // occupancy bit per bucket
 	base     sim.Cycle               // cycle of the most recent pop; ring holds (base, base+calBuckets)
 	pending  int
-	overflow deliveryHeap
+	overflow coherence.EventHeap[delivery]
 
 	earliest   sim.Cycle // cached earliest deadline
 	earliestOK bool
@@ -55,7 +57,7 @@ func (q *calQueue) schedule(d delivery) {
 	if d.at-q.base < calBuckets {
 		q.ringPut(d)
 	} else {
-		q.overflow.push(d)
+		q.overflow.Push(d.at, d.seq, d)
 	}
 	if q.pending == 0 {
 		q.earliest = d.at
@@ -79,8 +81,8 @@ func (q *calQueue) pop(now sim.Cycle, scratch []delivery) []delivery {
 	}
 	q.base = now
 	// Migrate overflow events that entered the horizon into the ring.
-	for len(q.overflow.h) > 0 && q.overflow.h[0].at-now < calBuckets {
-		q.ringPut(q.overflow.pop())
+	for it := q.overflow.MinItem(); it != nil && it.Cycle-now < calBuckets; it = q.overflow.MinItem() {
+		q.ringPut(q.overflow.Pop().Item)
 	}
 	b := now & (calBuckets - 1)
 	due := q.buckets[b]
@@ -130,8 +132,8 @@ func (q *calQueue) earliestDeadline() (sim.Cycle, bool) {
 			}
 			c += sim.Cycle(64 - bit)
 		}
-		if len(q.overflow.h) > 0 && (e < 0 || q.overflow.h[0].at < e) {
-			e = q.overflow.h[0].at
+		if it := q.overflow.MinItem(); it != nil && (e < 0 || it.Cycle < e) {
+			e = it.Cycle
 		}
 		if e < 0 {
 			panic("mesh: pending deliveries but none found")
@@ -140,54 +142,4 @@ func (q *calQueue) earliestDeadline() (sim.Cycle, bool) {
 		q.earliestOK = true
 	}
 	return q.earliest, true
-}
-
-// deliveryHeap is a binary min-heap ordered by (at, seq).
-type deliveryHeap struct {
-	h []delivery
-}
-
-func (dh *deliveryHeap) less(i, j int) bool {
-	if dh.h[i].at != dh.h[j].at {
-		return dh.h[i].at < dh.h[j].at
-	}
-	return dh.h[i].seq < dh.h[j].seq
-}
-
-func (dh *deliveryHeap) push(d delivery) {
-	dh.h = append(dh.h, d)
-	i := len(dh.h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !dh.less(i, p) {
-			break
-		}
-		dh.h[i], dh.h[p] = dh.h[p], dh.h[i]
-		i = p
-	}
-}
-
-func (dh *deliveryHeap) pop() delivery {
-	top := dh.h[0]
-	n := len(dh.h) - 1
-	dh.h[0] = dh.h[n]
-	dh.h[n] = delivery{}
-	dh.h = dh.h[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		s := i
-		if l < n && dh.less(l, s) {
-			s = l
-		}
-		if r < n && dh.less(r, s) {
-			s = r
-		}
-		if s == i {
-			break
-		}
-		dh.h[i], dh.h[s] = dh.h[s], dh.h[i]
-		i = s
-	}
-	return top
 }

@@ -10,7 +10,7 @@ import (
 
 type rec struct {
 	at  sim.Cycle
-	seq int64
+	seq uint64
 }
 
 // drainAll pops every cycle from just after base until the queue empties,
@@ -41,7 +41,7 @@ func TestCalQueueOrdering(t *testing.T) {
 	q := &calQueue{}
 	rng := sim.NewRNG(7)
 	var want []rec
-	seq := int64(0)
+	seq := uint64(0)
 	for i := 0; i < 5000; i++ {
 		var at sim.Cycle
 		switch rng.Intn(3) {
@@ -79,7 +79,7 @@ func TestCalQueueOrdering(t *testing.T) {
 func TestCalQueueOverflowMigration(t *testing.T) {
 	q := &calQueue{}
 	rng := sim.NewRNG(99)
-	seq := int64(0)
+	seq := uint64(0)
 	now := sim.Cycle(0)
 	var last rec
 	sawAny := false
@@ -104,11 +104,11 @@ func TestCalQueueOverflowMigration(t *testing.T) {
 				}
 			}
 		}
-		for _, d := range q.overflow.h {
-			if brute < 0 || d.at < brute {
-				brute = d.at
+		q.overflow.Scan(func(c sim.Cycle, _ *delivery) {
+			if brute < 0 || c < brute {
+				brute = c
 			}
-		}
+		})
 		if e != brute {
 			t.Fatalf("earliestDeadline = %d, brute force = %d", e, brute)
 		}

@@ -43,11 +43,16 @@ type Network struct {
 	nodes map[coherence.NodeID]*attachment
 
 	// linkBusy[d][r] is the cycle through which the outgoing link of
-	// router r in direction d is reserved.
+	// router r in direction d is reserved, stored relative to linkBase.
+	// Every linkEpoch cycles the entries are rebased (stale reservations
+	// clamp to zero), so the stored values stay bounded by one epoch
+	// plus the worst-case backlog instead of growing with absolute
+	// simulation time — arbitrarily long runs cannot overflow them.
 	linkBusy [4][]sim.Cycle
+	linkBase sim.Cycle
 
 	q       calQueue
-	seq     int64
+	seq     uint64
 	scratch []delivery
 
 	// Pool recycles coherence messages flowing through this network.
@@ -73,6 +78,12 @@ const (
 	dirNorth
 	dirSouth
 )
+
+// linkEpoch is the rebase period for link reservations (see linkBusy).
+// Any power of two far above the worst-case link backlog works; the
+// value only bounds how stale a reservation may get before the sweep
+// clamps it.
+const linkEpoch sim.Cycle = 1 << 20
 
 // New builds a mesh network.
 func New(cfg Config) *Network {
@@ -161,18 +172,21 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 		return
 	}
 
+	if now-n.linkBase >= linkEpoch {
+		n.rebaseLinks(now)
+	}
 	t := now
 	r := src.router
 	hops := 0
 	for r != dst.router {
 		d, next := n.xyStep(r, dst.router)
 		depart := t
-		if n.linkBusy[d][r] > depart {
-			depart = n.linkBusy[d][r]
+		if busy := n.linkBase + n.linkBusy[d][r]; busy > depart {
+			depart = busy
 		}
 		// The link is occupied while the message's flits stream
 		// across it.
-		n.linkBusy[d][r] = depart + sim.Cycle(flits)
+		n.linkBusy[d][r] = depart + sim.Cycle(flits) - n.linkBase
 		t = depart + n.cfg.LinkLatency
 		r = next
 		hops++
@@ -181,6 +195,25 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	t += sim.Cycle(flits - 1)
 	n.FlitHops.Add(int64(flits * hops))
 	n.schedule(t+1, m, dst.ep)
+}
+
+// rebaseLinks starts a new link-reservation epoch at now: reservations
+// already in the past clamp to zero (an expired reservation and a free
+// link are indistinguishable to Send), live ones shift to the new base.
+// Observable behavior is unchanged — only the stored representation is
+// re-anchored.
+func (n *Network) rebaseLinks(now sim.Cycle) {
+	delta := now - n.linkBase
+	for d := 0; d < 4; d++ {
+		for r := range n.linkBusy[d] {
+			if b := n.linkBusy[d][r]; b > delta {
+				n.linkBusy[d][r] = b - delta
+			} else {
+				n.linkBusy[d][r] = 0
+			}
+		}
+	}
+	n.linkBase = now
 }
 
 func (n *Network) xyStep(r, dst int) (dir, next int) {
@@ -221,6 +254,9 @@ func (n *Network) Tick(now sim.Cycle) {
 		due[i].dst.Deliver(now, due[i].msg)
 	}
 }
+
+// MsgPool implements coherence.Network: the shared message free list.
+func (n *Network) MsgPool() *coherence.MsgPool { return &n.Pool }
 
 // NextWake implements sim.WakeHinter: the earliest pending delivery.
 func (n *Network) NextWake(now sim.Cycle) sim.Cycle {

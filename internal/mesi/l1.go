@@ -10,7 +10,6 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/memsys"
-	"repro/internal/mesh"
 	"repro/internal/sim"
 )
 
@@ -49,7 +48,7 @@ type L1 struct {
 	id     coherence.NodeID
 	cores  int
 	cache  *memsys.Cache[l1Line]
-	net    *mesh.Network
+	net    coherence.Network
 	pool   *coherence.MsgPool
 	hitLat sim.Cycle
 
@@ -76,13 +75,13 @@ type evictEntry struct {
 }
 
 // NewL1 builds the L1 controller for the given core.
-func NewL1(core, cores int, sizeBytes, ways int, hitLat sim.Cycle, net *mesh.Network) *L1 {
+func NewL1(core, cores int, sizeBytes, ways int, hitLat sim.Cycle, net coherence.Network) *L1 {
 	return &L1{
 		id:     coherence.L1ID(core),
 		cores:  cores,
 		cache:  memsys.NewCache[l1Line](sizeBytes, ways),
 		net:    net,
-		pool:   &net.Pool,
+		pool:   net.MsgPool(),
 		hitLat: hitLat,
 		evict:  make(map[uint64]*evictEntry),
 	}

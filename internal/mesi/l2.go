@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/memsys"
-	"repro/internal/mesh"
 	"repro/internal/sim"
 )
 
@@ -23,24 +22,15 @@ type l2Line struct {
 	dirty   bool // data newer than memory
 }
 
-type txKind int
-
+// Transaction kinds (coherence.Tx.Kind).
 const (
-	txMemFetch txKind = iota + 1
-	txAwaitAck        // exclusive grant sent; waiting for requester Ack
-	txFwdGetS         // forwarded read; waiting for owner WBData
-	txFwdGetX         // forwarded write; waiting for requester Ack
-	txInvColl         // invalidations outstanding; counting InvAcks
-	txEvict           // evicting this line; waiting for acks/WBData
+	txMemFetch = iota + 1
+	txAwaitAck // exclusive grant sent; waiting for requester Ack
+	txFwdGetS  // forwarded read; waiting for owner WBData
+	txFwdGetX  // forwarded write; waiting for requester Ack
+	txInvColl  // invalidations outstanding; counting InvAcks
+	txEvict    // evicting this line; waiting for acks/WBData
 )
-
-type l2Tx struct {
-	kind      txKind
-	req       *coherence.Msg // original request (nil for evictions)
-	acksLeft  int
-	nextOwner coherence.NodeID
-	isUpgrade bool
-}
 
 // L2 is one NUCA directory tile.
 type L2 struct {
@@ -48,32 +38,22 @@ type L2 struct {
 	tile  int
 	cores int
 	cache *memsys.Cache[l2Line]
-	net   *mesh.Network
+	net   coherence.Network
 	pool  *coherence.MsgPool
-	mem   *memsys.Memory
+	mem   coherence.Memory
 
 	accessLat sim.Cycle
 
-	timers  coherence.Timers
-	sendFn  func(now sim.Cycle, m *coherence.Msg) // bound once; see sendAfterAccess
-	inbox   []*coherence.Msg
-	tx      map[uint64]*l2Tx
-	txFree  []*l2Tx
-	waiting map[uint64][]*coherence.Msg
+	timers coherence.Timers
+	sendFn func(now sim.Cycle, m *coherence.Msg) // bound once; see sendAfterAccess
 
-	// retryQ swaps with retryScratch each Tick: handlers may re-append
-	// to retryQ while the drained batch is still being iterated.
-	retryQ       []*coherence.Msg
-	retryScratch []*coherence.Msg
-
-	// retained marks whether the message currently being handled was
-	// stored (tx request, waiting queue, retry queue) and must not be
-	// recycled by the consume wrapper.
-	retained bool
+	// txs owns the transaction lifecycle and message-ownership
+	// discipline (see coherence.TxTable).
+	txs coherence.TxTable
 }
 
 // NewL2 builds directory tile `tile`.
-func NewL2(tile, cores int, sizeBytes, ways int, accessLat sim.Cycle, net *mesh.Network, mem *memsys.Memory) *L2 {
+func NewL2(tile, cores int, sizeBytes, ways int, accessLat sim.Cycle, net coherence.Network, mem coherence.Memory) *L2 {
 	if cores > 64 {
 		panic("mesi: full sharing vector limited to 64 cores in this model")
 	}
@@ -83,13 +63,12 @@ func NewL2(tile, cores int, sizeBytes, ways int, accessLat sim.Cycle, net *mesh.
 		cores:     cores,
 		cache:     memsys.NewCache[l2Line](sizeBytes, ways),
 		net:       net,
-		pool:      &net.Pool,
+		pool:      net.MsgPool(),
 		mem:       mem,
 		accessLat: accessLat,
-		tx:        make(map[uint64]*l2Tx),
-		waiting:   make(map[uint64][]*coherence.Msg),
 	}
 	l2.sendFn = l2.send
+	l2.txs.Init(l2.pool, l2.handle)
 	return l2
 }
 
@@ -106,73 +85,18 @@ func (t *L2) sendAfterAccess(now sim.Cycle, tmpl coherence.Msg, data []byte) {
 	t.timers.AtMsg(now+t.accessLat, t.sendFn, t.pool.NewFrom(tmpl, data))
 }
 
-// newTx builds a transaction record from the free list and registers it.
-func (t *L2) newTx(addr uint64, kind txKind, req *coherence.Msg, acks int) *l2Tx {
-	var tx *l2Tx
-	if n := len(t.txFree); n > 0 {
-		tx = t.txFree[n-1]
-		t.txFree = t.txFree[:n-1]
-	} else {
-		tx = &l2Tx{}
-	}
-	tx.kind, tx.req, tx.acksLeft = kind, req, acks
-	tx.nextOwner, tx.isUpgrade = 0, false
-	t.tx[addr] = tx
-	if req != nil {
-		t.retained = true
-	}
-	return tx
-}
-
-// delTx retires a transaction, recycling it and (optionally) the request
-// message it retained.
-func (t *L2) delTx(addr uint64, tx *l2Tx, freeReq bool) {
-	delete(t.tx, addr)
-	if freeReq && tx.req != nil {
-		t.pool.Put(tx.req)
-	}
-	tx.req = nil
-	t.txFree = append(t.txFree, tx)
-}
-
-// enqueueWaiting parks m behind a busy line; drainWaiting re-dispatches
-// it when the transaction retires. Owns the retained flag.
-func (t *L2) enqueueWaiting(m *coherence.Msg) {
-	t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
-	t.retained = true
-}
-
-// enqueueRetry re-queues m for the next Tick. Owns the retained flag.
-func (t *L2) enqueueRetry(m *coherence.Msg) {
-	t.retryQ = append(t.retryQ, m)
-	t.retained = true
-}
-
-// consume dispatches a message the tile owns, recycling it unless a
-// handler retained it. Save/restore keeps nested consumption (a handler
-// draining the waiting queue) from clobbering the caller's flag.
-func (t *L2) consume(now sim.Cycle, m *coherence.Msg) {
-	saved := t.retained
-	t.retained = false
-	t.handle(now, m)
-	if !t.retained {
-		t.pool.Put(m)
-	}
-	t.retained = saved
-}
-
 // Deliver implements mesh.Endpoint.
-func (t *L2) Deliver(now sim.Cycle, m *coherence.Msg) { t.inbox = append(t.inbox, m) }
+func (t *L2) Deliver(now sim.Cycle, m *coherence.Msg) { t.txs.Deliver(m) }
 
 // Busy reports outstanding work (completion/deadlock checks).
 func (t *L2) Busy() bool {
-	return len(t.tx) > 0 || len(t.retryQ) > 0 || len(t.inbox) > 0 || t.timers.Pending() > 0
+	return t.txs.Outstanding() || t.timers.Pending() > 0
 }
 
 // NextWake implements sim.WakeHinter: queued messages and retries need
 // the very next cycle; otherwise the earliest due timer.
 func (t *L2) NextWake(now sim.Cycle) sim.Cycle {
-	if len(t.inbox) > 0 || len(t.retryQ) > 0 {
+	if t.txs.QueuedWork() {
 		return now + 1
 	}
 	if due, ok := t.timers.NextDue(); ok {
@@ -184,24 +108,7 @@ func (t *L2) NextWake(now sim.Cycle) sim.Cycle {
 // Tick processes timers, retries and inbox messages.
 func (t *L2) Tick(now sim.Cycle) {
 	t.timers.Tick(now)
-	if len(t.retryQ) > 0 {
-		rq := t.retryQ
-		t.retryQ = t.retryScratch[:0]
-		for _, m := range rq {
-			t.consume(now, m)
-		}
-		t.retryScratch = rq[:0]
-	}
-	if len(t.inbox) == 0 {
-		return
-	}
-	// Deliveries happen only inside Network.Tick, so nothing appends to
-	// the inbox while this batch drains; the backing array is reusable.
-	msgs := t.inbox
-	t.inbox = t.inbox[:0]
-	for _, m := range msgs {
-		t.consume(now, m)
-	}
+	t.txs.Drain(now)
 }
 
 func (t *L2) handle(now sim.Cycle, m *coherence.Msg) {
@@ -223,14 +130,9 @@ func (t *L2) handle(now sim.Cycle, m *coherence.Msg) {
 	}
 }
 
-func (t *L2) busyLine(addr uint64) bool {
-	_, ok := t.tx[addr]
-	return ok
-}
-
 func (t *L2) handleRequest(now sim.Cycle, m *coherence.Msg) {
-	if t.busyLine(m.Addr) {
-		t.enqueueWaiting(m)
+	if t.txs.BusyLine(m.Addr) {
+		t.txs.EnqueueWaiting(m)
 		return
 	}
 	w := t.cache.Peek(m.Addr)
@@ -250,25 +152,25 @@ func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 	v := t.cache.Victim(m.Addr)
 	if v == nil {
 		// Every way busy: retry next cycle.
-		t.enqueueRetry(m)
+		t.txs.EnqueueRetry(m)
 		return
 	}
 	if v.Valid {
 		if t.cache.AnyBusy(m.Addr) {
 			// Another transaction (possibly an eviction) is active in
 			// this set; wait rather than evicting way after way.
-			t.enqueueRetry(m)
+			t.txs.EnqueueRetry(m)
 			return
 		}
 		if !t.evictLine(now, v) {
 			// Asynchronous eviction started; retry the request after.
-			t.enqueueRetry(m)
+			t.txs.EnqueueRetry(m)
 			return
 		}
 	}
 	t.cache.Install(v, m.Addr)
 	v.Busy = true
-	t.newTx(m.Addr, txMemFetch, m, 0)
+	t.txs.New(m.Addr, txMemFetch, m, 0)
 	lat := t.accessLat + t.mem.Latency(m.Addr)
 	addr := m.Addr
 	t.timers.At(now+lat, func(nw sim.Cycle) {
@@ -279,22 +181,13 @@ func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 		t.mem.ReadBlock(addr, way.Data)
 		way.Meta.state = dirV
 		way.Busy = false
-		tx := t.tx[addr]
-		req := tx.req
-		t.delTx(addr, tx, false)
-		// The request's ownership flows into serve*: recycled here
-		// unless a fresh transaction retains it.
-		saved := t.retained
-		t.retained = false
-		if req.Type == coherence.MsgGetS {
-			t.serveGetS(nw, req, way)
-		} else {
-			t.serveGetX(nw, req, way)
-		}
-		if !t.retained {
-			t.pool.Put(req)
-		}
-		t.retained = saved
+		tx, _ := t.txs.Get(addr)
+		req := tx.Req
+		t.txs.Del(addr, tx, false)
+		// The request's ownership flows back through the dispatch path:
+		// the line is now present, so Consume re-serves it (recycling
+		// the message unless a fresh transaction retains it).
+		t.txs.Consume(nw, req)
 	})
 }
 
@@ -319,12 +212,12 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 			}
 		}
 		v.Busy = true
-		t.newTx(addr, txEvict, nil, n)
+		t.txs.New(addr, txEvict, nil, n)
 		return false
 	case dirX:
 		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: v.Meta.owner, Addr: addr}, nil)
 		v.Busy = true
-		t.newTx(addr, txEvict, nil, 1)
+		t.txs.New(addr, txEvict, nil, 1)
 		return false
 	}
 	panic("mesi: evictLine on invalid state")
@@ -335,8 +228,8 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 	case dirV:
 		// Grant Exclusive (the E optimization: no other sharers).
 		w.Busy = true
-		tx := t.newTx(m.Addr, txAwaitAck, m, 0)
-		tx.nextOwner = m.Requestor
+		tx := t.txs.New(m.Addr, txAwaitAck, m, 0)
+		tx.NextOwner = m.Requestor
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
 	case dirS:
 		w.Meta.sharers |= 1 << uint(int(m.Requestor))
@@ -346,7 +239,7 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 			panic(fmt.Sprintf("mesi: L2 %d: GetS from current owner %s", t.id, m))
 		}
 		w.Busy = true
-		t.newTx(m.Addr, txFwdGetS, m, 0)
+		t.txs.New(m.Addr, txFwdGetS, m, 0)
 		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgFwdGetS, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor}, nil)
 	}
 }
@@ -356,8 +249,8 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 	switch w.Meta.state {
 	case dirV:
 		w.Busy = true
-		tx := t.newTx(m.Addr, txAwaitAck, m, 0)
-		tx.nextOwner = m.Requestor
+		tx := t.txs.New(m.Addr, txAwaitAck, m, 0)
+		tx.NextOwner = m.Requestor
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
 	case dirS:
 		isUpgrade := w.Meta.sharers&reqBit != 0
@@ -371,20 +264,20 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		}
 		w.Busy = true
 		if others == 0 {
-			tx := t.newTx(m.Addr, txAwaitAck, m, 0)
-			tx.nextOwner, tx.isUpgrade = m.Requestor, isUpgrade
+			tx := t.txs.New(m.Addr, txAwaitAck, m, 0)
+			tx.NextOwner, tx.IsUpgrade = m.Requestor, isUpgrade
 			t.grantX(now, m, w, isUpgrade)
 		} else {
-			tx := t.newTx(m.Addr, txInvColl, m, others)
-			tx.nextOwner, tx.isUpgrade = m.Requestor, isUpgrade
+			tx := t.txs.New(m.Addr, txInvColl, m, others)
+			tx.NextOwner, tx.IsUpgrade = m.Requestor, isUpgrade
 		}
 	case dirX:
 		if w.Meta.owner == m.Requestor {
 			panic(fmt.Sprintf("mesi: L2 %d: GetX from current owner %s", t.id, m))
 		}
 		w.Busy = true
-		tx := t.newTx(m.Addr, txFwdGetX, m, 0)
-		tx.nextOwner = m.Requestor
+		tx := t.txs.New(m.Addr, txFwdGetX, m, 0)
+		tx.NextOwner = m.Requestor
 		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgFwdGetX, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor}, nil)
 	}
 }
@@ -402,49 +295,49 @@ func (t *L2) respond(now sim.Cycle, dst coherence.NodeID, typ coherence.MsgType,
 }
 
 func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
-	tx, ok := t.tx[m.Addr]
-	if !ok || (tx.kind != txAwaitAck && tx.kind != txFwdGetX) {
+	tx, ok := t.txs.Get(m.Addr)
+	if !ok || (tx.Kind != txAwaitAck && tx.Kind != txFwdGetX) {
 		panic(fmt.Sprintf("mesi: L2 %d: stray Ack %s", t.id, m))
 	}
 	w := t.cache.Peek(m.Addr)
 	w.Meta.state = dirX
-	w.Meta.owner = tx.nextOwner
+	w.Meta.owner = tx.NextOwner
 	w.Meta.sharers = 0
 	w.Busy = false
-	t.delTx(m.Addr, tx, true)
-	t.drainWaiting(now, m.Addr)
+	t.txs.Del(m.Addr, tx, true)
+	t.txs.DrainWaiting(now, m.Addr)
 }
 
 func (t *L2) handleInvAck(now sim.Cycle, m *coherence.Msg) {
-	tx, ok := t.tx[m.Addr]
+	tx, ok := t.txs.Get(m.Addr)
 	if !ok {
 		panic(fmt.Sprintf("mesi: L2 %d: stray InvAck %s", t.id, m))
 	}
-	tx.acksLeft--
-	if tx.acksLeft > 0 {
+	tx.AcksLeft--
+	if tx.AcksLeft > 0 {
 		return
 	}
 	w := t.cache.Peek(m.Addr)
-	switch tx.kind {
+	switch tx.Kind {
 	case txInvColl:
 		// All sharers gone; grant exclusivity, stay busy until Ack.
-		tx.kind = txAwaitAck
+		tx.Kind = txAwaitAck
 		w.Meta.sharers = 0
-		t.grantX(now, tx.req, w, tx.isUpgrade)
+		t.grantX(now, tx.Req, w, tx.IsUpgrade)
 	case txEvict:
 		t.finishEvict(now, w)
 	default:
-		panic(fmt.Sprintf("mesi: L2 %d: InvAck in tx kind %d", t.id, tx.kind))
+		panic(fmt.Sprintf("mesi: L2 %d: InvAck in tx kind %d", t.id, tx.Kind))
 	}
 }
 
 func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
-	tx, ok := t.tx[m.Addr]
+	tx, ok := t.txs.Get(m.Addr)
 	if !ok {
 		panic(fmt.Sprintf("mesi: L2 %d: stray WBData %s", t.id, m))
 	}
 	w := t.cache.Peek(m.Addr)
-	switch tx.kind {
+	switch tx.Kind {
 	case txFwdGetS:
 		copy(w.Data, m.Data)
 		if m.Dirty {
@@ -452,15 +345,15 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 		}
 		prevOwner := w.Meta.owner
 		w.Meta.state = dirS
-		w.Meta.sharers = 1 << uint(int(tx.req.Requestor))
+		w.Meta.sharers = 1 << uint(int(tx.Req.Requestor))
 		if !m.NoCopy {
 			// Previous owner kept a downgraded Shared copy.
 			w.Meta.sharers |= 1 << uint(int(prevOwner))
 		}
 		w.Meta.owner = 0
 		w.Busy = false
-		t.delTx(m.Addr, tx, true)
-		t.drainWaiting(now, m.Addr)
+		t.txs.Del(m.Addr, tx, true)
+		t.txs.DrainWaiting(now, m.Addr)
 	case txEvict:
 		if m.Dirty {
 			copy(w.Data, m.Data)
@@ -468,7 +361,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 		}
 		t.finishEvict(now, w)
 	default:
-		panic(fmt.Sprintf("mesi: L2 %d: WBData in tx kind %d", t.id, tx.kind))
+		panic(fmt.Sprintf("mesi: L2 %d: WBData in tx kind %d", t.id, tx.Kind))
 	}
 }
 
@@ -477,10 +370,11 @@ func (t *L2) finishEvict(now sim.Cycle, w *memsys.Way[l2Line]) {
 	if w.Meta.dirty {
 		t.mem.WriteBlock(addr, w.Data)
 	}
-	t.delTx(addr, t.tx[addr], false)
+	tx, _ := t.txs.Get(addr)
+	t.txs.Del(addr, tx, false)
 	t.cache.Invalidate(w)
 	// Requests that queued behind the eviction now miss and refetch.
-	t.drainWaiting(now, addr)
+	t.txs.DrainWaiting(now, addr)
 }
 
 func (t *L2) handlePutS(now sim.Cycle, m *coherence.Msg) {
@@ -488,10 +382,10 @@ func (t *L2) handlePutS(now sim.Cycle, m *coherence.Msg) {
 	if w == nil || w.Meta.state != dirS {
 		return
 	}
-	if t.busyLine(m.Addr) {
+	if t.txs.BusyLine(m.Addr) {
 		// An invalidation round may be counting this sharer; let the
 		// crossing InvAck from the (now absent) sharer settle it.
-		t.enqueueWaiting(m)
+		t.txs.EnqueueWaiting(m)
 		return
 	}
 	w.Meta.sharers &^= 1 << uint(int(m.Src))
@@ -501,8 +395,8 @@ func (t *L2) handlePutS(now sim.Cycle, m *coherence.Msg) {
 }
 
 func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
-	if t.busyLine(m.Addr) {
-		t.enqueueWaiting(m)
+	if t.txs.BusyLine(m.Addr) {
+		t.txs.EnqueueWaiting(m)
 		return
 	}
 	w := t.cache.Peek(m.Addr)
@@ -520,27 +414,7 @@ func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 	t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr}, nil)
 }
 
-func (t *L2) drainWaiting(now sim.Cycle, addr uint64) {
-	q, ok := t.waiting[addr]
-	if !ok || len(q) == 0 {
-		delete(t.waiting, addr)
-		return
-	}
-	delete(t.waiting, addr)
-	for _, m := range q {
-		t.consume(now, m)
-	}
-}
-
 // Debug renders outstanding transaction state (deadlock diagnostics).
 func (t *L2) Debug() string {
-	s := fmt.Sprintf("L2 %d:", t.id)
-	for a, tx := range t.tx {
-		s += fmt.Sprintf(" tx=%#x(kind=%d acks=%d)", a, tx.kind, tx.acksLeft)
-	}
-	for a, q := range t.waiting {
-		s += fmt.Sprintf(" wait=%#x(%d)", a, len(q))
-	}
-	s += fmt.Sprintf(" retry=%d timers=%d inbox=%d", len(t.retryQ), t.timers.Pending(), len(t.inbox))
-	return s
+	return fmt.Sprintf("L2 %d:%s timers=%d", t.id, t.txs.Debug(), t.timers.Pending())
 }

@@ -22,6 +22,12 @@ func run(t *testing.T, cfg config.System, w *program.Workload) *system.Result {
 	if res.CheckErr != nil {
 		t.Fatalf("%s: %v", w.Name, res.CheckErr)
 	}
+	// The TxTable/controller ownership discipline must return every
+	// pooled message once the run quiesces.
+	if res.PoolLive != 0 {
+		t.Fatalf("%s: MsgPool leak: %d of %d messages not returned",
+			w.Name, res.PoolLive, res.PoolGets)
+	}
 	return res
 }
 

@@ -3,8 +3,6 @@ package mesi
 import (
 	"repro/internal/coherence"
 	"repro/internal/config"
-	"repro/internal/memsys"
-	"repro/internal/mesh"
 )
 
 // Protocol is the MESI directory protocol factory.
@@ -13,11 +11,18 @@ type Protocol struct{}
 // New returns the MESI baseline protocol.
 func New() Protocol { return Protocol{} }
 
-// Name implements the system protocol interface.
+// init publishes the baseline in the protocol registry; order 0 keeps it
+// first (the paper plots everything normalized against MESI).
+func init() {
+	coherence.RegisterProtocol("MESI", 0, func() coherence.Protocol { return New() })
+}
+
+// Name implements coherence.Protocol.
 func (Protocol) Name() string { return "MESI" }
 
-// Build constructs one L1 per core and one directory tile per core.
-func (Protocol) Build(cfg config.System, net *mesh.Network, mem *memsys.Memory) ([]coherence.L1Like, []coherence.Controller) {
+// Build implements coherence.Protocol: one L1 per core and one directory
+// tile per core.
+func (Protocol) Build(cfg config.System, net coherence.Network, mem coherence.Memory) ([]coherence.L1Like, []coherence.Controller) {
 	l1s := make([]coherence.L1Like, cfg.Cores)
 	l2s := make([]coherence.Controller, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {

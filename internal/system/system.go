@@ -17,12 +17,11 @@ import (
 	"repro/internal/stats"
 )
 
-// Protocol builds the coherence machinery for a system configuration.
-// Implemented by mesi.Protocol and tsocc.Protocol.
-type Protocol interface {
-	Name() string
-	Build(cfg config.System, net *mesh.Network, mem *memsys.Memory) ([]coherence.L1Like, []coherence.Controller)
-}
+// Protocol is the coherence-protocol factory interface, defined in the
+// coherence package next to the registry that names every implementation.
+// Protocols are resolved by name (coherence.ProtocolByName) or passed as
+// values; this package never enumerates the known set.
+type Protocol = coherence.Protocol
 
 // Result captures one run's outcome.
 type Result struct {
@@ -49,6 +48,12 @@ type Result struct {
 	DecayEvents    int64 // Shared->SharedRO decays
 	SROInvBcasts   int64 // writes to SharedRO lines (broadcast rounds)
 	L2TSResets     int64 // tile timestamp-source wraps
+
+	// Message-pool accounting. PoolLive must be zero after a clean run:
+	// the TxTable/controller ownership discipline returns every pooled
+	// message once the system quiesces, so a non-zero value is a leak.
+	PoolGets int64
+	PoolLive int64
 
 	Mem *memsys.Memory // final memory state (for workload checks)
 
@@ -208,6 +213,8 @@ func (m *Machine) collect(w *program.Workload, cycles sim.Cycle) *Result {
 		FlitHops:  m.Net.FlitHops.Value(),
 		CtrlFlits: m.Net.FlitsByClass[0].Value(),
 		DataFlits: m.Net.FlitsByClass[1].Value(),
+		PoolGets:  m.Net.Pool.Gets,
+		PoolLive:  m.Net.Pool.Live(),
 		Mem:       m.Mem,
 	}
 	for _, l := range m.L1s {

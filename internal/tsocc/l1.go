@@ -6,7 +6,6 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/memsys"
-	"repro/internal/mesh"
 	"repro/internal/sim"
 )
 
@@ -57,7 +56,7 @@ type L1 struct {
 	cores  int
 	cfg    config.TSOCC
 	cache  *memsys.Cache[l1Line]
-	net    *mesh.Network
+	net    coherence.Network
 	pool   *coherence.MsgPool
 	hitLat sim.Cycle
 
@@ -97,20 +96,20 @@ type L1 struct {
 }
 
 // NewL1 builds core `core`'s TSO-CC L1.
-func NewL1(core, cores int, sys config.System, cfg config.TSOCC, net *mesh.Network) *L1 {
+func NewL1(core, cores int, sys config.System, cfg config.TSOCC, net coherence.Network) *L1 {
 	return &L1{
 		id:      coherence.L1ID(core),
 		cores:   cores,
 		cfg:     cfg,
 		cache:   memsys.NewCache[l1Line](sys.L1Size, sys.L1Ways),
 		net:     net,
-		pool:    &net.Pool,
+		pool:    net.MsgPool(),
 		hitLat:  sys.L1HitLat,
 		evict:   make(map[uint64]*evictEntry),
 		tsSrc:   tsFirst,
-		tsL1:    newLastSeen(cfg.TSTableEntries),
+		tsL1:    newLastSeen(cfg.TSTableEntries, cores),
 		epochL1: make([]uint8, cores),
-		tsL2:    newLastSeen(cfg.TSTableEntries),
+		tsL2:    newLastSeen(cfg.TSTableEntries, cores),
 		epochL2: make([]uint8, cores),
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/memsys"
-	"repro/internal/mesh"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -28,22 +27,15 @@ type l2Line struct {
 	wasModified bool             // written since the L2 obtained this copy
 }
 
-type txKind int
-
+// Transaction kinds (coherence.Tx.Kind).
 const (
-	txMemFetch txKind = iota + 1
-	txAwaitAck        // DataE sent; waiting for requester Ack
-	txFwdGetS         // waiting for owner WBData
-	txFwdGetX         // waiting for requester Ack after owner handoff
-	txSROInv          // SharedRO write: counting broadcast InvAcks
-	txEvict           // evicting: waiting for recall WBData / InvAcks
+	txMemFetch = iota + 1
+	txAwaitAck // DataE sent; waiting for requester Ack
+	txFwdGetS  // waiting for owner WBData
+	txFwdGetX  // waiting for requester Ack after owner handoff
+	txSROInv   // SharedRO write: counting broadcast InvAcks
+	txEvict    // evicting: waiting for recall WBData / InvAcks
 )
-
-type l2Tx struct {
-	kind     txKind
-	req      *coherence.Msg
-	acksLeft int
-}
 
 // L2 is one TSO-CC NUCA tile.
 type L2 struct {
@@ -52,28 +44,18 @@ type L2 struct {
 	cores int
 	cfg   config.TSOCC
 	cache *memsys.Cache[l2Line]
-	net   *mesh.Network
+	net   coherence.Network
 	pool  *coherence.MsgPool
-	mem   *memsys.Memory
+	mem   coherence.Memory
 
 	accessLat sim.Cycle
 
-	timers  coherence.Timers
-	sendFn  func(now sim.Cycle, m *coherence.Msg) // bound once; see sendAfterAccess
-	inbox   []*coherence.Msg
-	tx      map[uint64]*l2Tx
-	txFree  []*l2Tx
-	waiting map[uint64][]*coherence.Msg
+	timers coherence.Timers
+	sendFn func(now sim.Cycle, m *coherence.Msg) // bound once; see sendAfterAccess
 
-	// retryQ swaps with retryScratch each Tick: handlers may re-append
-	// to retryQ while the drained batch is still being iterated.
-	retryQ       []*coherence.Msg
-	retryScratch []*coherence.Msg
-
-	// retained marks whether the message currently being handled was
-	// stored (tx request, waiting queue, retry queue) and must not be
-	// recycled by the consume wrapper.
-	retained bool
+	// txs owns the transaction lifecycle and message-ownership
+	// discipline (see coherence.TxTable).
+	txs coherence.TxTable
 
 	membersBuf []int // scratch for coarse sharer expansion
 
@@ -97,7 +79,7 @@ type L2 struct {
 }
 
 // NewL2 builds TSO-CC tile `tile`.
-func NewL2(tile, cores int, sys config.System, cfg config.TSOCC, net *mesh.Network, mem *memsys.Memory) *L2 {
+func NewL2(tile, cores int, sys config.System, cfg config.TSOCC, net coherence.Network, mem coherence.Memory) *L2 {
 	l2 := &L2{
 		id:        coherence.L2ID(tile, cores),
 		tile:      tile,
@@ -105,16 +87,15 @@ func NewL2(tile, cores int, sys config.System, cfg config.TSOCC, net *mesh.Netwo
 		cfg:       cfg,
 		cache:     memsys.NewCache[l2Line](sys.L2TileSize, sys.L2Ways),
 		net:       net,
-		pool:      &net.Pool,
+		pool:      net.MsgPool(),
 		mem:       mem,
 		accessLat: sys.L2AccessLat,
-		tx:        make(map[uint64]*l2Tx),
-		waiting:   make(map[uint64][]*coherence.Msg),
-		tsL1:      newLastSeen(0),
+		tsL1:      newLastSeen(0, cores),
 		epochL1:   make([]uint8, cores),
 		sroSrc:    tsFirst,
 	}
 	l2.sendFn = l2.send
+	l2.txs.Init(l2.pool, l2.handle)
 	return l2
 }
 
@@ -130,60 +111,6 @@ func (t *L2) sendAfterAccess(now sim.Cycle, tmpl coherence.Msg, data []byte) {
 	t.timers.AtMsg(now+t.accessLat, t.sendFn, t.pool.NewFrom(tmpl, data))
 }
 
-// newTx builds a transaction record from the free list and registers it.
-func (t *L2) newTx(addr uint64, kind txKind, req *coherence.Msg, acks int) *l2Tx {
-	var tx *l2Tx
-	if n := len(t.txFree); n > 0 {
-		tx = t.txFree[n-1]
-		t.txFree = t.txFree[:n-1]
-	} else {
-		tx = &l2Tx{}
-	}
-	tx.kind, tx.req, tx.acksLeft = kind, req, acks
-	t.tx[addr] = tx
-	if req != nil {
-		t.retained = true
-	}
-	return tx
-}
-
-// delTx retires a transaction, recycling it and (optionally) the request
-// message it retained.
-func (t *L2) delTx(addr uint64, tx *l2Tx, freeReq bool) {
-	delete(t.tx, addr)
-	if freeReq && tx.req != nil {
-		t.pool.Put(tx.req)
-	}
-	tx.req = nil
-	t.txFree = append(t.txFree, tx)
-}
-
-// enqueueWaiting parks m behind a busy line; drainWaiting re-dispatches
-// it when the transaction retires. Owns the retained flag.
-func (t *L2) enqueueWaiting(m *coherence.Msg) {
-	t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
-	t.retained = true
-}
-
-// enqueueRetry re-queues m for the next Tick. Owns the retained flag.
-func (t *L2) enqueueRetry(m *coherence.Msg) {
-	t.retryQ = append(t.retryQ, m)
-	t.retained = true
-}
-
-// consume dispatches a message the tile owns, recycling it unless a
-// handler retained it. Save/restore keeps nested consumption (a handler
-// draining the waiting queue) from clobbering the caller's flag.
-func (t *L2) consume(now sim.Cycle, m *coherence.Msg) {
-	saved := t.retained
-	t.retained = false
-	t.handle(now, m)
-	if !t.retained {
-		t.pool.Put(m)
-	}
-	t.retained = saved
-}
-
 // coarseMembersBuf expands a coarse sharer vector into preallocated
 // scratch (valid until the next call).
 func (t *L2) coarseMembersBuf(vec uint64) []int {
@@ -192,7 +119,7 @@ func (t *L2) coarseMembersBuf(vec uint64) []int {
 }
 
 // Deliver implements mesh.Endpoint.
-func (t *L2) Deliver(now sim.Cycle, m *coherence.Msg) { t.inbox = append(t.inbox, m) }
+func (t *L2) Deliver(now sim.Cycle, m *coherence.Msg) { t.txs.Deliver(m) }
 
 // TileStats reports SharedRO transitions, Shared->SharedRO decay events,
 // SharedRO write broadcasts and tile timestamp resets (used by the
@@ -204,13 +131,13 @@ func (t *L2) TileStats() (sro, decay, bcasts, resets int64) {
 
 // Busy implements coherence.Controller.
 func (t *L2) Busy() bool {
-	return len(t.tx) > 0 || len(t.retryQ) > 0 || len(t.inbox) > 0 || t.timers.Pending() > 0
+	return t.txs.Outstanding() || t.timers.Pending() > 0
 }
 
 // NextWake implements sim.WakeHinter: queued messages and retries need
 // the very next cycle; otherwise the earliest due timer.
 func (t *L2) NextWake(now sim.Cycle) sim.Cycle {
-	if len(t.inbox) > 0 || len(t.retryQ) > 0 {
+	if t.txs.QueuedWork() {
 		return now + 1
 	}
 	if due, ok := t.timers.NextDue(); ok {
@@ -240,24 +167,7 @@ func (t *L2) SnoopOwner(addr uint64) (coherence.NodeID, bool) {
 // Tick implements sim.Ticker.
 func (t *L2) Tick(now sim.Cycle) {
 	t.timers.Tick(now)
-	if len(t.retryQ) > 0 {
-		rq := t.retryQ
-		t.retryQ = t.retryScratch[:0]
-		for _, m := range rq {
-			t.consume(now, m)
-		}
-		t.retryScratch = rq[:0]
-	}
-	if len(t.inbox) == 0 {
-		return
-	}
-	// Deliveries happen only inside Network.Tick, so nothing appends to
-	// the inbox while this batch drains; the backing array is reusable.
-	msgs := t.inbox
-	t.inbox = t.inbox[:0]
-	for _, m := range msgs {
-		t.consume(now, m)
-	}
+	t.txs.Drain(now)
 }
 
 func (t *L2) handle(now sim.Cycle, m *coherence.Msg) {
@@ -359,8 +269,8 @@ func (t *L2) noteWriterTS(writer coherence.NodeID, m *coherence.Msg) {
 // ---- Request handling ----
 
 func (t *L2) handleRequest(now sim.Cycle, m *coherence.Msg) {
-	if _, busy := t.tx[m.Addr]; busy {
-		t.enqueueWaiting(m)
+	if t.txs.BusyLine(m.Addr) {
+		t.txs.EnqueueWaiting(m)
 		return
 	}
 	w := t.cache.Peek(m.Addr)
@@ -378,44 +288,35 @@ func (t *L2) handleRequest(now sim.Cycle, m *coherence.Msg) {
 func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 	v := t.cache.Victim(m.Addr)
 	if v == nil {
-		t.enqueueRetry(m)
+		t.txs.EnqueueRetry(m)
 		return
 	}
 	if v.Valid {
 		if t.cache.AnyBusy(m.Addr) {
-			t.enqueueRetry(m)
+			t.txs.EnqueueRetry(m)
 			return
 		}
 		if !t.evictLine(now, v) {
-			t.enqueueRetry(m)
+			t.txs.EnqueueRetry(m)
 			return
 		}
 	}
 	t.cache.Install(v, m.Addr)
 	v.Busy = true
-	t.newTx(m.Addr, txMemFetch, m, 0)
+	t.txs.New(m.Addr, txMemFetch, m, 0)
 	addr := m.Addr
 	t.timers.At(now+t.accessLat+t.mem.Latency(addr), func(nw sim.Cycle) {
 		way := t.cache.Peek(addr)
 		t.mem.ReadBlock(addr, way.Data)
 		way.Meta = l2Line{state: dirV, owner: -1}
 		way.Busy = false
-		tx := t.tx[addr]
-		req := tx.req
-		t.delTx(addr, tx, false)
-		// The request's ownership flows into serve*: recycled here
-		// unless a fresh transaction retains it.
-		saved := t.retained
-		t.retained = false
-		if req.Type == coherence.MsgGetS {
-			t.serveGetS(nw, req, way)
-		} else {
-			t.serveGetX(nw, req, way)
-		}
-		if !t.retained {
-			t.pool.Put(req)
-		}
-		t.retained = saved
+		tx, _ := t.txs.Get(addr)
+		req := tx.Req
+		t.txs.Del(addr, tx, false)
+		// The request's ownership flows back through the dispatch path:
+		// the line is now present, so Consume re-serves it (recycling
+		// the message unless a fresh transaction retains it).
+		t.txs.Consume(nw, req)
 	})
 }
 
@@ -451,12 +352,12 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 			t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: addr}, nil)
 		}
 		v.Busy = true
-		t.newTx(addr, txEvict, nil, len(members))
+		t.txs.New(addr, txEvict, nil, len(members))
 		return false
 	case dirX:
 		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: v.Meta.owner, Addr: addr}, nil)
 		v.Busy = true
-		t.newTx(addr, txEvict, nil, 1)
+		t.txs.New(addr, txEvict, nil, 1)
 		return false
 	}
 	panic("tsocc: evictLine on invalid state")
@@ -471,14 +372,14 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		}
 		ts, ep, valid := t.respTS(&w.Meta)
 		w.Busy = true
-		t.newTx(m.Addr, txAwaitAck, m, 0)
+		t.txs.New(m.Addr, txAwaitAck, m, 0)
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
 	case dirX:
 		if w.Meta.owner == m.Requestor {
 			panic(fmt.Sprintf("tsocc: L2 %d: GetS from current owner %s", t.id, m))
 		}
 		w.Busy = true
-		t.newTx(m.Addr, txFwdGetS, m, 0)
+		t.txs.New(m.Addr, txFwdGetS, m, 0)
 		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgFwdGetS, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor}, nil)
 	case dirS:
 		if t.shouldDecay(&w.Meta) {
@@ -535,14 +436,14 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 	case dirV:
 		ts, ep, valid := t.respTS(&w.Meta)
 		w.Busy = true
-		t.newTx(m.Addr, txAwaitAck, m, 0)
+		t.txs.New(m.Addr, txAwaitAck, m, 0)
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
 	case dirX:
 		if w.Meta.owner == m.Requestor {
 			panic(fmt.Sprintf("tsocc: L2 %d: GetX from current owner %s", t.id, m))
 		}
 		w.Busy = true
-		t.newTx(m.Addr, txFwdGetX, m, 0)
+		t.txs.New(m.Addr, txFwdGetX, m, 0)
 		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgFwdGetX, Dst: w.Meta.owner, Addr: m.Addr, Requestor: m.Requestor}, nil)
 	case dirS:
 		// The lazy write path: respond immediately with the full line;
@@ -550,7 +451,7 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		// (§3.2). No invalidation fan-out.
 		ts, ep, valid := t.respTS(&w.Meta)
 		w.Busy = true
-		t.newTx(m.Addr, txAwaitAck, m, 0)
+		t.txs.New(m.Addr, txAwaitAck, m, 0)
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
 	case dirR:
 		// Writes to SharedRO lines broadcast invalidations to the
@@ -562,7 +463,7 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		if len(members) == 0 {
 			ts, ep, valid := t.sroTS(&w.Meta)
 			w.Busy = true
-			t.newTx(m.Addr, txAwaitAck, m, 0)
+			t.txs.New(m.Addr, txAwaitAck, m, 0)
 			t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, -1, ts, ep, valid)
 			return
 		}
@@ -570,7 +471,7 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 			t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: m.Addr}, nil)
 		}
 		w.Busy = true
-		t.newTx(m.Addr, txSROInv, m, len(members))
+		t.txs.New(m.Addr, txSROInv, m, len(members))
 	}
 }
 
@@ -583,57 +484,57 @@ func (t *L2) respond(now sim.Cycle, dst coherence.NodeID, typ coherence.MsgType,
 // ---- Completion handling ----
 
 func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
-	tx, ok := t.tx[m.Addr]
-	if !ok || (tx.kind != txAwaitAck && tx.kind != txFwdGetX) {
+	tx, ok := t.txs.Get(m.Addr)
+	if !ok || (tx.Kind != txAwaitAck && tx.Kind != txFwdGetX) {
 		panic(fmt.Sprintf("tsocc: L2 %d: stray Ack %s", t.id, m))
 	}
 	w := t.cache.Peek(m.Addr)
 	w.Meta.state = dirX
-	w.Meta.owner = tx.req.Requestor
+	w.Meta.owner = tx.Req.Requestor
 	w.Meta.sharerBits = 0
 	if m.TSValid {
 		// The ack finalizes a write: record its timestamp (§3.5's
 		// "updated when the L2 updates a line's timestamp").
 		w.Meta.wasModified = true
 		w.Meta.ts = m.TS
-		t.noteWriterTS(tx.req.Requestor, m)
+		t.noteWriterTS(tx.Req.Requestor, m)
 	}
 	w.Busy = false
-	t.delTx(m.Addr, tx, true)
-	t.drainWaiting(now, m.Addr)
+	t.txs.Del(m.Addr, tx, true)
+	t.txs.DrainWaiting(now, m.Addr)
 }
 
 func (t *L2) handleInvAck(now sim.Cycle, m *coherence.Msg) {
-	tx, ok := t.tx[m.Addr]
+	tx, ok := t.txs.Get(m.Addr)
 	if !ok {
 		panic(fmt.Sprintf("tsocc: L2 %d: stray InvAck %s", t.id, m))
 	}
-	tx.acksLeft--
-	if tx.acksLeft > 0 {
+	tx.AcksLeft--
+	if tx.AcksLeft > 0 {
 		return
 	}
 	w := t.cache.Peek(m.Addr)
-	switch tx.kind {
+	switch tx.Kind {
 	case txSROInv:
 		// All SharedRO copies invalidated; grant exclusivity.
 		ts, ep, valid := t.sroTS(&w.Meta)
-		tx.kind = txAwaitAck
+		tx.Kind = txAwaitAck
 		w.Meta.sharerBits = 0
-		t.respond(now, tx.req.Requestor, coherence.MsgDataE, m.Addr, w.Data, -1, ts, ep, valid)
+		t.respond(now, tx.Req.Requestor, coherence.MsgDataE, m.Addr, w.Data, -1, ts, ep, valid)
 	case txEvict:
 		t.finishEvict(now, w)
 	default:
-		panic(fmt.Sprintf("tsocc: L2 %d: InvAck in tx kind %d", t.id, tx.kind))
+		panic(fmt.Sprintf("tsocc: L2 %d: InvAck in tx kind %d", t.id, tx.Kind))
 	}
 }
 
 func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
-	tx, ok := t.tx[m.Addr]
+	tx, ok := t.txs.Get(m.Addr)
 	if !ok {
 		panic(fmt.Sprintf("tsocc: L2 %d: stray WBData %s", t.id, m))
 	}
 	w := t.cache.Peek(m.Addr)
-	switch tx.kind {
+	switch tx.Kind {
 	case txFwdGetS:
 		prevOwner := w.Meta.owner
 		copy(w.Data, m.Data)
@@ -654,7 +555,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 		} else if t.cfg.SharedRO {
 			// Unmodified by the previous owner: SharedRO.
 			t.toSharedRO(now, w)
-			w.Meta.sharerBits = coarseBit(tx.req.Requestor, t.cores)
+			w.Meta.sharerBits = coarseBit(tx.Req.Requestor, t.cores)
 			if !m.NoCopy {
 				w.Meta.sharerBits |= coarseBit(prevOwner, t.cores)
 			}
@@ -664,8 +565,8 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 			t.flag2 = true
 		}
 		w.Busy = false
-		t.delTx(m.Addr, tx, true)
-		t.drainWaiting(now, m.Addr)
+		t.txs.Del(m.Addr, tx, true)
+		t.txs.DrainWaiting(now, m.Addr)
 	case txEvict:
 		if m.Dirty {
 			copy(w.Data, m.Data)
@@ -673,7 +574,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 		}
 		t.finishEvict(now, w)
 	default:
-		panic(fmt.Sprintf("tsocc: L2 %d: WBData in tx kind %d", t.id, tx.kind))
+		panic(fmt.Sprintf("tsocc: L2 %d: WBData in tx kind %d", t.id, tx.Kind))
 	}
 }
 
@@ -683,14 +584,15 @@ func (t *L2) finishEvict(now sim.Cycle, w *memsys.Way[l2Line]) {
 		t.mem.WriteBlock(addr, w.Data)
 		t.flag1 = true
 	}
-	t.delTx(addr, t.tx[addr], false)
+	tx, _ := t.txs.Get(addr)
+	t.txs.Del(addr, tx, false)
 	t.cache.Invalidate(w)
-	t.drainWaiting(now, addr)
+	t.txs.DrainWaiting(now, addr)
 }
 
 func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
-	if _, busy := t.tx[m.Addr]; busy {
-		t.enqueueWaiting(m)
+	if t.txs.BusyLine(m.Addr) {
+		t.txs.EnqueueWaiting(m)
 		return
 	}
 	w := t.cache.Peek(m.Addr)
@@ -714,16 +616,4 @@ func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 	w.Meta.state = dirV
 	// Keep owner as last-writer for timestamp responses.
 	t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr}, nil)
-}
-
-func (t *L2) drainWaiting(now sim.Cycle, addr uint64) {
-	q, ok := t.waiting[addr]
-	if !ok || len(q) == 0 {
-		delete(t.waiting, addr)
-		return
-	}
-	delete(t.waiting, addr)
-	for _, m := range q {
-		t.consume(now, m)
-	}
 }

@@ -3,8 +3,6 @@ package tsocc
 import (
 	"repro/internal/coherence"
 	"repro/internal/config"
-	"repro/internal/memsys"
-	"repro/internal/mesh"
 )
 
 // Protocol is the TSO-CC protocol factory, parameterized by a
@@ -16,11 +14,24 @@ type Protocol struct {
 // New returns a TSO-CC protocol with the given configuration.
 func New(cfg config.TSOCC) Protocol { return Protocol{Cfg: cfg} }
 
-// Name implements the system protocol interface.
+// init publishes every §4.2 preset in the protocol registry, in the
+// paper's plotting order (after the MESI baseline at order 0). Adding a
+// TSO-CC variant to the evaluated set means adding a config preset;
+// adding a new protocol means registering a new package — no call site
+// enumerates the known protocols anymore.
+func init() {
+	for i, preset := range config.Presets() {
+		cfg := preset
+		coherence.RegisterProtocol(cfg.Name(), i+1, func() coherence.Protocol { return New(cfg) })
+	}
+}
+
+// Name implements coherence.Protocol.
 func (p Protocol) Name() string { return p.Cfg.Name() }
 
-// Build constructs one TSO-CC L1 per core and one tile per core.
-func (p Protocol) Build(cfg config.System, net *mesh.Network, mem *memsys.Memory) ([]coherence.L1Like, []coherence.Controller) {
+// Build implements coherence.Protocol: one TSO-CC L1 per core and one
+// tile per core.
+func (p Protocol) Build(cfg config.System, net coherence.Network, mem coherence.Memory) ([]coherence.L1Like, []coherence.Controller) {
 	l1s := make([]coherence.L1Like, cfg.Cores)
 	l2s := make([]coherence.Controller, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {

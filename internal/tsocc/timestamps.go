@@ -29,28 +29,53 @@ const (
 // policy (§3.3); a capacity of 0 means unbounded. Losing an entry is
 // always safe — the reader treats the source as never-seen and
 // self-invalidates conservatively.
+//
+// The unbounded table is slice-backed, indexed by source id: the common
+// configurations hold one entry per possible source, and the get/update
+// pair sits on the data-response path (every remote response consults
+// it), where the map's hashing dominated. tsInvalid (0) marks an absent
+// entry — stored timestamps are always > tsSmallest (callers filter
+// invalid/smallest before updating). Bounded tables keep the map plus
+// the smallest-timestamp eviction policy.
 type lastSeen struct {
-	m   map[int]uint32
+	s   []uint32       // unbounded: timestamp per source, 0 = absent
+	m   map[int]uint32 // bounded (cap > 0) only
 	cap int
 }
 
-func newLastSeen(capacity int) lastSeen {
+// newLastSeen builds a table: capacity 0 is unbounded (one slot per
+// possible source id in [0, sources)), otherwise a bounded map with the
+// §3.3 eviction policy.
+func newLastSeen(capacity, sources int) lastSeen {
+	if capacity <= 0 {
+		return lastSeen{s: make([]uint32, sources)}
+	}
 	return lastSeen{m: make(map[int]uint32), cap: capacity}
 }
 
 func (t lastSeen) get(src int) (uint32, bool) {
+	if t.cap <= 0 {
+		v := t.s[src]
+		return v, v != tsInvalid
+	}
 	v, ok := t.m[src]
 	return v, ok
 }
 
 func (t lastSeen) update(src int, ts uint32) {
+	if t.cap <= 0 {
+		if ts > t.s[src] {
+			t.s[src] = ts
+		}
+		return
+	}
 	if cur, ok := t.m[src]; ok {
 		if ts > cur {
 			t.m[src] = ts
 		}
 		return
 	}
-	if t.cap > 0 && len(t.m) >= t.cap {
+	if len(t.m) >= t.cap {
 		t.evictOne()
 	}
 	t.m[src] = ts
@@ -71,9 +96,26 @@ func (t lastSeen) evictOne() {
 	}
 }
 
-func (t lastSeen) drop(src int) { delete(t.m, src) }
+func (t lastSeen) drop(src int) {
+	if t.cap <= 0 {
+		t.s[src] = tsInvalid
+		return
+	}
+	delete(t.m, src)
+}
 
-func (t lastSeen) len() int { return len(t.m) }
+func (t lastSeen) len() int {
+	if t.cap <= 0 {
+		n := 0
+		for _, v := range t.s {
+			if v != tsInvalid {
+				n++
+			}
+		}
+		return n
+	}
+	return len(t.m)
+}
 
 // coarseGroups returns the number of coarse-vector groups used when the
 // L2's owner field is reused as a sharing vector for SharedRO lines

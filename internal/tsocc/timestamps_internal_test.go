@@ -6,9 +6,10 @@ import (
 	"repro/internal/coherence"
 )
 
-// TestLastSeenEviction checks the table's smallest-timestamp policy.
+// TestLastSeenEviction checks the bounded table's smallest-timestamp
+// eviction policy.
 func TestLastSeenEviction(t *testing.T) {
-	tbl := newLastSeen(2)
+	tbl := newLastSeen(2, 8)
 	tbl.update(1, 10)
 	tbl.update(2, 20)
 	tbl.update(3, 30) // evicts src 1 (smallest ts)
@@ -33,6 +34,38 @@ func TestLastSeenEviction(t *testing.T) {
 	tbl.update(2, 5)
 	if v, _ := tbl.get(2); v != 25 {
 		t.Fatalf("stale update regressed entry to %d", v)
+	}
+}
+
+// TestLastSeenUnbounded checks the slice-backed unbounded table keeps
+// the map-backed semantics: never-seen sources miss, updates are
+// monotonic, drops forget.
+func TestLastSeenUnbounded(t *testing.T) {
+	tbl := newLastSeen(0, 4)
+	if _, ok := tbl.get(3); ok {
+		t.Fatal("never-seen source reported present")
+	}
+	tbl.update(3, 10)
+	if v, ok := tbl.get(3); !ok || v != 10 {
+		t.Fatalf("get(3) = %d,%v after update", v, ok)
+	}
+	tbl.update(3, 5) // stale: ignored
+	if v, _ := tbl.get(3); v != 10 {
+		t.Fatalf("stale update regressed entry to %d", v)
+	}
+	tbl.update(3, 12)
+	if v, _ := tbl.get(3); v != 12 {
+		t.Fatalf("monotonic update lost: %d", v)
+	}
+	if tbl.len() != 1 {
+		t.Fatalf("len = %d, want 1", tbl.len())
+	}
+	tbl.drop(3)
+	if _, ok := tbl.get(3); ok {
+		t.Fatal("dropped source still present")
+	}
+	if tbl.len() != 0 {
+		t.Fatalf("len = %d after drop, want 0", tbl.len())
 	}
 }
 

@@ -25,6 +25,12 @@ func run(t *testing.T, cfg config.System, tc config.TSOCC, w *program.Workload) 
 	if res.CheckErr != nil {
 		t.Fatalf("%s on %s: %v", tc.Name(), w.Name, res.CheckErr)
 	}
+	// The TxTable/controller ownership discipline must return every
+	// pooled message once the run quiesces.
+	if res.PoolLive != 0 {
+		t.Fatalf("%s on %s: MsgPool leak: %d of %d messages not returned",
+			tc.Name(), w.Name, res.PoolLive, res.PoolGets)
+	}
 	return res
 }
 

@@ -175,6 +175,84 @@ func BenchmarkMeshDelivery(b *testing.B) {
 	b.ReportMetric(float64(sinks[0].received), "sink0-msgs")
 }
 
+// TestHotPathZeroAlloc is the alloc-regression gate: the two paths the
+// ROADMAP guarantees allocation-free (L1 hits through the CorePort, mesh
+// scheduling + delivery through the calendar queue) are measured with
+// the real benchmark bodies and must report exactly 0 allocs/op. This
+// fails in plain `go test`, so a regression cannot hide behind a
+// benchmark nobody reads.
+func TestHotPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	for _, bench := range []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"L1HitPath", BenchmarkL1HitPath},
+		{"MeshDelivery", BenchmarkMeshDelivery},
+	} {
+		t.Run(bench.name, func(t *testing.T) {
+			res := testing.Benchmark(bench.fn)
+			if allocs := res.AllocsPerOp(); allocs != 0 {
+				t.Fatalf("%s allocates %d allocs/op (%d B/op), want 0",
+					bench.name, allocs, res.AllocedBytesPerOp())
+			}
+		})
+	}
+}
+
+// BenchmarkDataResponsePath stresses the L1 data-response path: a reader
+// whose Shared loads always miss (SharedAlwaysMiss) with timestamps
+// enabled, so every response walks the lastSeen table lookups on both
+// the L2 (respTS) and L1 (maybeSelfInvalidate) sides.
+func BenchmarkDataResponsePath(b *testing.B) {
+	tscfg := config.TSOCC{SharedAlwaysMiss: true, TimestampBits: 12,
+		WriteGroupBits: 3, EpochBits: 3}
+	gen := func() *program.Workload {
+		writer := program.NewBuilder("writer")
+		writer.Li(1, 0x1000)
+		writer.Li(3, 0)
+		writer.Li(4, 32)
+		writer.Label("wl")
+		writer.St(1, 0, 3)
+		writer.Addi(1, 1, 64)
+		writer.Addi(3, 3, 1)
+		writer.Blt(3, 4, "wl")
+		writer.Fence()
+		writer.Halt()
+		reader := program.NewBuilder("reader")
+		reader.Li(5, 0)
+		reader.Li(6, 400)
+		reader.Label("rounds")
+		reader.Li(1, 0x1000)
+		reader.Li(3, 0)
+		reader.Li(4, 32)
+		reader.Label("rl")
+		reader.Ld(2, 1, 0)
+		reader.Addi(1, 1, 64)
+		reader.Addi(3, 3, 1)
+		reader.Blt(3, 4, "rl")
+		reader.Addi(5, 5, 1)
+		reader.Blt(5, 6, "rounds")
+		reader.Halt()
+		return &program.Workload{Name: "dataresp",
+			Programs: []*program.Program{writer.MustBuild(), reader.MustBuild()}}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := system.NewMachine(config.Scaled(2), tsocc.New(tscfg), gen())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := m.Engine.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkL1HitPath drives load hits against a warmed Exclusive line
 // through the real CorePort interface. The acceptance bar is 0
 // allocs/op: no closures, no timer-heap churn, no message traffic.

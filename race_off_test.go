@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is compiled in (it adds
+// instrumentation allocations that would fail the zero-alloc gates).
+const raceEnabled = false
