@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench perf ci
+.PHONY: all vet build test race bench-smoke bench bench-json perf ci
 
 all: ci
 
@@ -21,7 +21,7 @@ race:
 # Quick benchmark smoke: exercises the perf-critical paths without the
 # full figure grids.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkEngineStep|BenchmarkEngineIdleSkip|BenchmarkMeshDelivery|BenchmarkL1HitPath' -benchtime 2000x .
+	$(GO) test -run xxx -bench 'BenchmarkEngineStep|BenchmarkEngineIdleSkip|BenchmarkDenseCompute|BenchmarkMeshDelivery|BenchmarkL1HitPath' -benchtime 2000x .
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -29,5 +29,11 @@ bench:
 # Simulator throughput JSON (for BENCH_*.json trajectories).
 perf:
 	$(GO) run ./cmd/tsocc-bench -perf -cores 8
+
+# Dated engine + hot-path throughput snapshot (per-cycle, event, and
+# batched-core numbers for the standard benches plus dense-compute).
+bench-json:
+	$(GO) run ./cmd/tsocc-bench -perf -cores 8 > BENCH_$$(date +%Y-%m-%d).json
+	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
 ci: vet build test race bench-smoke

@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -37,7 +39,39 @@ func main() {
 	listProtos := flag.Bool("list-protocols", false, "list registered protocols and exit")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	perf := flag.Bool("perf", false, "report simulator throughput (cycles/sec, ns/simcycle) as JSON and exit")
+	batched := flag.Bool("batched", true, "batched straight-line core execution (config.System.BatchedCore)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on (successful) exit")
 	flag.Parse()
+
+	// Profiles cover the whole selected mode (grid or -perf); error
+	// paths exit through os.Exit and intentionally skip them.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	if *listProtos {
 		for _, name := range coherence.ProtocolNames() {
@@ -58,6 +92,18 @@ func main() {
 	}
 
 	if *perf {
+		// -perf times every engine/core mode itself; a -batched
+		// selection would be silently meaningless, so reject it.
+		explicitBatched := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "batched" {
+				explicitBatched = true
+			}
+		})
+		if explicitBatched {
+			fmt.Fprintln(os.Stderr, "-batched has no effect under -perf (all modes are timed); drop it or use the grid mode")
+			os.Exit(1)
+		}
 		var benches []string
 		if *benchList != "" {
 			benches = strings.Split(*benchList, ",")
@@ -80,6 +126,7 @@ func main() {
 		benches = strings.Split(*benchList, ",")
 	}
 	cfg := config.Scaled(*cores)
+	cfg.BatchedCore = *batched
 	p := workloads.Params{Threads: *cores, Scale: *scale, Seed: *seed}
 
 	progress := os.Stderr
@@ -124,26 +171,54 @@ func main() {
 }
 
 // perfRecord is one benchmark's simulator-throughput measurement,
-// emitted as JSON for the BENCH_*.json trajectory.
+// emitted as JSON for the BENCH_*.json trajectory. Three configurations
+// are timed: the per-cycle conformance engine, the event engine with
+// the instruction-at-a-time core, and the event engine with the batched
+// core (the production default).
 type perfRecord struct {
-	Benchmark      string  `json:"benchmark"`
-	Protocol       string  `json:"protocol"`
-	Cores          int     `json:"cores"`
-	SimCycles      int64   `json:"sim_cycles"`
-	WallNsPerCycle float64 `json:"wall_ns_percycle_engine"`
-	WallNsEvent    float64 `json:"wall_ns_event_engine"`
-	CyclesPerSec   float64 `json:"sim_cycles_per_sec"`
-	HostNsPerCycle float64 `json:"host_ns_per_sim_cycle"`
-	SkippedPct     float64 `json:"idle_skipped_pct"`
-	Speedup        float64 `json:"event_vs_percycle_speedup"`
+	Benchmark       string  `json:"benchmark"`
+	Protocol        string  `json:"protocol"`
+	Cores           int     `json:"cores"`
+	SimCycles       int64   `json:"sim_cycles"`
+	WallNsPerCycle  float64 `json:"wall_ns_percycle_engine"`
+	WallNsUnbatched float64 `json:"wall_ns_event_unbatched"`
+	WallNsEvent     float64 `json:"wall_ns_event_engine"`
+	CyclesPerSec    float64 `json:"sim_cycles_per_sec"`
+	HostNsPerCycle  float64 `json:"host_ns_per_sim_cycle"`
+	SkippedPct      float64 `json:"idle_skipped_pct"`
+	Speedup         float64 `json:"event_vs_percycle_speedup"`
+	BatchedSpeedup  float64 `json:"batched_vs_unbatched_speedup"`
+}
+
+// perfModes are the timed configurations, slowest baseline first; the
+// last entry is the production default whose numbers fill the headline
+// throughput fields.
+var perfModes = []struct {
+	perCycle bool
+	batched  bool
+}{
+	{perCycle: true, batched: false},
+	{perCycle: false, batched: false},
+	{perCycle: false, batched: true},
 }
 
 // runPerf measures simulated-cycles-per-second for each benchmark ×
-// protocol under both engine modes and prints one JSON array. With no
-// -proto selection it measures the paper's best realistic configuration.
+// protocol under every engine/core mode and prints one JSON array. With
+// no -proto selection it measures the paper's best realistic
+// configuration. The synthetic "dense-compute" ALU workload (the
+// batched-core acceptance case) is always appended to the selection.
 func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Protocol) error {
 	if len(benches) == 0 {
 		benches = []string{"canneal", "x264", "ssca2"}
+	}
+	hasDense := false
+	for _, b := range benches {
+		if b == "dense-compute" {
+			hasDense = true
+		}
+	}
+	if !hasDense {
+		benches = append(benches, "dense-compute")
 	}
 	if len(protos) == 0 {
 		protos = []system.Protocol{tsocc.New(config.C12x3())}
@@ -155,16 +230,18 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 		if e == nil {
 			return fmt.Errorf("unknown benchmark %q", bench)
 		}
+		gen := e.Gen
 		for _, proto := range protos {
 			rec := perfRecord{Benchmark: bench, Protocol: proto.Name(), Cores: cores}
-			for _, perCycle := range []bool{true, false} {
+			for _, mode := range perfModes {
 				cfg := config.Scaled(cores)
-				cfg.PerCycleEngine = perCycle
+				cfg.PerCycleEngine = mode.perCycle
+				cfg.BatchedCore = mode.batched
 				best := time.Duration(0)
 				var cycles int64
 				var skipped int64
 				for rep := 0; rep < 3; rep++ {
-					m, err := system.NewMachine(cfg, proto, e.Gen(p))
+					m, err := system.NewMachine(cfg, proto, gen(p))
 					if err != nil {
 						return err
 					}
@@ -180,9 +257,12 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 					cycles = int64(cyc)
 				}
 				nsPerCycle := float64(best.Nanoseconds()) / float64(cycles)
-				if perCycle {
+				switch {
+				case mode.perCycle:
 					rec.WallNsPerCycle = nsPerCycle
-				} else {
+				case !mode.batched:
+					rec.WallNsUnbatched = nsPerCycle
+				default:
 					rec.WallNsEvent = nsPerCycle
 					rec.SimCycles = cycles
 					rec.CyclesPerSec = float64(cycles) / best.Seconds()
@@ -192,6 +272,7 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 			}
 			if rec.WallNsEvent > 0 {
 				rec.Speedup = rec.WallNsPerCycle / rec.WallNsEvent
+				rec.BatchedSpeedup = rec.WallNsUnbatched / rec.WallNsEvent
 			}
 			out = append(out, rec)
 		}

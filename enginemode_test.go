@@ -36,10 +36,26 @@ func fingerprint(r *system.Result) string {
 		r.SROTransitions, r.DecayEvents, r.SROInvBcasts, r.L2TSResets, check)
 }
 
+// engineModes is the A/B conformance cross: both time-advancement modes
+// crossed against both core execution models. Every combination must
+// produce bit-identical results; index 0 (per-cycle, unbatched) is the
+// reference.
+var engineModes = []struct {
+	name     string
+	perCycle bool
+	batched  bool
+}{
+	{"per-cycle/unbatched", true, false},
+	{"per-cycle/batched", true, true},
+	{"event/unbatched", false, false},
+	{"event/batched", false, true},
+}
+
 // TestEngineModesBitIdentical is the tentpole conformance gate: the
-// event-driven (idle-skip) engine must reproduce the per-cycle ticker's
-// results bit for bit — identical cycle counts and identical statistics
-// — across protocols and workloads.
+// event-driven (idle-skip) engine and the batched core model must
+// reproduce the per-cycle, instruction-at-a-time ticker's results bit
+// for bit — identical cycle counts and identical statistics — across
+// protocols and workloads, in every mode combination.
 func TestEngineModesBitIdentical(t *testing.T) {
 	protos := []system.Protocol{
 		mesi.New(),
@@ -56,21 +72,25 @@ func TestEngineModesBitIdentical(t *testing.T) {
 				if e == nil {
 					t.Fatalf("unknown benchmark %q", bench)
 				}
-				var fps [2]string
-				for i, pc := range []bool{true, false} {
+				fps := make([]string, len(engineModes))
+				for i, mode := range engineModes {
 					cfg := config.Small(4)
-					cfg.PerCycleEngine = pc
+					cfg.PerCycleEngine = mode.perCycle
+					cfg.BatchedCore = mode.batched
 					r, err := system.Run(cfg, proto, e.Gen(p))
 					if err != nil {
-						t.Fatalf("perCycle=%v: %v", pc, err)
+						t.Fatalf("%s: %v", mode.name, err)
 					}
 					if r.CheckErr != nil {
-						t.Fatalf("perCycle=%v: functional check: %v", pc, r.CheckErr)
+						t.Fatalf("%s: functional check: %v", mode.name, r.CheckErr)
 					}
 					fps[i] = fingerprint(r)
 				}
-				if fps[0] != fps[1] {
-					t.Fatalf("engine modes diverged:\n per-cycle: %s\n event:     %s", fps[0], fps[1])
+				for i := 1; i < len(fps); i++ {
+					if fps[i] != fps[0] {
+						t.Fatalf("engine modes diverged:\n %s: %s\n %s: %s",
+							engineModes[0].name, fps[0], engineModes[i].name, fps[i])
+					}
 				}
 			})
 		}
@@ -88,24 +108,56 @@ func TestEngineModesLitmusIdentical(t *testing.T) {
 	for _, proto := range protos {
 		for _, test := range litmus.Suite() {
 			t.Run(proto.Name()+"/"+test.Name, func(t *testing.T) {
-				var outcomes [2]map[string]int
-				for i, pc := range []bool{true, false} {
+				outcomes := make([]map[string]int, len(engineModes))
+				for i, mode := range engineModes {
 					cfg := config.Small(4)
-					cfg.PerCycleEngine = pc
+					cfg.PerCycleEngine = mode.perCycle
+					cfg.BatchedCore = mode.batched
 					res, err := litmus.Run(test, proto, cfg, 20, 42)
 					if err != nil {
-						t.Fatalf("perCycle=%v: %v", pc, err)
+						t.Fatalf("%s: %v", mode.name, err)
 					}
 					if !res.Ok() {
-						t.Fatalf("perCycle=%v: forbidden outcomes: %v", pc, res.Violations)
+						t.Fatalf("%s: forbidden outcomes: %v", mode.name, res.Violations)
 					}
 					outcomes[i] = res.Outcomes
 				}
-				if !reflect.DeepEqual(outcomes[0], outcomes[1]) {
-					t.Fatalf("litmus outcome histograms diverged:\n per-cycle: %v\n event:     %v",
-						outcomes[0], outcomes[1])
+				for i := 1; i < len(outcomes); i++ {
+					if !reflect.DeepEqual(outcomes[0], outcomes[i]) {
+						t.Fatalf("litmus outcome histograms diverged:\n %s: %v\n %s: %v",
+							engineModes[0].name, outcomes[0], engineModes[i].name, outcomes[i])
+					}
 				}
 			})
+		}
+	}
+}
+
+// TestEngineModesDenseComputeIdentical pins the workload the batched
+// core model targets: long straight-line ALU runs where nothing is
+// idle. The checksum check inside the workload already proves the
+// register semantics; this gate additionally proves the cycle counts
+// and stats are untouched by batching.
+func TestEngineModesDenseComputeIdentical(t *testing.T) {
+	fps := make([]string, len(engineModes))
+	for i, mode := range engineModes {
+		cfg := config.Small(4)
+		cfg.PerCycleEngine = mode.perCycle
+		cfg.BatchedCore = mode.batched
+		w := workloads.DenseCompute(workloads.Params{Threads: 4, Scale: 1, Seed: 7})
+		r, err := system.Run(cfg, tsocc.New(config.C12x3()), w)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		if r.CheckErr != nil {
+			t.Fatalf("%s: checksum: %v", mode.name, r.CheckErr)
+		}
+		fps[i] = fingerprint(r)
+	}
+	for i := 1; i < len(fps); i++ {
+		if fps[i] != fps[0] {
+			t.Fatalf("dense-compute diverged:\n %s: %s\n %s: %s",
+				engineModes[0].name, fps[0], engineModes[i].name, fps[i])
 		}
 	}
 }
@@ -113,10 +165,11 @@ func TestEngineModesLitmusIdentical(t *testing.T) {
 // TestEngineModesSpinlockIdentical covers the contended-RMW path (the
 // spinlock example's shape) plus write-buffer pressure.
 func TestEngineModesSpinlockIdentical(t *testing.T) {
-	var fps [2]string
-	for i, pc := range []bool{true, false} {
+	fps := make([]string, len(engineModes))
+	for i, mode := range engineModes {
 		cfg := config.Scaled(4)
-		cfg.PerCycleEngine = pc
+		cfg.PerCycleEngine = mode.perCycle
+		cfg.BatchedCore = mode.batched
 		w := spinWorkload(4, 40)
 		r, err := system.Run(cfg, tsocc.New(config.C12x3()), w)
 		if err != nil {
@@ -127,7 +180,10 @@ func TestEngineModesSpinlockIdentical(t *testing.T) {
 		}
 		fps[i] = fingerprint(r)
 	}
-	if fps[0] != fps[1] {
-		t.Fatalf("spinlock diverged:\n per-cycle: %s\n event:     %s", fps[0], fps[1])
+	for i := 1; i < len(fps); i++ {
+		if fps[i] != fps[0] {
+			t.Fatalf("spinlock diverged:\n %s: %s\n %s: %s",
+				engineModes[0].name, fps[0], engineModes[i].name, fps[i])
+		}
 	}
 }

@@ -34,6 +34,15 @@ type System struct {
 	// instead of event-driven idle-skip scheduling. Both modes produce
 	// bit-identical results; per-cycle exists as the A/B baseline.
 	PerCycleEngine bool
+
+	// BatchedCore lets each core retire straight-line runs of
+	// register/branch instructions as a single batch per tick, stalling
+	// over the cycles the run would have occupied so the idle-skip
+	// engine can leap them. Memory ops, atomics, fences, pauses and
+	// write-buffer drains remain cycle-exact boundaries, so results are
+	// bit-identical either way; the toggle exists as the A/B conformance
+	// baseline. All preset constructors default it on.
+	BatchedCore bool
 }
 
 // Table2 returns the paper's 32-core configuration.
@@ -51,6 +60,7 @@ func Table2() System {
 		WriteBuffer: 32,
 		MeshRows:    4,
 		MaxCycles:   200_000_000,
+		BatchedCore: true,
 	}
 }
 
@@ -79,6 +89,7 @@ func Small(cores int) System {
 		WriteBuffer: 8,
 		MeshRows:    0,
 		MaxCycles:   80_000_000,
+		BatchedCore: true,
 	}
 }
 

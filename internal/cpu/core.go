@@ -44,6 +44,12 @@ type Core struct {
 	stallUntil sim.Cycle
 	halted     bool
 
+	// batched enables straight-line run execution: a whole block of
+	// register/branch instructions retires in one Tick and the core
+	// stalls over the cycles the block would have occupied, so the
+	// idle-skip engine leaps them instead of re-entering the core.
+	batched bool
+
 	// Completion callbacks handed to the L1. The core has at most one
 	// outstanding operation of each kind, so a single preallocated
 	// closure per kind (with the variable bits stored in fields) keeps
@@ -107,6 +113,14 @@ func New(id int, prog *program.Program, port coherence.CorePort, wbEntries int) 
 	return c
 }
 
+// SetBatched toggles batched straight-line execution
+// (config.System.BatchedCore). Both settings produce bit-identical
+// simulations: batches contain only register/branch instructions, whose
+// intermediate state nothing outside the core can observe, and the
+// batch accounts for exactly the cycles per-cycle execution would have
+// spent.
+func (c *Core) SetBatched(on bool) { c.batched = on }
+
 // Done reports whether the core has halted and fully drained its writes.
 func (c *Core) Done() bool {
 	return c.halted && c.wbLen == 0 && !c.wbInFlight && !c.waiting
@@ -135,8 +149,88 @@ func (c *Core) Tick(now sim.Cycle) {
 		c.halted = true
 		return
 	}
+	if c.batched {
+		if n := c.prog.RunLen(c.pc); n > 1 {
+			c.executeRun(now, n)
+			return
+		}
+	}
 	in := c.prog.Instrs[c.pc]
 	c.execute(now, in)
+}
+
+// executeRun retires a straight-line run of n register/branch
+// instructions in a single Tick, then stalls until now+n — exactly the
+// cycle at which per-cycle execution would reach the next instruction.
+// Runs contain no memory, fence, atomic, pause or halt ops (enforced by
+// the program run-length analysis), so no other component can observe
+// the difference; NextWake's stallUntil path reports the end of the run
+// to the engine, which leaps the intervening idle cycles.
+//
+// The loop is a specialized copy of the register/branch arms of
+// execute: no per-instruction call, no advance bookkeeping, one counter
+// update for the whole run. Its semantics are pinned to execute's by
+// the engine-mode conformance gates (batched × per-cycle × protocols)
+// and the dense-compute checksum workload.
+func (c *Core) executeRun(now sim.Cycle, n int) {
+	pc := c.pc
+	ins := c.prog.Instrs
+	regs := &c.regs
+	for k := 0; k < n; k++ {
+		in := &ins[pc]
+		pc++
+		switch in.Op {
+		case program.OpLI:
+			regs[in.Dst] = in.Imm
+		case program.OpMov:
+			regs[in.Dst] = regs[in.A]
+		case program.OpAdd:
+			regs[in.Dst] = regs[in.A] + regs[in.B]
+		case program.OpAddi:
+			regs[in.Dst] = regs[in.A] + in.Imm
+		case program.OpSub:
+			regs[in.Dst] = regs[in.A] - regs[in.B]
+		case program.OpMul:
+			regs[in.Dst] = regs[in.A] * regs[in.B]
+		case program.OpAnd:
+			regs[in.Dst] = regs[in.A] & regs[in.B]
+		case program.OpOr:
+			regs[in.Dst] = regs[in.A] | regs[in.B]
+		case program.OpXor:
+			regs[in.Dst] = regs[in.A] ^ regs[in.B]
+		case program.OpMod:
+			m := regs[in.A] % in.Imm
+			if m < 0 {
+				m += in.Imm
+			}
+			regs[in.Dst] = m
+		case program.OpShl:
+			regs[in.Dst] = regs[in.A] << uint(in.Imm)
+		case program.OpBeq:
+			if regs[in.A] == regs[in.B] {
+				pc = in.Target
+			}
+		case program.OpBne:
+			if regs[in.A] != regs[in.B] {
+				pc = in.Target
+			}
+		case program.OpBlt:
+			if regs[in.A] < regs[in.B] {
+				pc = in.Target
+			}
+		case program.OpBge:
+			if regs[in.A] >= regs[in.B] {
+				pc = in.Target
+			}
+		case program.OpJmp:
+			pc = in.Target
+		default:
+			panic(fmt.Sprintf("cpu: core %d: op %v inside a batched run", c.ID, in.Op))
+		}
+	}
+	c.pc = pc
+	c.stallUntil = now + sim.Cycle(n)
+	c.Instructions.Add(int64(n))
 }
 
 func (c *Core) drainWriteBuffer(now sim.Cycle) {
@@ -175,8 +269,14 @@ func (c *Core) NextWake(now sim.Cycle) sim.Cycle {
 	return now + 1
 }
 
+// execute runs one instruction. Instructions counts retirements
+// exactly: memory/fence ops count once at issue (inside their do*
+// helper) or, for synchronous completions (a forwarded load, a
+// buffered store), via retired here; rejected attempts (port busy,
+// write buffer full, pending drain) retire nothing and are retried.
 func (c *Core) execute(now sim.Cycle, in program.Instr) {
 	advance := true
+	retired := true
 	switch in.Op {
 	case program.OpLI:
 		c.regs[in.Dst] = in.Imm
@@ -207,12 +307,16 @@ func (c *Core) execute(now sim.Cycle, in program.Instr) {
 
 	case program.OpLd:
 		advance = c.doLoad(now, in)
+		retired = advance // issued loads count at issue, retries not at all
 	case program.OpSt:
 		advance = c.doStore(now, in)
+		retired = advance
 	case program.OpRmwAdd, program.OpRmwXchg, program.OpCas:
 		advance = c.doAtomic(now, in)
+		retired = advance
 	case program.OpFence:
 		advance = c.doFence(now)
+		retired = advance
 
 	case program.OpBeq:
 		if c.regs[in.A] == c.regs[in.B] {
@@ -248,7 +352,9 @@ func (c *Core) execute(now sim.Cycle, in program.Instr) {
 	if advance {
 		c.pc++
 	}
-	c.Instructions.Inc()
+	if retired {
+		c.Instructions.Inc()
+	}
 }
 
 func (c *Core) effAddr(in program.Instr) uint64 {

@@ -377,4 +377,111 @@ func TestThreadIDConvention(t *testing.T) {
 	}
 }
 
+// TestInstructionCountExact pins Instructions to retirements: issued
+// memory ops count once (not again at the execute() epilogue), and
+// rejected attempts — port busy, write buffer full — count nothing.
+func TestInstructionCountExact(t *testing.T) {
+	b := program.NewBuilder("count")
+	b.Li(1, 0x1000) // 1
+	b.Ld(2, 1, 0)   // 2
+	b.St(1, 8, 2)   // 3
+	b.Fence()       // 4
+	b.RmwAdd(3, 1, 0, 2) // 5
+	b.Halt()        // 6
+	c := runCore(t, b.MustBuild(), newFakePort(40), 10_000)
+	if got := c.Instructions.Value(); got != 6 {
+		t.Fatalf("Instructions = %d, want 6 (one per retired instruction)", got)
+	}
+	// Write-buffer-full retries must not inflate the count either.
+	b2 := program.NewBuilder("wbfull")
+	b2.Li(1, 0x1000)
+	b2.Li(2, 1)
+	for i := int64(0); i < 12; i++ { // overflows the 8-entry WB
+		b2.St(1, i*8, 2)
+	}
+	b2.Halt()
+	c2 := runCore(t, b2.MustBuild(), newFakePort(40), 50_000)
+	if got := c2.Instructions.Value(); got != 15 {
+		t.Fatalf("Instructions = %d, want 15 despite WB-full stalls", got)
+	}
+	if c2.WBFullStalls.Value() == 0 {
+		t.Fatal("test did not exercise WB-full stalls")
+	}
+}
+
+// TestBatchedExecutionParity drives the same program through an
+// unbatched and a batched core against identical fake ports and
+// requires the same registers, memory, visibility order, instruction
+// count and completion cycle — the core-level version of the engine
+// A/B gates.
+func TestBatchedExecutionParity(t *testing.T) {
+	build := func() *program.Program {
+		b := program.NewBuilder("mix")
+		b.Li(1, 0x1000).Li(2, 3).Li(3, 0).Li(4, 6)
+		b.Label("loop")
+		b.Mul(5, 2, 2)
+		b.Add(5, 5, 3)
+		b.Xor(6, 5, 2)
+		b.Shl(7, 6, 2)
+		b.Mod(8, 7, 13)
+		b.St(1, 0, 5) // memory op: batch boundary
+		b.Addi(3, 3, 1)
+		b.Blt(3, 4, "loop")
+		b.Fence()
+		b.RmwAdd(9, 1, 8, 2)
+		b.Nop(7)
+		b.Ld(10, 1, 0)
+		b.Halt()
+		return b.MustBuild()
+	}
+	type run struct {
+		c    *Core
+		port *fakePort
+		done sim.Cycle
+	}
+	var runs [2]run
+	for i, batched := range []bool{false, true} {
+		port := newFakePort(4)
+		c := New(0, build(), port, 4)
+		c.SetBatched(batched)
+		for cy := sim.Cycle(1); cy < 5000; cy++ {
+			port.Tick(cy)
+			c.Tick(cy)
+			if c.Done() {
+				runs[i] = run{c: c, port: port, done: cy}
+				break
+			}
+		}
+		if runs[i].c == nil {
+			t.Fatalf("batched=%v: did not finish (%s)", batched, c.Debug())
+		}
+	}
+	a, b := runs[0], runs[1]
+	if a.done != b.done {
+		t.Fatalf("completion cycle diverged: unbatched %d, batched %d", a.done, b.done)
+	}
+	for r := uint8(0); r < program.NumRegs; r++ {
+		if a.c.Reg(r) != b.c.Reg(r) {
+			t.Fatalf("r%d diverged: unbatched %d, batched %d", r, a.c.Reg(r), b.c.Reg(r))
+		}
+	}
+	if a.c.Instructions.Value() != b.c.Instructions.Value() {
+		t.Fatalf("instruction count diverged: %d vs %d",
+			a.c.Instructions.Value(), b.c.Instructions.Value())
+	}
+	if len(a.port.order) != len(b.port.order) {
+		t.Fatalf("visibility order diverged: %v vs %v", a.port.order, b.port.order)
+	}
+	for i := range a.port.order {
+		if a.port.order[i] != b.port.order[i] {
+			t.Fatalf("visibility order diverged at %d: %v vs %v", i, a.port.order, b.port.order)
+		}
+	}
+	for addr, v := range a.port.mem {
+		if b.port.mem[addr] != v {
+			t.Fatalf("mem[%#x] diverged: %d vs %d", addr, v, b.port.mem[addr])
+		}
+	}
+}
+
 var _ coherence.CorePort = (*fakePort)(nil)

@@ -158,6 +158,7 @@ func NewMachine(cfg config.System, proto Protocol, w *program.Workload) (*Machin
 			continue
 		}
 		core := cpu.New(i, p, l1s[i], cfg.WriteBuffer)
+		core.SetBatched(cfg.BatchedCore)
 		core.SetReg(0, int64(i)) // convention: r0 = thread id
 		cores = append(cores, core)
 	}

@@ -35,22 +35,34 @@ const (
 // pair sits on the data-response path (every remote response consults
 // it), where the map's hashing dominated. tsInvalid (0) marks an absent
 // entry — stored timestamps are always > tsSmallest (callers filter
-// invalid/smallest before updating). Bounded tables keep the map plus
-// the smallest-timestamp eviction policy.
+// invalid/smallest before updating). Bounded tables are a fixed-size
+// array of (src, ts) pairs — capacities are a handful of entries
+// (that's the point of §3.3), so a linear scan beats hashing, and the
+// update scan finds the eviction victim in the same pass.
 type lastSeen struct {
-	s   []uint32       // unbounded: timestamp per source, 0 = absent
-	m   map[int]uint32 // bounded (cap > 0) only
+	s   []uint32  // unbounded: timestamp per source, 0 = absent
+	e   []lsEntry // bounded (cap > 0): fixed-size, linearly scanned
 	cap int
 }
 
+// lsEntry is one bounded-table slot; src -1 marks an empty slot.
+type lsEntry struct {
+	src int32
+	ts  uint32
+}
+
 // newLastSeen builds a table: capacity 0 is unbounded (one slot per
-// possible source id in [0, sources)), otherwise a bounded map with the
-// §3.3 eviction policy.
+// possible source id in [0, sources)), otherwise a fixed-size array
+// with the §3.3 smallest-timestamp eviction policy.
 func newLastSeen(capacity, sources int) lastSeen {
 	if capacity <= 0 {
 		return lastSeen{s: make([]uint32, sources)}
 	}
-	return lastSeen{m: make(map[int]uint32), cap: capacity}
+	e := make([]lsEntry, capacity)
+	for i := range e {
+		e[i].src = -1
+	}
+	return lastSeen{e: e, cap: capacity}
 }
 
 func (t lastSeen) get(src int) (uint32, bool) {
@@ -58,10 +70,21 @@ func (t lastSeen) get(src int) (uint32, bool) {
 		v := t.s[src]
 		return v, v != tsInvalid
 	}
-	v, ok := t.m[src]
-	return v, ok
+	for i := range t.e {
+		if t.e[i].src == int32(src) {
+			return t.e[i].ts, true
+		}
+	}
+	return 0, false
 }
 
+// update records ts for src (monotonic: stale timestamps are ignored).
+// On a bounded table a single pass both looks the source up and tracks
+// the insertion slot: the first empty slot if one exists, otherwise the
+// eviction victim — the entry with the smallest timestamp, ties broken
+// by the lowest source id, matching the order the map-backed version
+// produced. Smallest-timestamp entries are the ones whose loss costs
+// the fewest skipped self-invalidations.
 func (t lastSeen) update(src int, ts uint32) {
 	if t.cap <= 0 {
 		if ts > t.s[src] {
@@ -69,31 +92,31 @@ func (t lastSeen) update(src int, ts uint32) {
 		}
 		return
 	}
-	if cur, ok := t.m[src]; ok {
-		if ts > cur {
-			t.m[src] = ts
+	empty, victim := -1, -1
+	for i := range t.e {
+		e := &t.e[i]
+		if e.src == int32(src) {
+			if ts > e.ts {
+				e.ts = ts
+			}
+			return
 		}
-		return
-	}
-	if len(t.m) >= t.cap {
-		t.evictOne()
-	}
-	t.m[src] = ts
-}
-
-// evictOne drops the entry with the smallest timestamp (deterministic:
-// ties broken by the lowest source id). Smallest-timestamp entries are
-// the ones whose loss costs the fewest skipped self-invalidations.
-func (t lastSeen) evictOne() {
-	victim, victimTS := -1, ^uint32(0)
-	for src, ts := range t.m {
-		if ts < victimTS || (ts == victimTS && (victim < 0 || src < victim)) {
-			victim, victimTS = src, ts
+		if e.src < 0 {
+			if empty < 0 {
+				empty = i
+			}
+			continue
+		}
+		if victim < 0 || e.ts < t.e[victim].ts ||
+			(e.ts == t.e[victim].ts && e.src < t.e[victim].src) {
+			victim = i
 		}
 	}
-	if victim >= 0 {
-		delete(t.m, victim)
+	slot := empty
+	if slot < 0 {
+		slot = victim
 	}
+	t.e[slot] = lsEntry{src: int32(src), ts: ts}
 }
 
 func (t lastSeen) drop(src int) {
@@ -101,7 +124,12 @@ func (t lastSeen) drop(src int) {
 		t.s[src] = tsInvalid
 		return
 	}
-	delete(t.m, src)
+	for i := range t.e {
+		if t.e[i].src == int32(src) {
+			t.e[i] = lsEntry{src: -1}
+			return
+		}
+	}
 }
 
 func (t lastSeen) len() int {
@@ -114,7 +142,13 @@ func (t lastSeen) len() int {
 		}
 		return n
 	}
-	return len(t.m)
+	n := 0
+	for i := range t.e {
+		if t.e[i].src >= 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // coarseGroups returns the number of coarse-vector groups used when the

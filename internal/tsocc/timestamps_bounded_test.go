@@ -1,0 +1,122 @@
+package tsocc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// mapLastSeen is the map-backed bounded table this package used before
+// the fixed-size array landed — kept here as the reference model for
+// eviction-order parity testing and as the benchmark baseline.
+type mapLastSeen struct {
+	m   map[int]uint32
+	cap int
+}
+
+func newMapLastSeen(capacity int) *mapLastSeen {
+	return &mapLastSeen{m: make(map[int]uint32), cap: capacity}
+}
+
+func (t *mapLastSeen) get(src int) (uint32, bool) {
+	v, ok := t.m[src]
+	return v, ok
+}
+
+func (t *mapLastSeen) update(src int, ts uint32) {
+	if cur, ok := t.m[src]; ok {
+		if ts > cur {
+			t.m[src] = ts
+		}
+		return
+	}
+	if len(t.m) >= t.cap {
+		victim, victimTS := -1, ^uint32(0)
+		for src, ts := range t.m {
+			if ts < victimTS || (ts == victimTS && (victim < 0 || src < victim)) {
+				victim, victimTS = src, ts
+			}
+		}
+		if victim >= 0 {
+			delete(t.m, victim)
+		}
+	}
+	t.m[src] = ts
+}
+
+func (t *mapLastSeen) drop(src int) { delete(t.m, src) }
+
+func (t *mapLastSeen) len() int { return len(t.m) }
+
+// TestBoundedLastSeenParityWithMap drives the array-backed bounded
+// table and the historical map-backed version through the same
+// deterministic pseudo-random update/drop sequence and requires
+// identical observable state after every operation — same hits, same
+// timestamps, same occupancy, and therefore the same eviction order.
+func TestBoundedLastSeenParityWithMap(t *testing.T) {
+	const sources = 8
+	for _, capacity := range []int{1, 2, 3, 5, 8, 12} {
+		t.Run(fmt.Sprintf("cap=%d", capacity), func(t *testing.T) {
+			arr := newLastSeen(capacity, sources)
+			ref := newMapLastSeen(capacity)
+			rng := uint64(0x9E3779B97F4A7C15) ^ uint64(capacity)
+			next := func() uint64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return rng
+			}
+			for op := 0; op < 4000; op++ {
+				src := int(next() % sources)
+				switch next() % 8 {
+				case 0:
+					arr.drop(src)
+					ref.drop(src)
+				default:
+					// Timestamps from a small range so eviction ties
+					// (equal smallest timestamps) actually occur.
+					ts := tsFirst + uint32(next()%12)
+					arr.update(src, ts)
+					ref.update(src, ts)
+				}
+				if got, want := arr.len(), ref.len(); got != want {
+					t.Fatalf("op %d: len = %d, map reference %d", op, got, want)
+				}
+				for s := 0; s < sources; s++ {
+					gv, gok := arr.get(s)
+					wv, wok := ref.get(s)
+					if gv != wv || gok != wok {
+						t.Fatalf("op %d: get(%d) = (%d,%v), map reference (%d,%v)",
+							op, s, gv, gok, wv, wok)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLastSeenBounded measures the bounded-table hot pair (update
+// then get, the data-response path shape) for the fixed-size array
+// against the historical map implementation.
+func BenchmarkLastSeenBounded(b *testing.B) {
+	const sources = 32
+	for _, capacity := range []int{4, 16} {
+		b.Run(fmt.Sprintf("array/cap=%d", capacity), func(b *testing.B) {
+			tbl := newLastSeen(capacity, sources)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src := i & (sources - 1)
+				tbl.update(src, tsFirst+uint32(i&1023))
+				tbl.get(src)
+			}
+		})
+		b.Run(fmt.Sprintf("map/cap=%d", capacity), func(b *testing.B) {
+			tbl := newMapLastSeen(capacity)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src := i & (sources - 1)
+				tbl.update(src, tsFirst+uint32(i&1023))
+				tbl.get(src)
+			}
+		})
+	}
+}

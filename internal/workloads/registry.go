@@ -165,9 +165,30 @@ func Registry() []Entry {
 	}
 }
 
-// ByName finds a benchmark by name, or nil.
+// Extras lists synthetic workloads resolvable by name but deliberately
+// outside the Table 3 registry: they never join default grids or
+// figures (Names covers only the registry), yet every -bench selection
+// path can run them.
+func Extras() []Entry {
+	return []Entry{
+		{
+			Name: "dense-compute", Suite: "synthetic",
+			Desc: "unrolled ALU mix chains; the batched-core acceptance workload",
+			Gen:  DenseCompute,
+		},
+	}
+}
+
+// ByName finds a benchmark by name in the registry or the synthetic
+// extras, or nil.
 func ByName(name string) *Entry {
 	for _, e := range Registry() {
+		if e.Name == name {
+			e := e
+			return &e
+		}
+	}
+	for _, e := range Extras() {
 		if e.Name == name {
 			e := e
 			return &e

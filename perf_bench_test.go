@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/coherence"
@@ -16,7 +17,19 @@ import (
 	"repro/internal/sim"
 	"repro/internal/system"
 	"repro/internal/tsocc"
+	"repro/internal/workloads"
 )
+
+// benchSystem returns the benchmark machine configuration, honoring the
+// BATCHED_CORE environment override (set BATCHED_CORE=0 to bench the
+// instruction-at-a-time core model; CI smokes both settings).
+func benchSystem(cores int) config.System {
+	cfg := config.Scaled(cores)
+	if os.Getenv("BATCHED_CORE") == "0" {
+		cfg.BatchedCore = false
+	}
+	return cfg
+}
 
 // spinWorkload is the examples/spinlock shape: contended
 // test-and-test-and-set with paused probes, a shared counter in the
@@ -77,7 +90,7 @@ func runWorkload(b *testing.B, perCycle bool, gen func() *program.Workload) (sim
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		cfg := config.Scaled(8)
+		cfg := benchSystem(8)
 		cfg.PerCycleEngine = perCycle
 		m, err := system.NewMachine(cfg, tsocc.New(config.C12x3()), gen())
 		if err != nil {
@@ -123,6 +136,51 @@ func BenchmarkEngineIdleSkip(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			b.ReportAllocs()
 			cycles := runWorkload(b, mode.perCycle, func() *program.Workload { return chaseWorkload(2000) })
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if perOp > 0 {
+				b.ReportMetric(float64(cycles)/(perOp/1e9), "simcycles/s")
+			}
+		})
+	}
+}
+
+// BenchmarkDenseCompute is the batched-core acceptance benchmark: an
+// ALU-dense workload (back-to-back register instructions, one maximal
+// straight-line run per loop iteration) where the event engine alone
+// cannot skip anything — every cycle has a core retiring an
+// instruction. The batched core model must beat the unbatched event
+// engine by >= 3x host time here, while remaining bit-identical (the
+// workload's checksum check and the engine-mode A/B gates enforce it).
+func BenchmarkDenseCompute(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		perCycle bool
+		batched  bool
+	}{
+		{"per-cycle", true, false},
+		{"event-unbatched", false, false},
+		{"event-batched", false, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := config.Scaled(8)
+				cfg.PerCycleEngine = mode.perCycle
+				cfg.BatchedCore = mode.batched
+				w := workloads.DenseCompute(workloads.Params{Threads: 8, Scale: 1, Seed: 1})
+				m, err := system.NewMachine(cfg, tsocc.New(config.C12x3()), w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				cyc, err := m.Engine.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = int64(cyc)
+			}
 			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 			if perOp > 0 {
 				b.ReportMetric(float64(cycles)/(perOp/1e9), "simcycles/s")
