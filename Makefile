@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench bench-json perf ci
+.PHONY: all vet build test race bench-smoke bench bench-json perf fuzz-smoke trace-gate ci
 
 all: ci
 
@@ -21,7 +21,7 @@ race:
 # Quick benchmark smoke: exercises the perf-critical paths without the
 # full figure grids.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkEngineStep|BenchmarkEngineIdleSkip|BenchmarkDenseCompute|BenchmarkMeshDelivery|BenchmarkL1HitPath' -benchtime 2000x .
+	$(GO) test -run xxx -bench 'BenchmarkEngineStep|BenchmarkEngineIdleSkip|BenchmarkDenseCompute|BenchmarkMeshDelivery|BenchmarkL1HitPath|BenchmarkTraceCodec' -benchtime 2000x .
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -31,9 +31,27 @@ perf:
 	$(GO) run ./cmd/tsocc-bench -perf -cores 8
 
 # Dated engine + hot-path throughput snapshot (per-cycle, event, and
-# batched-core numbers for the standard benches plus dense-compute).
+# batched-core numbers for the standard benches plus dense-compute,
+# with trace replay/codec throughput per benchmark).
 bench-json:
 	$(GO) run ./cmd/tsocc-bench -perf -cores 8 > BENCH_$$(date +%Y-%m-%d).json
 	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
 
-ci: vet build test race bench-smoke
+# Short fuzz iteration of the trace codec round-trip property (the CI
+# fuzz smoke; the corpus grows under internal/trace/testdata).
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzTraceRoundTrip -fuzztime 10s ./internal/trace
+
+# Record → replay → diff-stats conformance over a small grid (mirrors
+# the CI trace gate).
+trace-gate:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	for bench in x264 ssca2; do for proto in MESI TSO-CC-4-12-3; do \
+	  echo "trace gate: $$bench / $$proto"; \
+	  $(GO) run ./cmd/tsocc-trace record -bench $$bench -proto $$proto -cores 8 \
+	    -o $$tmp/t.trc -stats $$tmp/rec.txt > /dev/null; \
+	  $(GO) run ./cmd/tsocc-trace replay -i $$tmp/t.trc -stats $$tmp/rep.txt > /dev/null; \
+	  diff $$tmp/rec.txt $$tmp/rep.txt; \
+	done; done; echo "trace gate: record/replay stats identical"
+
+ci: vet build test race bench-smoke trace-gate

@@ -23,8 +23,10 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/harness"
+	"repro/internal/program"
 	"repro/internal/storagemodel"
 	"repro/internal/system"
+	"repro/internal/trace"
 	"repro/internal/tsocc"
 	"repro/internal/workloads"
 )
@@ -37,6 +39,9 @@ func main() {
 	benchList := flag.String("bench", "", "comma-separated benchmark subset")
 	protoList := flag.String("proto", "", "comma-separated protocol subset (registry names; default all)")
 	listProtos := flag.Bool("list-protocols", false, "list registered protocols and exit")
+	listWorkloads := flag.Bool("list-workloads", false, "list workloads (registry + synthetic extras) and exit")
+	traceOut := flag.String("trace-out", "", "record a single -bench × -proto run into this trace file and exit")
+	traceIn := flag.String("trace-in", "", "replay this trace file (optionally under -proto) and exit")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	perf := flag.Bool("perf", false, "report simulator throughput (cycles/sec, ns/simcycle) as JSON and exit")
 	batched := flag.Bool("batched", true, "batched straight-line core execution (config.System.BatchedCore)")
@@ -73,9 +78,12 @@ func main() {
 		}()
 	}
 
-	if *listProtos {
-		for _, name := range coherence.ProtocolNames() {
-			fmt.Println(name)
+	if *listProtos || *listWorkloads {
+		if *listWorkloads {
+			harness.ListWorkloads(os.Stdout)
+		}
+		if *listProtos {
+			harness.ListProtocols(os.Stdout)
 		}
 		return
 	}
@@ -89,6 +97,17 @@ func main() {
 			}
 			protos = append(protos, p)
 		}
+	}
+
+	if *traceOut != "" || *traceIn != "" {
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if err := runTraceMode(*traceOut, *traceIn, *benchList, protos,
+			*cores, *scale, *seed, explicit); err != nil {
+			fmt.Fprintln(os.Stderr, "trace mode:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *perf {
@@ -170,6 +189,80 @@ func main() {
 	}
 }
 
+// runTraceMode serves -trace-out (record one benchmark × protocol cell
+// into a trace file) and -trace-in (replay a trace file on its recorded
+// geometry — or an explicit -cores override — optionally on a different
+// protocol).
+func runTraceMode(traceOut, traceIn, benchList string, protos []system.Protocol,
+	cores, scale int, seed uint64, explicit map[string]bool) error {
+
+	if traceOut != "" && traceIn != "" {
+		return fmt.Errorf("-trace-out and -trace-in are mutually exclusive")
+	}
+	if traceOut != "" {
+		if strings.Contains(benchList, ",") || len(protos) > 1 {
+			return fmt.Errorf("-trace-out records a single run: select exactly one -bench and at most one -proto")
+		}
+		bench := strings.TrimSpace(benchList)
+		if bench == "" {
+			return fmt.Errorf("-trace-out requires -bench")
+		}
+		e := workloads.ByName(bench)
+		if e == nil {
+			return fmt.Errorf("unknown benchmark %q", bench)
+		}
+		proto := system.Protocol(tsocc.New(config.C12x3()))
+		if len(protos) == 1 {
+			proto = protos[0]
+		}
+		cfg := config.Scaled(cores)
+		w := e.Gen(workloads.Params{Threads: cores, Scale: scale, Seed: seed})
+		res, tr, err := system.RunRecorded(cfg, proto, w, seed)
+		if err != nil {
+			return err
+		}
+		if res.CheckErr != nil {
+			return fmt.Errorf("functional check failed: %w", res.CheckErr)
+		}
+		if err := trace.WriteFile(traceOut, tr); err != nil {
+			return err
+		}
+		fmt.Print(res.Summary())
+		fmt.Printf("\nwrote %s: %d ops across %d streams\n", traceOut, tr.Ops(), len(tr.Streams))
+		return nil
+	}
+	if explicit["bench"] || explicit["scale"] || explicit["seed"] {
+		return fmt.Errorf("-trace-in replays the recorded stream; -bench/-scale/-seed have no effect — drop them")
+	}
+	tr, err := trace.ReadFile(traceIn)
+	if err != nil {
+		return err
+	}
+	cfg := tr.Meta.Sys
+	if explicit["cores"] {
+		cfg.Cores = cores
+		cfg.MeshRows = 0
+	}
+	proto := protos
+	if len(proto) == 0 {
+		p, err := coherence.ProtocolByName(tr.Meta.Protocol)
+		if err != nil {
+			return fmt.Errorf("trace recorded under unregistered protocol %q; select one with -proto: %w",
+				tr.Meta.Protocol, err)
+		}
+		proto = []system.Protocol{p}
+	}
+	for _, p := range proto {
+		res, err := system.Replay(cfg, p, tr)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Summary())
+		fmt.Println()
+	}
+	return nil
+}
+
 // perfRecord is one benchmark's simulator-throughput measurement,
 // emitted as JSON for the BENCH_*.json trajectory. Three configurations
 // are timed: the per-cycle conformance engine, the event engine with
@@ -188,6 +281,14 @@ type perfRecord struct {
 	SkippedPct      float64 `json:"idle_skipped_pct"`
 	Speedup         float64 `json:"event_vs_percycle_speedup"`
 	BatchedSpeedup  float64 `json:"batched_vs_unbatched_speedup"`
+
+	// Trace-subsystem throughput: the benchmark is recorded once, then
+	// its trace is replayed (event engine) and round-tripped through
+	// the codec.
+	TraceOps          int64   `json:"trace_ops"`
+	TraceBytesPerOp   float64 `json:"trace_bytes_per_op"`
+	TraceReplayOpsSec float64 `json:"trace_replay_ops_per_sec"`
+	TraceCodecMBps    float64 `json:"trace_codec_mb_per_sec"`
 }
 
 // perfModes are the timed configurations, slowest baseline first; the
@@ -274,10 +375,62 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 				rec.Speedup = rec.WallNsPerCycle / rec.WallNsEvent
 				rec.BatchedSpeedup = rec.WallNsUnbatched / rec.WallNsEvent
 			}
+			if err := measureTrace(&rec, cores, proto, gen(p)); err != nil {
+				return err
+			}
 			out = append(out, rec)
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// measureTrace fills a perfRecord's trace-subsystem fields: the
+// benchmark is recorded once, the trace replayed three times on the
+// event engine (best wall time wins), and the codec timed on an
+// encode+decode round trip.
+func measureTrace(rec *perfRecord, cores int, proto system.Protocol, w *program.Workload) error {
+	cfg := config.Scaled(cores)
+	_, tr, err := system.RunRecorded(cfg, proto, w, 1)
+	if err != nil {
+		return err
+	}
+	data, err := trace.Encode(tr)
+	if err != nil {
+		return err
+	}
+	rec.TraceOps = int64(tr.Ops())
+	rec.TraceBytesPerOp = float64(len(data)) / float64(tr.Ops())
+
+	best := time.Duration(0)
+	for rep := 0; rep < 3; rep++ {
+		m, err := system.NewReplayMachine(cfg, proto, tr)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		if _, err := m.Engine.Run(); err != nil {
+			return err
+		}
+		if d := time.Since(t0); best == 0 || d < best {
+			best = d
+		}
+	}
+	rec.TraceReplayOpsSec = float64(tr.Ops()) / best.Seconds()
+
+	t0 := time.Now()
+	const codecReps = 5
+	for rep := 0; rep < codecReps; rep++ {
+		enc2, err := trace.Encode(tr)
+		if err != nil {
+			return err
+		}
+		if _, err := trace.Decode(enc2); err != nil {
+			return err
+		}
+	}
+	codecBytes := 2 * codecReps * len(data) // encode + decode per rep
+	rec.TraceCodecMBps = float64(codecBytes) / (1 << 20) / time.Since(t0).Seconds()
+	return nil
 }

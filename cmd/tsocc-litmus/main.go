@@ -14,12 +14,8 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/config"
+	"repro/internal/harness"
 	"repro/internal/litmus"
-
-	// Protocol packages register themselves; importing them populates
-	// the registry this command enumerates.
-	_ "repro/internal/mesi"
-	_ "repro/internal/tsocc"
 )
 
 func main() {
@@ -28,7 +24,19 @@ func main() {
 	seed := flag.Uint64("seed", 0xC0FFEE, "perturbation seed")
 	protoList := flag.String("proto", "", "comma-separated protocol subset (registry names; default all)")
 	verbose := flag.Bool("v", false, "print outcome histograms")
+	listW := flag.Bool("list-workloads", false, "list workloads (registry + synthetic extras) and exit")
+	listP := flag.Bool("list-protocols", false, "list registered protocols and exit")
 	flag.Parse()
+
+	if *listW || *listP {
+		if *listW {
+			harness.ListWorkloads(os.Stdout)
+		}
+		if *listP {
+			harness.ListProtocols(os.Stdout)
+		}
+		return
+	}
 
 	protos := coherence.Protocols()
 	if *protoList != "" {

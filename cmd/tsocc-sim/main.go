@@ -20,22 +20,25 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "intruder", "benchmark name (see -list)")
-	proto := flag.String("proto", "TSO-CC-4-12-3", "protocol configuration (see -list)")
+	bench := flag.String("bench", "intruder", "benchmark name (see -list-workloads)")
+	proto := flag.String("proto", "TSO-CC-4-12-3", "protocol configuration (see -list-protocols)")
 	cores := flag.Int("cores", 32, "core count")
 	scale := flag.Int("scale", 1, "workload size multiplier")
 	seed := flag.Uint64("seed", 1, "workload seed")
-	list := flag.Bool("list", false, "list benchmarks and protocols")
+	list := flag.Bool("list", false, "list workloads and protocols")
+	listW := flag.Bool("list-workloads", false, "list workloads (registry + synthetic extras) and exit")
+	listP := flag.Bool("list-protocols", false, "list registered protocols and exit")
 	flag.Parse()
 
-	if *list {
-		fmt.Println("benchmarks:")
-		for _, e := range workloads.Registry() {
-			fmt.Printf("  %-14s [%-8s] %s\n", e.Name, e.Suite, e.Desc)
+	if *list || *listW || *listP {
+		if *list || *listW {
+			harness.ListWorkloads(os.Stdout)
 		}
-		fmt.Println("protocols:")
-		for _, p := range harness.Protocols() {
-			fmt.Printf("  %s\n", p.Name())
+		if *list {
+			fmt.Println("protocols:")
+		}
+		if *list || *listP {
+			harness.ListProtocols(os.Stdout)
 		}
 		return
 	}

@@ -43,6 +43,15 @@ type System struct {
 	// bit-identical either way; the toggle exists as the A/B conformance
 	// baseline. All preset constructors default it on.
 	BatchedCore bool
+
+	// TraceOut, when non-nil, receives one TraceEvent per retired memory
+	// operation from every core (see trace.Recorder). Capture does not
+	// perturb the simulation — recorded runs are bit-identical to
+	// unrecorded ones — and a nil sink costs a single predictable branch
+	// per retired instruction. The capture deltas are identical across
+	// engine modes and core models, so the same workload records the
+	// same trace under every conformance combination.
+	TraceOut TraceSink
 }
 
 // Table2 returns the paper's 32-core configuration.

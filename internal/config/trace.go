@@ -1,0 +1,78 @@
+package config
+
+// The memory-trace capture contract. The types live in config (rather
+// than the trace package itself) so the capture hook in cpu.Core can be
+// switched on through System.TraceOut without the cpu package depending
+// on the codec: cpu emits TraceEvents, the trace package's Recorder
+// consumes them, and nothing else in the simulator knows traces exist.
+
+// TraceOp classifies one captured memory-stream event. The first six are
+// the operations a core issues through coherence.CorePort (loads
+// including write-buffer-forwarded ones, buffered stores, the three
+// atomic flavors, fences); TraceHalt closes a core's stream and carries
+// the trailing compute so replay quiesces on the original cycle.
+type TraceOp uint8
+
+// Trace event kinds.
+const (
+	TraceLoad TraceOp = iota
+	TraceStore
+	TraceRMWAdd
+	TraceRMWXchg
+	TraceCAS
+	TraceFence
+	TraceHalt
+	NumTraceOps
+)
+
+var traceOpNames = [NumTraceOps]string{
+	"load", "store", "rmwadd", "rmwxchg", "cas", "fence", "halt",
+}
+
+func (op TraceOp) String() string {
+	if int(op) < len(traceOpNames) {
+		return traceOpNames[op]
+	}
+	return "traceop(?)"
+}
+
+// HasAddr reports whether the event kind carries an address.
+func (op TraceOp) HasAddr() bool { return op <= TraceCAS }
+
+// HasVal reports whether the event kind carries a value operand
+// (store value, RMW addend/exchange value, CAS expected value).
+func (op TraceOp) HasVal() bool { return op >= TraceStore && op <= TraceCAS }
+
+// TraceEvent is one captured memory-stream record. Gap and Instrs are
+// the compute-delta encoding that makes replay timing-exact without
+// recording every register instruction:
+//
+//   - Gap is the number of cycles from the previous operation's
+//     completion (its retirement for synchronous ops — a buffered store
+//     or a forwarded load — or its completion callback for asynchronous
+//     ones) to this operation's first issue attempt. The interval covers
+//     only core-deterministic work (register runs, branches, pauses), so
+//     it is independent of the memory system: a replay core that waits
+//     Gap cycles after the previous completion re-issues the op on
+//     exactly the original cycle when the coherence stack behaves
+//     identically.
+//   - Instrs is the number of instructions the core retired since the
+//     previous event, including this operation itself, so replay
+//     reproduces the Instructions counter exactly.
+type TraceEvent struct {
+	Core   int
+	Op     TraceOp
+	Addr   uint64
+	Val    uint64 // store value / RMW operand / CAS expected value
+	Val2   uint64 // CAS swap value
+	Gap    int64
+	Instrs int64
+}
+
+// TraceSink receives capture events from cores as they retire memory
+// operations. Implemented by trace.Recorder. A sink must not retain the
+// event beyond the call (it is passed by value, so this is natural) and
+// is invoked from the simulation goroutine only.
+type TraceSink interface {
+	RecordOp(ev TraceEvent)
+}

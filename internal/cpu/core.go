@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/coherence"
+	"repro/internal/config"
 	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -49,6 +50,16 @@ type Core struct {
 	// stalls over the cycles the block would have occupied, so the
 	// idle-skip engine leaps them instead of re-entering the core.
 	batched bool
+
+	// Memory-trace capture (config.System.TraceOut). While enabled, the
+	// core accumulates the compute delta since the last recorded event:
+	// traceGap in cycles (the Gap contract documented on
+	// config.TraceEvent), traceIns in retired instructions. Every hook
+	// is guarded by a trace-nil check, so disabled capture costs one
+	// predictable branch per retirement and zero allocations.
+	trace    config.TraceSink
+	traceGap int64
+	traceIns int64
 
 	// Completion callbacks handed to the L1. The core has at most one
 	// outstanding operation of each kind, so a single preallocated
@@ -121,9 +132,26 @@ func New(id int, prog *program.Program, port coherence.CorePort, wbEntries int) 
 // spent.
 func (c *Core) SetBatched(on bool) { c.batched = on }
 
+// SetTrace attaches a capture sink (config.System.TraceOut). Must be
+// called before the first Tick: the gap accumulator starts at 1 because
+// the first instruction dispatches on cycle 1, one cycle after the
+// stream's cycle-0 anchor.
+func (c *Core) SetTrace(sink config.TraceSink) {
+	c.trace = sink
+	c.traceGap = 1
+	c.traceIns = 0
+}
+
 // Done reports whether the core has halted and fully drained its writes.
 func (c *Core) Done() bool {
 	return c.halted && c.wbLen == 0 && !c.wbInFlight && !c.waiting
+}
+
+// Counts implements system.Frontend: the core-level counters aggregated
+// into a run's Result.
+func (c *Core) Counts() (loads, stores, rmws, fences, instrs int64) {
+	return c.Loads.Value(), c.Stores.Value(), c.RMWs.Value(),
+		c.Fences.Value(), c.Instructions.Value()
 }
 
 // Reg returns the architectural value of register r (for tests/litmus).
@@ -231,6 +259,14 @@ func (c *Core) executeRun(now sim.Cycle, n int) {
 	c.pc = pc
 	c.stallUntil = now + sim.Cycle(n)
 	c.Instructions.Add(int64(n))
+	if c.trace != nil {
+		// A run of n register/branch instructions occupies exactly n
+		// cycles — identical to the unbatched accounting of n single
+		// retirements, so batched and unbatched runs record the same
+		// trace.
+		c.traceGap += int64(n)
+		c.traceIns += int64(n)
+	}
 }
 
 func (c *Core) drainWriteBuffer(now sim.Cycle) {
@@ -354,6 +390,38 @@ func (c *Core) execute(now sim.Cycle, in program.Instr) {
 	}
 	if retired {
 		c.Instructions.Inc()
+		if c.trace != nil {
+			c.traceRetire(in)
+		}
+	}
+}
+
+// traceRetire accumulates the capture deltas for one retired
+// instruction. Memory and fence operations record their own events (and
+// reset the accumulators) inside their do* helpers at the moment the
+// operation is accepted, so they contribute nothing here; note that an
+// issued load/RMW/fence reaches this path with retired=false and is
+// likewise skipped.
+func (c *Core) traceRetire(in program.Instr) {
+	switch {
+	case in.Op.IsMem() || in.Op == program.OpFence:
+		// Recorded at acceptance inside doLoad/doStore/doAtomic/doFence.
+	case in.Op == program.OpNop:
+		// A pause dispatches at T and releases the core at T+max(Imm,1).
+		g := in.Imm
+		if g < 1 {
+			g = 1
+		}
+		c.traceGap += g
+		c.traceIns++
+	case in.Op == program.OpHalt:
+		// Close the stream: the trailing compute distance lets replay
+		// halt — and therefore quiesce — on the original cycle.
+		c.trace.RecordOp(config.TraceEvent{Core: c.ID, Op: config.TraceHalt,
+			Gap: c.traceGap, Instrs: c.traceIns + 1})
+	default: // register op or branch: one cycle, one retirement
+		c.traceGap++
+		c.traceIns++
 	}
 }
 
@@ -375,6 +443,16 @@ func (c *Core) doLoad(now sim.Cycle, in program.Instr) bool {
 			c.regs[in.Dst] = int64(e.val)
 			c.Loads.Inc()
 			c.WBForwards.Inc()
+			if c.trace != nil {
+				// Forwarded loads complete synchronously: like a store,
+				// the instruction itself occupies one cycle before the
+				// next dispatch, hence the gap re-seed of 1. Replay makes
+				// the same forwarding decision against its identical
+				// write buffer, so the trace needs no forwarded marker.
+				c.trace.RecordOp(config.TraceEvent{Core: c.ID, Op: config.TraceLoad,
+					Addr: addr, Gap: c.traceGap, Instrs: c.traceIns + 1})
+				c.traceGap, c.traceIns = 1, 0
+			}
 			return true
 		}
 	}
@@ -383,6 +461,13 @@ func (c *Core) doLoad(now sim.Cycle, in program.Instr) bool {
 		return false // port busy; retry next cycle without advancing pc
 	}
 	c.Loads.Inc()
+	if c.trace != nil {
+		// Asynchronous completion: the next instruction dispatches on
+		// the callback cycle itself, so the gap re-seeds to 0.
+		c.trace.RecordOp(config.TraceEvent{Core: c.ID, Op: config.TraceLoad,
+			Addr: addr, Gap: c.traceGap, Instrs: c.traceIns + 1})
+		c.traceGap, c.traceIns = 0, 0
+	}
 	c.waiting = true
 	c.pc++ // manually advance: completion is asynchronous
 	c.Instructions.Inc()
@@ -394,9 +479,15 @@ func (c *Core) doStore(now sim.Cycle, in program.Instr) bool {
 		c.WBFullStalls.Inc()
 		return false // write buffer full; retry
 	}
-	c.wb[(c.wbHead+c.wbLen)%len(c.wb)] = wbEntry{addr: c.effAddr(in), val: uint64(c.regs[in.B])}
+	e := wbEntry{addr: c.effAddr(in), val: uint64(c.regs[in.B])}
+	c.wb[(c.wbHead+c.wbLen)%len(c.wb)] = e
 	c.wbLen++
 	c.Stores.Inc()
+	if c.trace != nil {
+		c.trace.RecordOp(config.TraceEvent{Core: c.ID, Op: config.TraceStore,
+			Addr: e.addr, Val: e.val, Gap: c.traceGap, Instrs: c.traceIns + 1})
+		c.traceGap, c.traceIns = 1, 0
+	}
 	return true
 }
 
@@ -424,6 +515,22 @@ func (c *Core) doAtomic(now sim.Cycle, in program.Instr) bool {
 		return false
 	}
 	c.RMWs.Inc()
+	if c.trace != nil {
+		var op config.TraceOp
+		var val2 uint64
+		switch in.Op {
+		case program.OpRmwAdd:
+			op = config.TraceRMWAdd
+		case program.OpRmwXchg:
+			op = config.TraceRMWXchg
+		default:
+			op = config.TraceCAS
+			val2 = c.rmwB
+		}
+		c.trace.RecordOp(config.TraceEvent{Core: c.ID, Op: op, Addr: addr,
+			Val: c.rmwA, Val2: val2, Gap: c.traceGap, Instrs: c.traceIns + 1})
+		c.traceGap, c.traceIns = 0, 0
+	}
 	c.waiting = true
 	c.pc++
 	c.Instructions.Inc()
@@ -438,6 +545,11 @@ func (c *Core) doFence(now sim.Cycle) bool {
 		return false
 	}
 	c.Fences.Inc()
+	if c.trace != nil {
+		c.trace.RecordOp(config.TraceEvent{Core: c.ID, Op: config.TraceFence,
+			Gap: c.traceGap, Instrs: c.traceIns + 1})
+		c.traceGap, c.traceIns = 0, 0
+	}
 	c.waiting = true
 	c.pc++
 	c.Instructions.Inc()

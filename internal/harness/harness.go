@@ -29,6 +29,29 @@ func Protocols() []system.Protocol {
 	return coherence.Protocols()
 }
 
+// ListWorkloads writes the canonical workload listing shared by every
+// CLI's -list-workloads flag: the Table 3 registry followed by the
+// synthetic extras, each with its suite and one-line description.
+func ListWorkloads(w io.Writer) {
+	fmt.Fprintln(w, "workloads (Table 3 registry):")
+	for _, e := range workloads.Registry() {
+		fmt.Fprintf(w, "  %-16s [%-9s] %s\n", e.Name, e.Suite, e.Desc)
+	}
+	fmt.Fprintln(w, "workloads (synthetic extras, excluded from default grids):")
+	for _, e := range workloads.Extras() {
+		fmt.Fprintf(w, "  %-16s [%-9s] %s\n", e.Name, e.Suite, e.Desc)
+	}
+}
+
+// ListProtocols writes the canonical protocol listing shared by every
+// CLI's -list-protocols flag: one registry name per line, in plotting
+// order (script-friendly).
+func ListProtocols(w io.Writer) {
+	for _, name := range coherence.ProtocolNames() {
+		fmt.Fprintln(w, name)
+	}
+}
+
 // Grid holds the full result matrix.
 type Grid struct {
 	Benchmarks []string

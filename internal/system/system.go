@@ -15,6 +15,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Protocol is the coherence-protocol factory interface, defined in the
@@ -22,6 +23,22 @@ import (
 // Protocols are resolved by name (coherence.ProtocolByName) or passed as
 // values; this package never enumerates the known set.
 type Protocol = coherence.Protocol
+
+// Frontend is the engine-facing contract of a workload driver — the
+// component that owns one core slot and issues memory operations into
+// its L1. cpu.Core (program execution) and trace.ReplayCore
+// (trace-driven replay) both implement it, which is what lets
+// NewReplayMachine swap the instruction-executing front end for a
+// recorded stream while every layer below stays untouched.
+type Frontend interface {
+	sim.Ticker
+	sim.WakeHinter
+	// Done reports whether the frontend has retired its full stream and
+	// drained its write buffer.
+	Done() bool
+	// Counts reports the core-level counters aggregated into Result.
+	Counts() (loads, stores, rmws, fences, instrs int64)
+}
 
 // Result captures one run's outcome.
 type Result struct {
@@ -65,7 +82,7 @@ type Result struct {
 // iteration, so it probes the component that was busy last time first:
 // while the system is running, that single probe usually answers.
 type quiesceDoner struct {
-	cores []*cpu.Core
+	cores []Frontend
 	l1s   []coherence.L1Like
 	l2s   []coherence.Controller
 	net   *mesh.Network
@@ -112,18 +129,62 @@ type Machine struct {
 	Engine *sim.Engine
 	Net    *mesh.Network
 	Mem    *memsys.Memory
-	Cores  []*cpu.Core
+	Cores  []*cpu.Core // program-mode cores (empty for replay machines)
+	Fronts []Frontend  // every workload driver, program or replay
 	L1s    []coherence.L1Like
 	L2s    []coherence.Controller
 	proto  Protocol
+
+	workload string // result label (workload or trace name)
+}
+
+// newBase wires everything below the frontends: engine, mesh, memory
+// (with the initial image loaded) and the protocol's L1/L2 controllers.
+func newBase(cfg config.System, proto Protocol, initMem map[uint64]uint64) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(cfg.MaxCycles)
+	engine.SetPerCycle(cfg.PerCycleEngine)
+	net := mesh.New(mesh.Config{Routers: cfg.Cores, Rows: cfg.MeshRows})
+	mem := memsys.NewMemory()
+	mem.Base = cfg.MemBase
+	mem.Spread = cfg.MemSpread
+	for addr, val := range initMem {
+		mem.WriteWord(addr, val)
+	}
+	l1s, l2s := proto.Build(cfg, net, mem)
+	for i := 0; i < cfg.Cores; i++ {
+		net.Attach(coherence.L1ID(i), i, endpoint{l1s[i]})
+		net.Attach(coherence.L2ID(i, cfg.Cores), i, endpoint{l2s[i]})
+	}
+	return &Machine{Cfg: cfg, Engine: engine, Net: net, Mem: mem,
+		L1s: l1s, L2s: l2s, proto: proto}, nil
+}
+
+// finish registers every component in the deterministic per-cycle
+// order: network delivery, then L2 tiles, then L1s (timers + message
+// handling), then frontends. Controllers are registered directly:
+// coherence.Controller is a superset of sim.Ticker + sim.WakeHinter.
+func (m *Machine) finish() {
+	m.Engine.Register(m.Net)
+	for _, t := range m.L2s {
+		m.Engine.Register(t)
+	}
+	for _, l := range m.L1s {
+		m.Engine.Register(l)
+	}
+	for _, c := range m.Fronts {
+		m.Engine.Register(c)
+	}
+	m.Engine.RegisterDoner(&quiesceDoner{cores: m.Fronts, l1s: m.L1s, l2s: m.L2s, net: m.Net})
 }
 
 // NewMachine builds a machine for cfg running proto with the workload's
 // programs loaded (w may have fewer programs than cores; extras idle).
+// When cfg.TraceOut is set, every core streams its retired memory
+// operations into the sink.
 func NewMachine(cfg config.System, proto Protocol, w *program.Workload) (*Machine, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -131,24 +192,11 @@ func NewMachine(cfg config.System, proto Protocol, w *program.Workload) (*Machin
 		return nil, fmt.Errorf("system: workload %q needs %d cores, have %d",
 			w.Name, len(w.Programs), cfg.Cores)
 	}
-
-	engine := sim.NewEngine(cfg.MaxCycles)
-	engine.SetPerCycle(cfg.PerCycleEngine)
-	net := mesh.New(mesh.Config{Routers: cfg.Cores, Rows: cfg.MeshRows})
-	mem := memsys.NewMemory()
-	mem.Base = cfg.MemBase
-	mem.Spread = cfg.MemSpread
-	for addr, val := range w.InitMem {
-		mem.WriteWord(addr, val)
+	m, err := newBase(cfg, proto, w.InitMem)
+	if err != nil {
+		return nil, err
 	}
-
-	l1s, l2s := proto.Build(cfg, net, mem)
-	for i := 0; i < cfg.Cores; i++ {
-		net.Attach(coherence.L1ID(i), i, endpoint{l1s[i]})
-		net.Attach(coherence.L2ID(i, cfg.Cores), i, endpoint{l2s[i]})
-	}
-
-	cores := make([]*cpu.Core, 0, cfg.Cores)
+	m.workload = w.Name
 	for i := 0; i < cfg.Cores; i++ {
 		var p *program.Program
 		if i < len(w.Programs) {
@@ -157,30 +205,52 @@ func NewMachine(cfg config.System, proto Protocol, w *program.Workload) (*Machin
 		if p == nil {
 			continue
 		}
-		core := cpu.New(i, p, l1s[i], cfg.WriteBuffer)
+		core := cpu.New(i, p, m.L1s[i], cfg.WriteBuffer)
 		core.SetBatched(cfg.BatchedCore)
 		core.SetReg(0, int64(i)) // convention: r0 = thread id
-		cores = append(cores, core)
+		if cfg.TraceOut != nil {
+			core.SetTrace(cfg.TraceOut)
+		}
+		m.Cores = append(m.Cores, core)
+		m.Fronts = append(m.Fronts, core)
 	}
+	m.finish()
+	return m, nil
+}
 
-	// Deterministic per-cycle order: network delivery, then L2 tiles,
-	// then L1s (timers + message handling), then cores. Controllers are
-	// registered directly: coherence.Controller is a superset of
-	// sim.Ticker + sim.WakeHinter.
-	engine.Register(net)
-	for _, t := range l2s {
-		engine.Register(t)
+// NewReplayMachine builds a machine whose frontends replay tr's
+// recorded per-core operation streams instead of executing programs.
+// Any registered protocol can consume any trace; replaying on the
+// recording protocol and geometry reproduces the original run's Result
+// bit for bit (the TestTraceReplayBitIdentical gate). The trace's
+// initial memory image seeds main memory so value-dependent operations
+// (CAS) take their recorded outcomes.
+func NewReplayMachine(cfg config.System, proto Protocol, tr *trace.Trace) (*Machine, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
 	}
-	for _, l := range l1s {
-		engine.Register(l)
+	if len(tr.Streams) == 0 {
+		return nil, fmt.Errorf("system: trace %q has no streams", tr.Meta.Workload)
 	}
-	for _, c := range cores {
-		engine.Register(c)
+	if last := tr.Streams[len(tr.Streams)-1].Core; last >= cfg.Cores {
+		return nil, fmt.Errorf("system: trace %q needs core %d, have %d",
+			tr.Meta.Workload, last, cfg.Cores)
 	}
-	engine.RegisterDoner(&quiesceDoner{cores: cores, l1s: l1s, l2s: l2s, net: net})
-
-	return &Machine{Cfg: cfg, Engine: engine, Net: net, Mem: mem,
-		Cores: cores, L1s: l1s, L2s: l2s, proto: proto}, nil
+	initMem := make(map[uint64]uint64, len(tr.InitMem))
+	for _, w := range tr.InitMem {
+		initMem[w.Addr] = w.Val
+	}
+	m, err := newBase(cfg, proto, initMem)
+	if err != nil {
+		return nil, err
+	}
+	m.workload = tr.Meta.Workload
+	for _, s := range tr.Streams {
+		m.Fronts = append(m.Fronts,
+			trace.NewReplayCore(s.Core, s.Ops, m.L1s[s.Core], cfg.WriteBuffer))
+	}
+	m.finish()
+	return m, nil
 }
 
 // endpoint adapts a coherence.Controller to mesh.Endpoint.
@@ -201,13 +271,52 @@ func Run(cfg config.System, proto Protocol, w *program.Workload) (*Result, error
 	if err != nil {
 		return nil, fmt.Errorf("system: %s on %s: %w", proto.Name(), w.Name, err)
 	}
-	return m.collect(w, cycles), nil
+	r := m.collect(cycles)
+	if w.Check != nil {
+		r.CheckErr = w.Check(m.Reader())
+	}
+	return r, nil
 }
 
-func (m *Machine) collect(w *program.Workload, cycles sim.Cycle) *Result {
+// RunRecorded is Run with memory-trace capture: it wires a trace
+// recorder into every core, executes the workload, and returns both the
+// (unperturbed) result and the captured trace. The trace embeds cfg's
+// geometry, the protocol name and the workload's initial memory image,
+// so it is self-contained for later replay.
+func RunRecorded(cfg config.System, proto Protocol, w *program.Workload, seed uint64) (*Result, *trace.Trace, error) {
+	rec := trace.NewRecorder(cfg, proto.Name(), w.Name, seed)
+	cfg.TraceOut = rec
+	res, err := Run(cfg, proto, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.SetInitMem(w.InitMem)
+	tr, err := rec.Trace()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// Replay executes a trace on proto under cfg and returns the collected
+// result (Workload carries the recorded name; there is no functional
+// check to evaluate).
+func Replay(cfg config.System, proto Protocol, tr *trace.Trace) (*Result, error) {
+	m, err := NewReplayMachine(cfg, proto, tr)
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := m.Engine.Run()
+	if err != nil {
+		return nil, fmt.Errorf("system: %s replaying %s: %w", proto.Name(), tr.Meta.Workload, err)
+	}
+	return m.collect(cycles), nil
+}
+
+func (m *Machine) collect(cycles sim.Cycle) *Result {
 	r := &Result{
 		Protocol:  m.proto.Name(),
-		Workload:  w.Name,
+		Workload:  m.workload,
 		Cycles:    cycles,
 		Msgs:      m.Net.MsgsSent.Value(),
 		Flits:     m.Net.FlitsSent.Value(),
@@ -232,15 +341,13 @@ func (m *Machine) collect(w *program.Workload, cycles sim.Cycle) *Result {
 			r.L2TSResets += rs
 		}
 	}
-	for _, c := range m.Cores {
-		r.Loads += c.Loads.Value()
-		r.Stores += c.Stores.Value()
-		r.RMWs += c.RMWs.Value()
-		r.Fences += c.Fences.Value()
-		r.Instructions += c.Instructions.Value()
-	}
-	if w.Check != nil {
-		r.CheckErr = w.Check(m.Reader())
+	for _, c := range m.Fronts {
+		loads, stores, rmws, fences, instrs := c.Counts()
+		r.Loads += loads
+		r.Stores += stores
+		r.RMWs += rmws
+		r.Fences += fences
+		r.Instructions += instrs
 	}
 	return r
 }

@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// Binary trace format, version 1. All integers are unsigned varints
+// (encoding/binary) unless marked zigzag (signed varint). Layout:
+//
+//	magic     8 bytes "TSOCCTRC"
+//	version   uvarint (== 1)
+//	protocol  string (uvarint length + bytes)
+//	workload  string
+//	seed      uvarint
+//	geometry  12 uvarints: cores, l1size, l1ways, l2tilesize, l2ways,
+//	          l1hitlat, l2accesslat, membase, memspread, writebuffer,
+//	          meshrows, maxcycles
+//	initmem   uvarint count, then per word:
+//	            addr   uvarint delta from the previous address
+//	                   (strictly ascending; first word is absolute)
+//	            value  uvarint
+//	streams   uvarint count, then per stream:
+//	            core   uvarint (strictly ascending across streams)
+//	            ops    uvarint count, then per op:
+//	              kind    1 byte
+//	              gap     uvarint
+//	              instrs  uvarint
+//	              addr    zigzag delta from the stream's previous
+//	                      address (ops with an address only)
+//	              val     uvarint (store/rmw/cas only)
+//	              val2    uvarint (cas only)
+//
+// The encoding is canonical: Encode is a pure function of the trace, so
+// encode → decode → re-encode is byte-identical (FuzzTraceRoundTrip
+// enforces it), which is what lets the conformance gates diff trace
+// files across engine modes and core models directly.
+const (
+	formatVersion = 1
+	magicLen      = 8
+)
+
+var magic = [magicLen]byte{'T', 'S', 'O', 'C', 'C', 'T', 'R', 'C'}
+
+// Encode serializes a validated trace to its canonical binary form.
+func Encode(t *Trace) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	sys := t.Meta.Sys
+	for _, v := range geometryFields(sys) {
+		if v < 0 {
+			return nil, fmt.Errorf("trace: negative geometry field in header")
+		}
+	}
+	e := encoder{buf: make([]byte, 0, 256+16*t.Ops())}
+	e.buf = append(e.buf, magic[:]...)
+	e.uvarint(formatVersion)
+	e.str(t.Meta.Protocol)
+	e.str(t.Meta.Workload)
+	e.uvarint(t.Meta.Seed)
+	for _, v := range geometryFields(sys) {
+		e.uvarint(uint64(v))
+	}
+	e.uvarint(uint64(len(t.InitMem)))
+	prevAddr := uint64(0)
+	for i, w := range t.InitMem {
+		if i == 0 {
+			e.uvarint(w.Addr)
+		} else {
+			e.uvarint(w.Addr - prevAddr)
+		}
+		prevAddr = w.Addr
+		e.uvarint(w.Val)
+	}
+	e.uvarint(uint64(len(t.Streams)))
+	for _, s := range t.Streams {
+		e.uvarint(uint64(s.Core))
+		e.uvarint(uint64(len(s.Ops)))
+		prev := uint64(0)
+		for _, op := range s.Ops {
+			e.buf = append(e.buf, byte(op.Kind))
+			e.uvarint(uint64(op.Gap))
+			e.uvarint(uint64(op.Instrs))
+			if op.Kind.HasAddr() {
+				e.zigzag(int64(op.Addr - prev))
+				prev = op.Addr
+			}
+			if op.Kind.HasVal() {
+				e.uvarint(op.Val)
+			}
+			if op.Kind == config.TraceCAS {
+				e.uvarint(op.Val2)
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+// geometryFields lists the header's machine-geometry values in encoding
+// order.
+func geometryFields(sys config.System) [12]int64 {
+	return [12]int64{
+		int64(sys.Cores), int64(sys.L1Size), int64(sys.L1Ways),
+		int64(sys.L2TileSize), int64(sys.L2Ways),
+		int64(sys.L1HitLat), int64(sys.L2AccessLat),
+		int64(sys.MemBase), int64(sys.MemSpread),
+		int64(sys.WriteBuffer), int64(sys.MeshRows), int64(sys.MaxCycles),
+	}
+}
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *encoder) zigzag(v int64) {
+	e.uvarint(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decode parses a binary trace. It never panics on malformed input:
+// truncated data, corrupt headers, bad varints and structurally invalid
+// traces all return errors.
+func Decode(data []byte) (*Trace, error) {
+	d := decoder{buf: data}
+	if len(data) < magicLen || string(data[:magicLen]) != string(magic[:]) {
+		return nil, fmt.Errorf("trace: bad magic (not a trace file)")
+	}
+	d.pos = magicLen
+	version, err := d.uvarint("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (have %d)", version, formatVersion)
+	}
+	t := &Trace{}
+	if t.Meta.Protocol, err = d.str("protocol"); err != nil {
+		return nil, err
+	}
+	if t.Meta.Workload, err = d.str("workload"); err != nil {
+		return nil, err
+	}
+	if t.Meta.Seed, err = d.uvarint("seed"); err != nil {
+		return nil, err
+	}
+	var geo [12]int64
+	for i := range geo {
+		v, err := d.uvarint("geometry")
+		if err != nil {
+			return nil, err
+		}
+		if v > 1<<62 {
+			return nil, fmt.Errorf("trace: geometry field %d out of range", i)
+		}
+		geo[i] = int64(v)
+	}
+	t.Meta.Sys = config.System{
+		Cores: int(geo[0]), L1Size: int(geo[1]), L1Ways: int(geo[2]),
+		L2TileSize: int(geo[3]), L2Ways: int(geo[4]),
+		L1HitLat: sim.Cycle(geo[5]), L2AccessLat: sim.Cycle(geo[6]),
+		MemBase: sim.Cycle(geo[7]), MemSpread: sim.Cycle(geo[8]),
+		WriteBuffer: int(geo[9]), MeshRows: int(geo[10]), MaxCycles: sim.Cycle(geo[11]),
+	}
+	nmem, err := d.count("initmem")
+	if err != nil {
+		return nil, err
+	}
+	addr := uint64(0)
+	for i := 0; i < nmem; i++ {
+		delta, err := d.uvarint("initmem addr")
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			addr = delta
+		} else {
+			next := addr + delta
+			if next < addr {
+				return nil, fmt.Errorf("trace: init memory address overflow")
+			}
+			addr = next
+		}
+		val, err := d.uvarint("initmem value")
+		if err != nil {
+			return nil, err
+		}
+		t.InitMem = append(t.InitMem, MemWord{Addr: addr, Val: val})
+	}
+	nstreams, err := d.count("streams")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < nstreams; i++ {
+		core, err := d.uvarint("stream core")
+		if err != nil {
+			return nil, err
+		}
+		if core > 1<<20 {
+			return nil, fmt.Errorf("trace: stream core id %d out of range", core)
+		}
+		nops, err := d.count("ops")
+		if err != nil {
+			return nil, err
+		}
+		s := Stream{Core: int(core), Ops: make([]Op, 0, nops)}
+		prev := uint64(0)
+		for j := 0; j < nops; j++ {
+			if d.pos >= len(d.buf) {
+				return nil, fmt.Errorf("trace: truncated at core %d op %d", core, j)
+			}
+			op := Op{Kind: config.TraceOp(d.buf[d.pos])}
+			d.pos++
+			if op.Kind >= config.NumTraceOps {
+				return nil, fmt.Errorf("trace: core %d op %d: bad kind %d", core, j, op.Kind)
+			}
+			gap, err := d.uvarint("op gap")
+			if err != nil {
+				return nil, err
+			}
+			instrs, err := d.uvarint("op instrs")
+			if err != nil {
+				return nil, err
+			}
+			if gap > 1<<62 || instrs > 1<<62 {
+				return nil, fmt.Errorf("trace: core %d op %d: gap/instrs out of range", core, j)
+			}
+			op.Gap, op.Instrs = int64(gap), int64(instrs)
+			if op.Kind.HasAddr() {
+				delta, err := d.zigzag("op addr")
+				if err != nil {
+					return nil, err
+				}
+				prev += uint64(delta)
+				op.Addr = prev
+			}
+			if op.Kind.HasVal() {
+				if op.Val, err = d.uvarint("op val"); err != nil {
+					return nil, err
+				}
+			}
+			if op.Kind == config.TraceCAS {
+				if op.Val2, err = d.uvarint("op val2"); err != nil {
+					return nil, err
+				}
+			}
+			s.Ops = append(s.Ops, op)
+		}
+		t.Streams = append(t.Streams, s)
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("trace: %d trailing bytes after streams", len(d.buf)-d.pos)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("trace: bad or truncated varint (%s) at offset %d", what, d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) zigzag(what string) (int64, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	return int64(v>>1) ^ -int64(v&1), nil
+}
+
+func (d *decoder) str(what string) (string, error) {
+	n, err := d.uvarint(what)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return "", fmt.Errorf("trace: string (%s) length %d exceeds remaining input", what, n)
+	}
+	s := string(d.buf[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+// count reads an element count and bounds it against the remaining
+// input (every element costs at least one byte), so corrupt counts
+// cannot drive huge allocations.
+func (d *decoder) count(what string) (int, error) {
+	n, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return 0, fmt.Errorf("trace: %s count %d exceeds remaining input", what, n)
+	}
+	return int(n), nil
+}
+
+// WriteFile encodes t and writes it to path.
+func WriteFile(path string, t *Trace) error {
+	data, err := Encode(t)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile reads and decodes the trace at path.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// traceFromBytes deterministically derives a structurally valid Trace
+// from arbitrary fuzz input: the bytes seed an RNG that draws sizes,
+// kinds, addresses and values, so every input maps to some well-formed
+// trace while small input mutations explore very different shapes.
+func traceFromBytes(data []byte) *Trace {
+	seed := uint64(len(data))
+	for i, b := range data {
+		seed = seed*1099511628211 + uint64(b)<<(uint(i)%56)
+	}
+	rng := sim.NewRNG(seed)
+	cores := 1 + rng.Intn(6)
+	sys := normalizeSys(config.Small(cores))
+	t := &Trace{Meta: Meta{
+		Protocol: "fuzz-proto",
+		Workload: "fuzz",
+		Seed:     rng.Uint64(),
+		Sys:      sys,
+	}}
+	addr := uint64(0)
+	for i := 0; i < rng.Intn(20); i++ {
+		addr += uint64(8 * (1 + rng.Intn(1000)))
+		t.InitMem = append(t.InitMem, MemWord{Addr: addr, Val: rng.Uint64()})
+	}
+	for core := 0; core < cores; core++ {
+		if rng.Intn(4) == 0 && core != cores-1 {
+			continue // some cores idle
+		}
+		var ops []Op
+		for i := 0; i < rng.Intn(40); i++ {
+			op := Op{
+				Kind:   config.TraceOp(rng.Intn(int(config.TraceHalt))),
+				Gap:    rng.Int63n(1 << 20),
+				Instrs: rng.Int63n(1 << 20),
+			}
+			if op.Kind.HasAddr() {
+				op.Addr = uint64(rng.Int63n(1<<40)) &^ 7
+			}
+			if op.Kind.HasVal() {
+				op.Val = rng.Uint64()
+			}
+			if op.Kind == config.TraceCAS {
+				op.Val2 = rng.Uint64()
+			}
+			ops = append(ops, op)
+		}
+		g := 1 + rng.Int63n(100)
+		ops = append(ops, Op{Kind: config.TraceHalt, Gap: g, Instrs: g})
+		t.Streams = append(t.Streams, Stream{Core: core, Ops: ops})
+	}
+	return t
+}
+
+// FuzzTraceRoundTrip is the codec's fuzz gate with two properties:
+//
+//  1. For any structurally valid trace (derived from the fuzz input),
+//     encode → decode → re-encode is byte-identical and the decoded
+//     trace deep-equals the original.
+//  2. Decoding the raw fuzz input itself — almost always garbage —
+//     must return an error or a valid trace, and must never panic.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("TSOCCTRC"))
+	if seed, err := Encode(sampleTrace()); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := traceFromBytes(data)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("generator emitted invalid trace: %v", err)
+		}
+		enc, err := Encode(tr)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of valid encoding: %v", err)
+		}
+		enc2, err := Encode(dec)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encode not byte-identical (%d vs %d bytes)", len(enc), len(enc2))
+		}
+
+		// Raw input: decode must never panic.
+		if tr2, err := Decode(data); err == nil {
+			if err := tr2.Validate(); err != nil {
+				t.Fatalf("decode accepted a structurally invalid trace: %v", err)
+			}
+		}
+	})
+}

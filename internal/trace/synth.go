@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// Synthetic trace generators: parameterized, seeded, deterministic
+// access-pattern synthesizers for the access classes whose locality the
+// paper's lazy self-invalidation exploits. Each returns a validated
+// Trace replayable through ReplayCore (or convertible to a
+// program-based workload with Trace.Workload). Identical parameters
+// always produce byte-identical traces.
+
+// Shared address regions for synthesized traces; far from the workload
+// package's regions so mixed experiments never collide.
+const (
+	synthZipfBase = 0x2000_0000
+	synthMigrBase = 0x2100_0000
+	synthScanBase = 0x2200_0000
+)
+
+// SynthParams sizes a synthetic trace.
+type SynthParams struct {
+	Cores      int
+	OpsPerCore int    // memory operations per core (halt record excluded)
+	Seed       uint64 // RNG seed; forked per core
+	Blocks     int    // working-set size in cache blocks (0 = per-pattern default)
+	MaxGap     int64  // compute gap upper bound in cycles (0 = default 12)
+}
+
+func (p SynthParams) defaults(blocks int) SynthParams {
+	if p.Cores <= 0 {
+		p.Cores = 4
+	}
+	if p.OpsPerCore <= 0 {
+		p.OpsPerCore = 256
+	}
+	if p.Blocks <= 0 {
+		p.Blocks = blocks
+	}
+	if p.MaxGap <= 0 {
+		p.MaxGap = 12
+	}
+	return p
+}
+
+func synthMeta(name string, p SynthParams) Meta {
+	return Meta{
+		Protocol: "synthetic",
+		Workload: name,
+		Seed:     p.Seed,
+		Sys:      normalizeSys(config.Scaled(p.Cores)),
+	}
+}
+
+// synthGap draws a compute gap in [1, MaxGap]. Gaps of at least 1 are
+// valid after both synchronous and asynchronous ops, so generators need
+// not track the previous op's completion kind.
+func synthGap(rng *sim.RNG, p SynthParams) int64 {
+	return 1 + rng.Int63n(p.MaxGap)
+}
+
+// endStream appends the closing halt record with a final compute tail.
+func endStream(ops []Op, rng *sim.RNG, p SynthParams) []Op {
+	g := synthGap(rng, p)
+	return append(ops, Op{Kind: config.TraceHalt, Gap: g, Instrs: g})
+}
+
+// Zipf synthesizes a shared working set with Zipf-distributed block
+// popularity (exponent 1): a few hot blocks absorb most accesses, the
+// long tail is touched rarely — the read-mostly sharing shape where
+// TSO-CC's Shared access-counter and SharedRO decay pay off. One access
+// in four is a store.
+func Zipf(p SynthParams) *Trace {
+	p = p.defaults(4096)
+	// Zipf CDF over block ranks (exponent 1: weight 1/(rank+1)).
+	cdf := make([]float64, p.Blocks)
+	sum := 0.0
+	for i := range cdf {
+		sum += 1 / float64(i+1)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	t := &Trace{Meta: synthMeta("synth-zipf", p)}
+	root := sim.NewRNG(p.Seed ^ 0x5A1F)
+	for core := 0; core < p.Cores; core++ {
+		rng := root.Fork()
+		ops := make([]Op, 0, p.OpsPerCore+1)
+		for i := 0; i < p.OpsPerCore; i++ {
+			blk := sort.SearchFloat64s(cdf, rng.Float64())
+			if blk >= p.Blocks {
+				blk = p.Blocks - 1
+			}
+			addr := uint64(synthZipfBase + blk*64 + rng.Intn(8)*8)
+			op := Op{Kind: config.TraceLoad, Addr: addr, Gap: synthGap(rng, p)}
+			if rng.Intn(4) == 0 {
+				op.Kind = config.TraceStore
+				op.Val = rng.Uint64()
+			}
+			op.Instrs = op.Gap
+			ops = append(ops, op)
+		}
+		t.Streams = append(t.Streams, Stream{Core: core, Ops: endStream(ops, rng, p)})
+	}
+	mustValid(t)
+	return t
+}
+
+// Migratory synthesizes the migratory-sharing pattern: a pool of
+// objects each read-then-written by one core at a time, with ownership
+// rotating across cores — the access class where an eager protocol
+// ping-pongs invalidations and TSO-CC's lazy scheme rides the
+// exclusive-state fast path.
+func Migratory(p SynthParams) *Trace {
+	p = p.defaults(64)
+	t := &Trace{Meta: synthMeta("synth-migratory", p)}
+	root := sim.NewRNG(p.Seed ^ 0x316)
+	for core := 0; core < p.Cores; core++ {
+		rng := root.Fork()
+		ops := make([]Op, 0, p.OpsPerCore+1)
+		for i := 0; len(ops) < p.OpsPerCore; i++ {
+			// Visit objects in a rotating schedule so each is handed
+			// core-to-core; read the object header then write it back.
+			obj := (i + core) % p.Blocks
+			addr := uint64(synthMigrBase + obj*64)
+			g := synthGap(rng, p)
+			ops = append(ops, Op{Kind: config.TraceLoad, Addr: addr, Gap: g, Instrs: g})
+			if len(ops) < p.OpsPerCore {
+				g = synthGap(rng, p)
+				ops = append(ops, Op{Kind: config.TraceStore, Addr: addr,
+					Val: rng.Uint64(), Gap: g, Instrs: g})
+			}
+		}
+		t.Streams = append(t.Streams, Stream{Core: core, Ops: endStream(ops, rng, p)})
+	}
+	mustValid(t)
+	return t
+}
+
+// Scan synthesizes streaming sequential scans over one shared array:
+// every core walks the region block-by-block from a staggered start,
+// storing every 16th block — no temporal locality, the canneal-like
+// shape that defeats any sharing optimization and stresses eviction and
+// self-invalidation sweeps.
+func Scan(p SynthParams) *Trace {
+	p = p.defaults(8192)
+	t := &Trace{Meta: synthMeta("synth-scan", p)}
+	root := sim.NewRNG(p.Seed ^ 0x5CA7)
+	for core := 0; core < p.Cores; core++ {
+		rng := root.Fork()
+		start := (core * p.Blocks) / p.Cores
+		ops := make([]Op, 0, p.OpsPerCore+1)
+		for i := 0; i < p.OpsPerCore; i++ {
+			blk := (start + i) % p.Blocks
+			addr := uint64(synthScanBase + blk*64)
+			op := Op{Kind: config.TraceLoad, Addr: addr, Gap: synthGap(rng, p)}
+			if i%16 == 15 {
+				op.Kind = config.TraceStore
+				op.Val = uint64(core)<<32 | uint64(i)
+			}
+			op.Instrs = op.Gap
+			ops = append(ops, op)
+		}
+		t.Streams = append(t.Streams, Stream{Core: core, Ops: endStream(ops, rng, p)})
+	}
+	mustValid(t)
+	return t
+}
+
+// mustValid guards generator invariants: a generator emitting an
+// invalid trace is a programming error, not an input error.
+func mustValid(t *Trace) {
+	if err := t.Validate(); err != nil {
+		panic(fmt.Sprintf("trace: generator produced invalid trace: %v", err))
+	}
+}

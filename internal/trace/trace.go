@@ -1,0 +1,191 @@
+// Package trace is the memory-trace subsystem: it captures the memory
+// operation stream of a simulated run (via config.System.TraceOut),
+// stores it in a compact varint-delta binary format, replays it through
+// the coherence stack bit-identically (ReplayCore), and synthesizes
+// parameterized access patterns (Zipf, Migratory, Scan) as traces.
+//
+// A trace is the complete data-side description of a run: per-core
+// operation streams with compute-gap deltas, the initial memory image
+// (required because CAS outcomes — and therefore cache-state
+// transitions — depend on observed values), and a versioned header
+// carrying the recording geometry and protocol. Replaying a trace on
+// the configuration it was recorded under reproduces the original
+// system.Result exactly; replaying it elsewhere (another protocol,
+// another engine mode) is an elastic re-execution that preserves the
+// per-core op order and inter-op compute gaps.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+)
+
+// Op is one decoded trace operation. Gap and Instrs follow the
+// config.TraceEvent contract: Gap is the cycle distance from the
+// previous op's completion to this op's first issue attempt, Instrs the
+// instructions retired since the previous op (this one included).
+type Op struct {
+	Kind   config.TraceOp
+	Addr   uint64
+	Val    uint64 // store value / RMW operand / CAS expected value
+	Val2   uint64 // CAS swap value
+	Gap    int64
+	Instrs int64
+}
+
+// Stream is one core's operation sequence. A well-formed stream ends
+// with exactly one TraceHalt record (and contains no other), so replay
+// knows the cycle on which the core goes quiescent.
+type Stream struct {
+	Core int
+	Ops  []Op
+}
+
+// MemWord is one word of the initial memory image.
+type MemWord struct {
+	Addr uint64
+	Val  uint64
+}
+
+// Meta is the trace header: where the trace came from and the machine
+// geometry it was recorded under. Sys carries only geometry fields —
+// run-mode toggles (engine mode, batched core, TraceOut) are normalized
+// to their zero values, since the captured stream is identical across
+// all of them.
+type Meta struct {
+	Protocol string
+	Workload string
+	Seed     uint64
+	Sys      config.System
+}
+
+// Trace is a fully decoded trace file.
+type Trace struct {
+	Meta    Meta
+	InitMem []MemWord // sorted by strictly ascending address
+	Streams []Stream  // sorted by strictly ascending core id
+}
+
+// Ops reports the total operation count across all streams (halt
+// records included).
+func (t *Trace) Ops() int {
+	n := 0
+	for _, s := range t.Streams {
+		n += len(s.Ops)
+	}
+	return n
+}
+
+// normalizeSys strips the run-mode fields a trace must not depend on.
+func normalizeSys(sys config.System) config.System {
+	sys.PerCycleEngine = false
+	sys.BatchedCore = false
+	sys.TraceOut = nil
+	return sys
+}
+
+// Validate checks structural well-formedness: stream and memory
+// ordering, address alignment, gap/instr sanity, and halt placement.
+// Both the encoder and the decoder run it, so a malformed trace can
+// neither be written nor replayed.
+func (t *Trace) Validate() error {
+	if t.Meta.Sys.Cores <= 0 {
+		return fmt.Errorf("trace: header cores must be positive, got %d", t.Meta.Sys.Cores)
+	}
+	for i, w := range t.InitMem {
+		if w.Addr%8 != 0 {
+			return fmt.Errorf("trace: init word %d at %#x not 8-aligned", i, w.Addr)
+		}
+		if i > 0 && w.Addr <= t.InitMem[i-1].Addr {
+			return fmt.Errorf("trace: init memory not strictly ascending at %d (%#x after %#x)",
+				i, w.Addr, t.InitMem[i-1].Addr)
+		}
+	}
+	for i, s := range t.Streams {
+		if s.Core < 0 || s.Core >= t.Meta.Sys.Cores {
+			return fmt.Errorf("trace: stream %d core %d outside [0,%d)", i, s.Core, t.Meta.Sys.Cores)
+		}
+		if i > 0 && s.Core <= t.Streams[i-1].Core {
+			return fmt.Errorf("trace: streams not strictly ascending at %d (core %d after %d)",
+				i, s.Core, t.Streams[i-1].Core)
+		}
+		if len(s.Ops) == 0 {
+			return fmt.Errorf("trace: core %d stream is empty", s.Core)
+		}
+		for j, op := range s.Ops {
+			if op.Kind >= config.NumTraceOps {
+				return fmt.Errorf("trace: core %d op %d has bad kind %d", s.Core, j, op.Kind)
+			}
+			if op.Gap < 0 || op.Instrs < 0 {
+				return fmt.Errorf("trace: core %d op %d has negative gap/instrs", s.Core, j)
+			}
+			if op.Kind.HasAddr() && op.Addr%8 != 0 {
+				return fmt.Errorf("trace: core %d op %d address %#x not 8-aligned", s.Core, j, op.Addr)
+			}
+			if op.Kind == config.TraceHalt && j != len(s.Ops)-1 {
+				return fmt.Errorf("trace: core %d has halt at op %d before end of stream", s.Core, j)
+			}
+		}
+		if last := s.Ops[len(s.Ops)-1]; last.Kind != config.TraceHalt {
+			return fmt.Errorf("trace: core %d stream does not end in halt", s.Core)
+		}
+	}
+	return nil
+}
+
+// Recorder is the config.TraceSink that accumulates capture events into
+// per-core streams. It is single-goroutine (the simulation loop) and
+// assembles a Trace once the run completes.
+type Recorder struct {
+	meta    Meta
+	initMem []MemWord
+	streams [][]Op // indexed by core id
+}
+
+// NewRecorder returns a recorder for a machine with cfg's geometry
+// running protocol on workload.
+func NewRecorder(cfg config.System, protocol, workload string, seed uint64) *Recorder {
+	return &Recorder{
+		meta:    Meta{Protocol: protocol, Workload: workload, Seed: seed, Sys: normalizeSys(cfg)},
+		streams: make([][]Op, cfg.Cores),
+	}
+}
+
+// RecordOp implements config.TraceSink.
+func (r *Recorder) RecordOp(ev config.TraceEvent) {
+	if ev.Core < 0 || ev.Core >= len(r.streams) {
+		panic(fmt.Sprintf("trace: recorded event for core %d outside geometry (%d cores)",
+			ev.Core, len(r.streams)))
+	}
+	r.streams[ev.Core] = append(r.streams[ev.Core], Op{
+		Kind: ev.Op, Addr: ev.Addr, Val: ev.Val, Val2: ev.Val2,
+		Gap: ev.Gap, Instrs: ev.Instrs,
+	})
+}
+
+// SetInitMem captures the workload's initial memory image (sorted into
+// the canonical encoding order).
+func (r *Recorder) SetInitMem(mem map[uint64]uint64) {
+	r.initMem = r.initMem[:0]
+	for a, v := range mem {
+		r.initMem = append(r.initMem, MemWord{Addr: a, Val: v})
+	}
+	sort.Slice(r.initMem, func(i, j int) bool { return r.initMem[i].Addr < r.initMem[j].Addr })
+}
+
+// Trace assembles the recorded streams into a validated Trace.
+func (r *Recorder) Trace() (*Trace, error) {
+	t := &Trace{Meta: r.meta, InitMem: r.initMem}
+	for core, ops := range r.streams {
+		if len(ops) == 0 {
+			continue // idle core (no program loaded)
+		}
+		t.Streams = append(t.Streams, Stream{Core: core, Ops: ops})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("recorded run produced a malformed trace (incomplete run?): %w", err)
+	}
+	return t, nil
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/system"
+	"repro/internal/trace"
 	"repro/internal/tsocc"
 	"repro/internal/workloads"
 )
@@ -187,6 +188,77 @@ func BenchmarkDenseCompute(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchTrace records the 8-core ssca2 run once per process: the shared
+// input for the trace-subsystem benchmarks.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	e := workloads.ByName("ssca2")
+	if e == nil {
+		b.Fatal("ssca2 missing from registry")
+	}
+	w := e.Gen(workloads.Params{Threads: 8, Scale: 1, Seed: 1})
+	_, tr, err := system.RunRecorded(config.Scaled(8), tsocc.New(config.C12x3()), w, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkTraceReplay measures trace-driven execution throughput: one
+// full replay of the recorded ssca2 stream through the event engine per
+// op, reported as trace ops replayed per second of host time.
+func BenchmarkTraceReplay(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := benchSystem(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := system.NewReplayMachine(cfg, tsocc.New(config.C12x3()), tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := m.Engine.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(tr.Ops())/(perOp/1e9), "traceops/s")
+	}
+}
+
+// BenchmarkTraceCodec measures the binary codec on the recorded ssca2
+// trace: bytes/op via SetBytes (throughput) plus the encoded size per
+// trace op as a custom metric.
+func BenchmarkTraceCodec(b *testing.B) {
+	tr := benchTrace(b)
+	data, err := trace.Encode(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.Encode(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(data))/float64(tr.Ops()), "bytes/traceop")
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.Decode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // poolSink is a mesh endpoint that recycles delivered messages,

@@ -1,0 +1,130 @@
+// Trace-subsystem conformance gates: recording must not perturb a run,
+// the captured trace must be independent of engine mode and core model,
+// and replaying a trace on the recording protocol and geometry must
+// reproduce the original Result bit for bit — the fourth conformance
+// axis next to the engine-mode, batched-core and litmus A/B gates.
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// recordTrace runs bench under cfg with capture on and returns the
+// run's fingerprint plus the encoded trace.
+func recordTrace(t *testing.T, cfg config.System, proto system.Protocol,
+	bench string, p workloads.Params) (string, []byte) {
+	t.Helper()
+	e := workloads.ByName(bench)
+	if e == nil {
+		t.Fatalf("unknown benchmark %q", bench)
+	}
+	res, tr, err := system.RunRecorded(cfg, proto, e.Gen(p), p.Seed)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if res.CheckErr != nil {
+		t.Fatalf("record: functional check: %v", res.CheckErr)
+	}
+	data, err := trace.Encode(tr)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return fingerprint(res), data
+}
+
+// TestTraceReplayBitIdentical is the tentpole acceptance gate: for
+// every registered protocol and both engine modes, a recorded run (a)
+// matches the unrecorded baseline, (b) captures the same trace bytes
+// under all four engine-mode × core-model combinations, and (c) replays
+// through trace.ReplayCore — after a full encode/decode round trip —
+// to an identical Result: same cycle count, same L1/L2/network
+// statistics, same core counters.
+func TestTraceReplayBitIdentical(t *testing.T) {
+	benches := []string{"x264", "ssca2"}
+	p := workloads.Params{Threads: 4, Scale: 1, Seed: 1}
+	for _, proto := range coherence.Protocols() {
+		for _, bench := range benches {
+			t.Run(proto.Name()+"/"+bench, func(t *testing.T) {
+				e := workloads.ByName(bench)
+				base, err := system.Run(config.Small(4), proto, e.Gen(p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseFP := fingerprint(base)
+
+				// Record under every conformance combination: capture must
+				// not perturb the run, and the trace must not depend on
+				// how the recording machine advanced time.
+				var traceBytes []byte
+				for _, mode := range engineModes {
+					cfg := config.Small(4)
+					cfg.PerCycleEngine = mode.perCycle
+					cfg.BatchedCore = mode.batched
+					fp, data := recordTrace(t, cfg, proto, bench, p)
+					if fp != baseFP {
+						t.Fatalf("recording perturbed the run under %s:\n base: %s\n rec:  %s",
+							mode.name, baseFP, fp)
+					}
+					if traceBytes == nil {
+						traceBytes = data
+					} else if !bytes.Equal(traceBytes, data) {
+						t.Fatalf("trace bytes differ under %s (%d vs %d bytes)",
+							mode.name, len(traceBytes), len(data))
+					}
+				}
+
+				tr, err := trace.Decode(traceBytes)
+				if err != nil {
+					t.Fatalf("decode: %v", err)
+				}
+				for _, mode := range engineModes {
+					cfg := tr.Meta.Sys
+					cfg.PerCycleEngine = mode.perCycle
+					cfg.BatchedCore = mode.batched
+					rep, err := system.Replay(cfg, proto, tr)
+					if err != nil {
+						t.Fatalf("replay (%s): %v", mode.name, err)
+					}
+					if fp := fingerprint(rep); fp != baseFP {
+						t.Fatalf("replay diverged under %s:\n base:   %s\n replay: %s",
+							mode.name, baseFP, fp)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTraceReplayCrossProtocol pins the elastic-replay contract: a
+// trace recorded under one protocol must complete under every other
+// registered protocol (cycle counts legitimately differ; the run must
+// still quiesce with the recorded op counts).
+func TestTraceReplayCrossProtocol(t *testing.T) {
+	p := workloads.Params{Threads: 4, Scale: 1, Seed: 3}
+	rec := coherence.Protocols()[0]
+	e := workloads.ByName("ssca2")
+	res, tr, err := system.RunRecorded(config.Small(4), rec, e.Gen(p), p.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range coherence.Protocols() {
+		rep, err := system.Replay(tr.Meta.Sys, proto, tr)
+		if err != nil {
+			t.Fatalf("replay on %s: %v", proto.Name(), err)
+		}
+		if rep.Loads != res.Loads || rep.Stores != res.Stores ||
+			rep.RMWs != res.RMWs || rep.Fences != res.Fences ||
+			rep.Instructions != res.Instructions {
+			t.Fatalf("replay on %s dropped ops: got ld=%d st=%d rmw=%d fence=%d instr=%d, want ld=%d st=%d rmw=%d fence=%d instr=%d",
+				proto.Name(), rep.Loads, rep.Stores, rep.RMWs, rep.Fences, rep.Instructions,
+				res.Loads, res.Stores, res.RMWs, res.Fences, res.Instructions)
+		}
+	}
+}
