@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench bench-json perf fuzz-smoke trace-gate ci
+.PHONY: all vet build test race bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate ci
 
 all: ci
 
@@ -32,10 +32,33 @@ perf:
 
 # Dated engine + hot-path throughput snapshot (per-cycle, event, and
 # batched-core numbers for the standard benches plus dense-compute,
-# with trace replay/codec throughput per benchmark).
+# with trace replay/codec throughput and host metadata per benchmark),
+# then a delta report against the latest committed snapshot and the
+# event>=per-cycle regression gate.
 bench-json:
-	$(GO) run ./cmd/tsocc-bench -perf -cores 8 > BENCH_$$(date +%Y-%m-%d).json
-	@echo "wrote BENCH_$$(date +%Y-%m-%d).json"
+	@set -e; tmp=$$(mktemp); trap 'rm -f $$tmp' EXIT; \
+	latest=$$(git ls-files 'BENCH_*.json' | sort | tail -1); \
+	out=BENCH_$$(date +%Y-%m-%d).json; \
+	$(GO) run ./cmd/tsocc-bench -perf -cores 8 > $$out; \
+	echo "wrote $$out"; \
+	if [ -n "$$latest" ]; then \
+	  git show HEAD:$$latest > $$tmp; \
+	  echo "delta vs committed $$latest:"; \
+	  $(GO) run ./cmd/tsocc-benchdiff -gate $$tmp $$out; \
+	else \
+	  $(GO) run ./cmd/tsocc-benchdiff -gate $$out; \
+	fi
+
+# Regression gate without writing a snapshot: the event engine must be
+# at least as fast as the per-cycle conformance ticker on every Table-3
+# benchmark (speedup is a within-run ratio, so this is stable across
+# machines; mirrors the CI bench job). -scale 4 lengthens each timed
+# run (x264 is only ~8k cycles at scale 1 — a few ms of wall time) so
+# one scheduler blip on a noisy runner cannot flip the ratio.
+bench-gate:
+	@set -e; tmp=$$(mktemp); trap 'rm -f $$tmp' EXIT; \
+	$(GO) run ./cmd/tsocc-bench -perf -cores 8 -scale 4 > $$tmp; \
+	$(GO) run ./cmd/tsocc-benchdiff -gate $$tmp
 
 # Short fuzz iteration of the trace codec round-trip property (the CI
 # fuzz smoke; the corpus grows under internal/trace/testdata).
@@ -54,4 +77,4 @@ trace-gate:
 	  diff $$tmp/rec.txt $$tmp/rep.txt; \
 	done; done; echo "trace gate: record/replay stats identical"
 
-ci: vet build test race bench-smoke trace-gate
+ci: vet build test race bench-smoke bench-gate trace-gate

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/harness"
@@ -263,34 +264,6 @@ func runTraceMode(traceOut, traceIn, benchList string, protos []system.Protocol,
 	return nil
 }
 
-// perfRecord is one benchmark's simulator-throughput measurement,
-// emitted as JSON for the BENCH_*.json trajectory. Three configurations
-// are timed: the per-cycle conformance engine, the event engine with
-// the instruction-at-a-time core, and the event engine with the batched
-// core (the production default).
-type perfRecord struct {
-	Benchmark       string  `json:"benchmark"`
-	Protocol        string  `json:"protocol"`
-	Cores           int     `json:"cores"`
-	SimCycles       int64   `json:"sim_cycles"`
-	WallNsPerCycle  float64 `json:"wall_ns_percycle_engine"`
-	WallNsUnbatched float64 `json:"wall_ns_event_unbatched"`
-	WallNsEvent     float64 `json:"wall_ns_event_engine"`
-	CyclesPerSec    float64 `json:"sim_cycles_per_sec"`
-	HostNsPerCycle  float64 `json:"host_ns_per_sim_cycle"`
-	SkippedPct      float64 `json:"idle_skipped_pct"`
-	Speedup         float64 `json:"event_vs_percycle_speedup"`
-	BatchedSpeedup  float64 `json:"batched_vs_unbatched_speedup"`
-
-	// Trace-subsystem throughput: the benchmark is recorded once, then
-	// its trace is replayed (event engine) and round-tripped through
-	// the codec.
-	TraceOps          int64   `json:"trace_ops"`
-	TraceBytesPerOp   float64 `json:"trace_bytes_per_op"`
-	TraceReplayOpsSec float64 `json:"trace_replay_ops_per_sec"`
-	TraceCodecMBps    float64 `json:"trace_codec_mb_per_sec"`
-}
-
 // perfModes are the timed configurations, slowest baseline first; the
 // last entry is the production default whose numbers fill the headline
 // throughput fields.
@@ -325,7 +298,16 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 		protos = []system.Protocol{tsocc.New(config.C12x3())}
 	}
 	p := workloads.Params{Threads: cores, Scale: scale, Seed: seed}
-	var out []perfRecord
+	// The snapshot schema (host metadata + one record per benchmark ×
+	// protocol) is shared with its reader, tsocc-benchdiff, via
+	// internal/benchfmt.
+	out := benchfmt.Snapshot{Host: benchfmt.Host{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}}
 	for _, bench := range benches {
 		e := workloads.ByName(bench)
 		if e == nil {
@@ -333,7 +315,7 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 		}
 		gen := e.Gen
 		for _, proto := range protos {
-			rec := perfRecord{Benchmark: bench, Protocol: proto.Name(), Cores: cores}
+			rec := benchfmt.Record{Benchmark: bench, Protocol: proto.Name(), Cores: cores}
 			for _, mode := range perfModes {
 				cfg := config.Scaled(cores)
 				cfg.PerCycleEngine = mode.perCycle
@@ -378,7 +360,7 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 			if err := measureTrace(&rec, cores, proto, gen(p)); err != nil {
 				return err
 			}
-			out = append(out, rec)
+			out.Results = append(out.Results, rec)
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -390,7 +372,7 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 // benchmark is recorded once, the trace replayed three times on the
 // event engine (best wall time wins), and the codec timed on an
 // encode+decode round trip.
-func measureTrace(rec *perfRecord, cores int, proto system.Protocol, w *program.Workload) error {
+func measureTrace(rec *benchfmt.Record, cores int, proto system.Protocol, w *program.Workload) error {
 	cfg := config.Scaled(cores)
 	_, tr, err := system.RunRecorded(cfg, proto, w, 1)
 	if err != nil {

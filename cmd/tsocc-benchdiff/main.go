@@ -1,0 +1,110 @@
+// Command tsocc-benchdiff compares simulator-throughput snapshots
+// (the BENCH_*.json files written by `tsocc-bench -perf` / `make
+// bench-json`) and gates engine-performance regressions.
+//
+// Usage:
+//
+//	tsocc-benchdiff old.json new.json   # per-workload deltas
+//	tsocc-benchdiff -gate new.json      # regression gate only
+//	tsocc-benchdiff -gate old.json new.json
+//
+// The gate fails (exit 1) if any benchmark in the newest snapshot has
+// event_vs_percycle_speedup < 1.0 — the event engine must never be
+// slower than the per-cycle conformance ticker on any measured
+// workload — or if the snapshot contains no measurements at all (a
+// vacuously green gate is a disarmed gate). Speedups are within-host
+// ratios, so the gate is meaningful on any machine; absolute ns/cycle
+// deltas are only comparable when the recorded host metadata matches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	gate := flag.Bool("gate", false, "fail (exit 1) if any benchmark's event_vs_percycle_speedup < 1.0")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 1:
+		newPath = flag.Arg(0)
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tsocc-benchdiff [-gate] [old.json] new.json")
+		os.Exit(2)
+	}
+
+	cur, err := benchfmt.Load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if oldPath != "" {
+		prev, err := benchfmt.Load(oldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if prev.Host != cur.Host && prev.Host != (benchfmt.Host{}) {
+			fmt.Printf("note: snapshots from different hosts (%s %s/%s %d cpu vs %s %s/%s %d cpu); "+
+				"only speedup ratios are comparable\n\n",
+				prev.Host.GoVersion, prev.Host.GOOS, prev.Host.GOARCH, prev.Host.NumCPU,
+				cur.Host.GoVersion, cur.Host.GOOS, cur.Host.GOARCH, cur.Host.NumCPU)
+		}
+		byKey := map[string]benchfmt.Record{}
+		for _, r := range prev.Results {
+			byKey[r.Key()] = r
+		}
+		fmt.Printf("%-28s %26s %22s %20s\n", "benchmark/protocol",
+			"host_ns/cycle", "event/percycle", "trace B/op")
+		for _, r := range cur.Results {
+			o, ok := byKey[r.Key()]
+			if !ok {
+				fmt.Printf("%-28s %26s %22s %20s  (new)\n", r.Key(),
+					fmt.Sprintf("%.1f", r.HostNsPerCycle),
+					fmt.Sprintf("%.2f", r.Speedup),
+					fmt.Sprintf("%.2f", r.TraceBytesPerOp))
+				continue
+			}
+			fmt.Printf("%-28s %26s %22s %20s\n", r.Key(),
+				deltaStr(o.HostNsPerCycle, r.HostNsPerCycle),
+				deltaStr(o.Speedup, r.Speedup),
+				deltaStr(o.TraceBytesPerOp, r.TraceBytesPerOp))
+		}
+	}
+
+	if *gate {
+		if len(cur.Results) == 0 {
+			fmt.Fprintf(os.Stderr, "GATE FAIL: %s contains no measurements\n", newPath)
+			os.Exit(1)
+		}
+		bad := false
+		for _, r := range cur.Results {
+			if r.Speedup < 1.0 {
+				fmt.Fprintf(os.Stderr, "GATE FAIL: %s event_vs_percycle_speedup = %.3f < 1.0\n",
+					r.Key(), r.Speedup)
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+		fmt.Printf("gate ok: event engine >= per-cycle on all %d benchmarks\n", len(cur.Results))
+	}
+}
+
+// deltaStr renders "old -> new (+x%)" (the percentage is new vs old).
+func deltaStr(o, n float64) string {
+	if o == 0 {
+		return fmt.Sprintf("-> %.2f", n)
+	}
+	pct := 100 * (n - o) / o
+	return fmt.Sprintf("%.1f -> %.1f (%+.0f%%)", o, n, pct)
+}

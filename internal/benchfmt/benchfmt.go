@@ -1,0 +1,93 @@
+// Package benchfmt defines the BENCH_*.json simulator-throughput
+// snapshot schema, shared by its writer (`tsocc-bench -perf`) and its
+// reader (`tsocc-benchdiff`). Keeping one definition means a field
+// rename cannot silently decode to zero values on the side that gates
+// CI regressions.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Host records the measuring machine. Absolute ns/cycle numbers only
+// transfer within one host; the engine-mode speedup ratios are
+// meaningful anywhere.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Record is one benchmark × protocol measurement. Three configurations
+// are timed: the per-cycle conformance engine, the event engine with
+// the instruction-at-a-time core, and the event engine with the
+// batched core (the production default, which fills the headline
+// fields).
+type Record struct {
+	Benchmark       string  `json:"benchmark"`
+	Protocol        string  `json:"protocol"`
+	Cores           int     `json:"cores"`
+	SimCycles       int64   `json:"sim_cycles"`
+	WallNsPerCycle  float64 `json:"wall_ns_percycle_engine"`
+	WallNsUnbatched float64 `json:"wall_ns_event_unbatched"`
+	WallNsEvent     float64 `json:"wall_ns_event_engine"`
+	CyclesPerSec    float64 `json:"sim_cycles_per_sec"`
+	HostNsPerCycle  float64 `json:"host_ns_per_sim_cycle"`
+	SkippedPct      float64 `json:"idle_skipped_pct"`
+	Speedup         float64 `json:"event_vs_percycle_speedup"`
+	BatchedSpeedup  float64 `json:"batched_vs_unbatched_speedup"`
+
+	// Trace-subsystem throughput: the benchmark is recorded once, then
+	// its trace is replayed (event engine) and round-tripped through
+	// the codec.
+	TraceOps          int64   `json:"trace_ops"`
+	TraceBytesPerOp   float64 `json:"trace_bytes_per_op"`
+	TraceReplayOpsSec float64 `json:"trace_replay_ops_per_sec"`
+	TraceCodecMBps    float64 `json:"trace_codec_mb_per_sec"`
+}
+
+// Snapshot is the -perf output document. (Snapshots before PR 5 were a
+// bare Record array; Load reads both shapes.)
+type Snapshot struct {
+	Host    Host     `json:"host"`
+	Results []Record `json:"results"`
+}
+
+// Key names a record within a snapshot.
+func (r Record) Key() string { return r.Benchmark + "/" + r.Protocol }
+
+// Load reads a snapshot file in either shape: the current
+// {host, results} document or the legacy bare record array. The shape
+// is decided by the document's top-level JSON type, so an empty
+// results array is still a valid (empty) snapshot.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			var s Snapshot
+			if err := json.Unmarshal(data, &s); err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			return &s, nil
+		case '[':
+			var recs []Record
+			if err := json.Unmarshal(data, &recs); err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			return &Snapshot{Results: recs}, nil
+		default:
+			return nil, fmt.Errorf("%s: not a perf snapshot (top-level %q)", path, b)
+		}
+	}
+	return nil, fmt.Errorf("%s: empty file", path)
+}

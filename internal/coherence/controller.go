@@ -7,11 +7,16 @@ import "repro/internal/sim"
 // transactions, queued messages or timers are still outstanding (used by
 // the system-level completion and deadlock checks); NextWake is the
 // sim.WakeHinter scheduling contract (the earliest cycle the controller
-// may act on its own, or sim.WakeNever).
+// may act on its own, or sim.WakeNever); BindWaker is the sim.WakeSink
+// hook — controllers must wake themselves whenever work lands on them
+// from outside their own Tick (a delivered message, a timer scheduled
+// by the core's port call), since the wake-set engine ticks only due
+// components and re-polls NextWake only after a tick.
 type Controller interface {
 	Deliver(now sim.Cycle, m *Msg)
 	Tick(now sim.Cycle)
 	NextWake(now sim.Cycle) sim.Cycle
+	BindWaker(w sim.Waker)
 	Busy() bool
 	// SnoopBlock returns the controller's copy of the block at addr if it
 	// holds an authoritative one (L1: Exclusive/Modified; L2: any valid

@@ -29,15 +29,27 @@ type timerEvent struct {
 // latencies, memory fills). Actions scheduled for the same cycle run in
 // scheduling order, keeping controllers deterministic. The store is the
 // shared EventHeap ordered by (cycle, scheduling sequence), so the
-// earliest deadline is exposed in O(1) for the engine's idle-skip
-// scheduling and firing is allocation-free in steady state.
+// earliest deadline is exposed in O(1) for the engine's wake hints and
+// firing is allocation-free in steady state.
+//
+// Every scheduled action also wakes the owning controller at its due
+// cycle through the bound sim.Waker: timers are frequently pushed from
+// outside the owner's own Tick (an L1 hit scheduled during the core's
+// tick), and under wake-set scheduling the engine will not re-poll the
+// owner's NextWake until it next ticks.
 type Timers struct {
-	heap EventHeap[timerEvent]
+	heap  EventHeap[timerEvent]
+	waker sim.Waker
 }
+
+// SetWaker binds the owning controller's wake handle; every subsequent
+// schedule marks the owner due at the action's cycle.
+func (t *Timers) SetWaker(w sim.Waker) { t.waker = w }
 
 // At schedules f to run at cycle c (or the next tick if c is in the past).
 func (t *Timers) At(c sim.Cycle, f func(now sim.Cycle)) {
 	t.heap.PushAuto(c, timerEvent{kind: timerFn, fn: f})
+	t.waker.WakeAt(c)
 }
 
 // AtVal schedules cb(val) at cycle c. Unlike At with a capturing
@@ -45,17 +57,20 @@ func (t *Timers) At(c sim.Cycle, f func(now sim.Cycle)) {
 // val rides in the event.
 func (t *Timers) AtVal(c sim.Cycle, cb func(val uint64), val uint64) {
 	t.heap.PushAuto(c, timerEvent{kind: timerVal, valCb: cb, val: val})
+	t.waker.WakeAt(c)
 }
 
 // AtDone schedules cb() at cycle c without allocating.
 func (t *Timers) AtDone(c sim.Cycle, cb func()) {
 	t.heap.PushAuto(c, timerEvent{kind: timerDone, done: cb})
+	t.waker.WakeAt(c)
 }
 
 // AtMsg schedules cb(now, m) at cycle c without allocating (cb should be
 // a callback value stored once by the controller, e.g. its send method).
 func (t *Timers) AtMsg(c sim.Cycle, cb func(now sim.Cycle, m *Msg), m *Msg) {
 	t.heap.PushAuto(c, timerEvent{kind: timerMsg, msgCb: cb, msg: m})
+	t.waker.WakeAt(c)
 }
 
 // Tick runs every action due at or before now, in (cycle, scheduling)

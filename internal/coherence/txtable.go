@@ -60,7 +60,17 @@ type TxTable struct {
 	// stored (tx request, waiting queue, retry queue) and must not be
 	// recycled by the Consume wrapper.
 	retained bool
+
+	// waker marks the owning controller due when a message is delivered
+	// into the inbox from outside its Tick (the wake-set scheduling
+	// contract; retry/waiting queues need no wake — they are only
+	// appended to from inside the owner's own tick, whose post-tick
+	// NextWake refresh reports them via QueuedWork).
+	waker sim.Waker
 }
+
+// SetWaker binds the owning controller's wake handle (see waker).
+func (t *TxTable) SetWaker(w sim.Waker) { t.waker = w }
 
 // Init prepares the table: pool is the message free list, handle the
 // controller's dispatch function (bound once — Consume calls it for
@@ -138,8 +148,12 @@ func (t *TxTable) EnqueueRetry(m *Msg) {
 	t.retained = true
 }
 
-// Deliver appends a delivered message to the inbox (mesh.Endpoint hook).
-func (t *TxTable) Deliver(m *Msg) { t.inbox = append(t.inbox, m) }
+// Deliver appends a delivered message to the inbox (mesh.Endpoint hook)
+// and marks the owning controller due this cycle.
+func (t *TxTable) Deliver(m *Msg) {
+	t.inbox = append(t.inbox, m)
+	t.waker.Wake()
+}
 
 // Consume dispatches a message the controller owns through the bound
 // handler, recycling it unless a handler retained it. Save/restore keeps

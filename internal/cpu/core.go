@@ -45,6 +45,12 @@ type Core struct {
 	stallUntil sim.Cycle
 	halted     bool
 
+	// waker marks the core due when one of its completion callbacks
+	// fires (inside the L1's tick, earlier in the same cycle): that is
+	// the only way a blocked core is re-enabled, and under wake-set
+	// scheduling the engine ticks only components that were marked due.
+	waker sim.Waker
+
 	// batched enables straight-line run execution: a whole block of
 	// register/branch instructions retires in one Tick and the core
 	// stalls over the cycles the block would have occupied, so the
@@ -102,17 +108,23 @@ func New(id int, prog *program.Program, port coherence.CorePort, wbEntries int) 
 	c.loadCb = func(val uint64) {
 		c.regs[c.opDst] = int64(val)
 		c.waiting = false
+		c.waker.Wake()
 	}
 	c.rmwCb = func(old uint64) {
 		c.regs[c.opDst] = int64(old)
 		c.waiting = false
+		c.waker.Wake()
 	}
 	c.storeCb = func() {
 		c.wbHead = (c.wbHead + 1) % len(c.wb)
 		c.wbLen--
 		c.wbInFlight = false
+		c.waker.Wake()
 	}
-	c.fenceCb = func() { c.waiting = false }
+	c.fenceCb = func() {
+		c.waiting = false
+		c.waker.Wake()
+	}
 	c.fAdd = func(old uint64) (uint64, bool) { return old + c.rmwA, true }
 	c.fXchg = func(old uint64) (uint64, bool) { return c.rmwA, true }
 	c.fCas = func(old uint64) (uint64, bool) {
@@ -123,6 +135,9 @@ func New(id int, prog *program.Program, port coherence.CorePort, wbEntries int) 
 	}
 	return c
 }
+
+// BindWaker implements sim.WakeSink (see the waker field).
+func (c *Core) BindWaker(w sim.Waker) { c.waker = w }
 
 // SetBatched toggles batched straight-line execution
 // (config.System.BatchedCore). Both settings produce bit-identical
@@ -278,10 +293,15 @@ func (c *Core) drainWriteBuffer(now sim.Cycle) {
 		c.wbInFlight = true
 		c.wbStalled = false
 	} else {
-		// The L1 declined (a same-block load or another write is in
-		// flight there). It can only free up on a cycle where it handles
-		// a message or timer — an active cycle, on which this core ticks
-		// and retries — so no self-scheduled wake is needed.
+		// The L1 declined. Every decline reason is a transaction this
+		// same core has in flight (a same-block load/RMW, or its own
+		// write), and every such transaction completes by firing one of
+		// this core's callbacks — which call waker.Wake — so the retry
+		// is re-dispatched on exactly the cycle the L1 frees up. This
+		// invariant is load-bearing under wake-set scheduling: a stalled
+		// head with the core otherwise quiescent reports WakeNever, so
+		// an L1 decline reason with no pending same-core callback would
+		// be a lost-wakeup deadlock. Do not add one.
 		c.wbStalled = true
 	}
 }
@@ -289,9 +309,9 @@ func (c *Core) drainWriteBuffer(now sim.Cycle) {
 // NextWake implements sim.WakeHinter. The core must be ticked while it
 // has self-driven work: an instruction to execute, a stall expiring, or
 // a write-buffer head to (re)issue. While blocked on an L1 callback it
-// is externally driven — the L1's own wake hint covers the cycle the
-// callback fires, and the core (registered after its L1) ticks that
-// same cycle.
+// is externally driven — the callback itself wakes the core through its
+// Waker on the cycle it fires (inside the L1's tick, earlier in that
+// same cycle, so the core's turn is still ahead).
 func (c *Core) NextWake(now sim.Cycle) sim.Cycle {
 	if c.wbLen > 0 && !c.wbInFlight && !c.wbStalled {
 		return now + 1 // a freshly buffered store to issue

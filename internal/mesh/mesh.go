@@ -35,7 +35,9 @@ type Config struct {
 // ticked before the attached controllers each cycle so that messages due
 // at cycle t are visible to controllers at cycle t. Pending deliveries
 // live in a calendar queue (bucketed ring + overflow heap) that exposes
-// the earliest deadline, enabling the engine's idle-skip scheduling.
+// the earliest deadline; every Send marks the network due at the
+// delivery cycle through its sim.Waker, so the wake-set engine ticks it
+// exactly at pending deadlines and never rescans it in between.
 type Network struct {
 	cfg   Config
 	rows  int
@@ -54,6 +56,7 @@ type Network struct {
 	q       calQueue
 	seq     uint64
 	scratch []delivery
+	waker   sim.Waker
 
 	// Pool recycles coherence messages flowing through this network.
 	// Protocol controllers draw their messages from here and return them
@@ -168,7 +171,7 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	if src.router == dst.router {
 		// Co-located endpoints: one cycle of crossbar delay, no
 		// link traffic.
-		n.schedule(now+n.cfg.LocalDelay, m, dst.ep)
+		n.schedule(now, now+n.cfg.LocalDelay, m, dst.ep)
 		return
 	}
 
@@ -194,7 +197,7 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	// Tail-flit serialization at the destination.
 	t += sim.Cycle(flits - 1)
 	n.FlitHops.Add(int64(flits * hops))
-	n.schedule(t+1, m, dst.ep)
+	n.schedule(now, t+1, m, dst.ep)
 }
 
 // rebaseLinks starts a new link-reservation epoch at now: reservations
@@ -232,9 +235,23 @@ func (n *Network) xyStep(r, dst int) (dir, next int) {
 	panic("mesh: xyStep at destination")
 }
 
-func (n *Network) schedule(at sim.Cycle, m *coherence.Msg, ep Endpoint) {
+// BindWaker implements sim.WakeSink: the engine hands the network its
+// wake handle at registration. Every scheduled delivery self-wakes at
+// its deadline, replacing the per-cycle NextWake rescans of the old
+// scan-all engine.
+func (n *Network) BindWaker(w sim.Waker) { n.waker = w }
+
+func (n *Network) schedule(now, at sim.Cycle, m *coherence.Msg, ep Endpoint) {
+	// The ring's base advances only on pop; on a long-idle network it may
+	// be arbitrarily stale (the wake-set engine never ticks an empty
+	// network), which would push near-future deliveries into the overflow
+	// heap. Re-anchor the empty queue at the send cycle.
+	if n.q.pending == 0 && now > n.q.base {
+		n.q.base = now
+	}
 	n.q.schedule(delivery{at: at, seq: n.seq, msg: m, dst: ep})
 	n.seq++
+	n.waker.WakeAt(at)
 }
 
 // Tick delivers all messages due at cycle now, in send order. The

@@ -54,6 +54,7 @@ type L1 struct {
 
 	timers coherence.Timers
 	inbox  []*coherence.Msg
+	waker  sim.Waker
 
 	// rd/wr point at rdBuf/wrBuf when active: one read and one write
 	// transaction at a time, so the records are preallocated scratch.
@@ -114,8 +115,20 @@ func (l *L1) newEvict(data []byte, dirty bool) *evictEntry {
 	return e
 }
 
+// BindWaker implements sim.WakeSink: stored for inbox deliveries and
+// forwarded to the timer heap, so any work landing on this L1 from
+// outside its own Tick (a mesh delivery, a hit latency scheduled during
+// the core's tick) marks it due.
+func (l *L1) BindWaker(w sim.Waker) {
+	l.waker = w
+	l.timers.SetWaker(w)
+}
+
 // Deliver implements mesh.Endpoint.
-func (l *L1) Deliver(now sim.Cycle, m *coherence.Msg) { l.inbox = append(l.inbox, m) }
+func (l *L1) Deliver(now sim.Cycle, m *coherence.Msg) {
+	l.inbox = append(l.inbox, m)
+	l.waker.Wake()
+}
 
 // Tick processes due timers and delivered messages.
 func (l *L1) Tick(now sim.Cycle) {

@@ -8,13 +8,20 @@
 //
 //   - Per-cycle: every ticker is ticked once per cycle, in registration
 //     order. Simple and the conformance baseline.
-//   - Event-driven (default): when every registered ticker also
-//     implements WakeHinter, the engine asks each component for the
-//     earliest cycle at which it may act and leaps `now` directly there,
-//     skipping cycles in which every component would have been a no-op.
-//     Because a correct NextWake never overshoots the component's next
-//     action, the sequence of non-idle ticks — and therefore all
-//     simulated state — is bit-identical to per-cycle execution.
+//   - Wake-set (default): the engine tracks a per-component due cycle
+//     and, on every simulated cycle, ticks only the components that are
+//     due — in registration order, so intra-cycle ordering is identical
+//     to per-cycle execution. Cycles where no component is due are
+//     leapt over entirely. A component becomes due through its own
+//     NextWake hint (refreshed after each of its ticks) or through an
+//     explicit cross-component wake (Engine.WakeAt / a Waker handle)
+//     issued when external work — a mesh delivery, a completion
+//     callback, a freshly scheduled timer — lands on it.
+//
+// Because a correct NextWake never overshoots the component's next
+// self-driven action, and every external stimulation marks its receiver
+// due, the sequence of effective (non-no-op) ticks — and therefore all
+// simulated state — is bit-identical to per-cycle execution.
 //
 // If any ticker does not implement WakeHinter, the engine transparently
 // falls back to per-cycle ticking.
@@ -23,6 +30,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Cycle is a point in simulated time, measured in core clock cycles.
@@ -30,8 +38,7 @@ type Cycle int64
 
 // WakeNever is the NextWake sentinel for "no self-scheduled work": the
 // component has nothing to do until some other component's activity
-// (a message delivery, a callback) re-enables it at an already-active
-// cycle.
+// (a message delivery, a callback) re-enables it via a wake.
 const WakeNever Cycle = 1<<63 - 1
 
 // Ticker is a component advanced once per simulated cycle.
@@ -42,20 +49,59 @@ type Ticker interface {
 	Tick(now Cycle)
 }
 
-// WakeHinter is the optional scheduling contract that enables idle-skip
-// execution. NextWake reports the earliest cycle strictly after now at
-// which the component may perform work on its own (a due timer, a
-// pending retry, an instruction to execute), or WakeNever if it is
-// quiescent until externally stimulated.
+// WakeHinter is the self-scheduling half of the wake-set contract.
+// NextWake reports the earliest cycle strictly after now at which the
+// component may perform work on its own (a due timer, a pending retry,
+// an instruction to execute), or WakeNever if it is quiescent until
+// externally stimulated.
 //
 // The hint must never be later than the component's true next action:
 // returning now+1 is always safe (it degenerates to per-cycle ticking),
 // returning too large a value skips real work and breaks determinism.
-// Work triggered by another component within a cycle (e.g. a callback
-// fired by an earlier-registered ticker) needs no hint: the engine ticks
-// every component at every active cycle.
+// The engine re-polls NextWake only after ticking the component, so the
+// hint must cover every pending obligation visible in the component's
+// own state (its timer heap, its inbox, its pending deliveries) — a
+// wake delivered earlier via WakeAt does not survive the next tick.
 type WakeHinter interface {
 	NextWake(now Cycle) Cycle
+}
+
+// Waker is a component's handle for marking a registered component due.
+// It is handed out at registration (see WakeSink) and is what lets
+// external events — a mesh delivery into an inbox, a completion
+// callback into a core, a timer scheduled from another component's tick
+// — reach a component without the engine rescanning every hint. The
+// zero Waker is valid and wakes nothing (standalone component tests).
+type Waker struct {
+	e  *Engine
+	id int
+}
+
+// WakeAt marks the component due at cycle c. A wake at or before the
+// cycle currently being dispatched means "as soon as possible": the
+// component is ticked later this same cycle if its turn (registration
+// order) has not passed yet, and next cycle otherwise — exactly when
+// per-cycle execution would first act on the stimulation.
+func (w Waker) WakeAt(c Cycle) {
+	if w.e != nil {
+		w.e.WakeAt(w.id, c)
+	}
+}
+
+// Wake marks the component due now (the engine's current cycle): the
+// receiver of an intra-cycle stimulation calls this from the entry
+// point that accepted the work (Deliver, a completion callback).
+func (w Waker) Wake() {
+	if w.e != nil {
+		w.e.WakeAt(w.id, w.e.now)
+	}
+}
+
+// WakeSink is implemented by components that need a Waker — any
+// component that can be stimulated from outside its own Tick. The
+// engine binds the handle during Register.
+type WakeSink interface {
+	BindWaker(w Waker)
 }
 
 // Doner is implemented by components that can report completion.
@@ -66,16 +112,24 @@ type Doner interface {
 
 // Engine drives a set of tickers in deterministic order.
 type Engine struct {
-	now       Cycle
-	tickers   []Ticker
-	hinters   []WakeHinter // parallel to tickers; nil = no hint
-	allHint   bool
-	perCycle  bool
-	scanStart int
-	doners    []Doner
-	maxCycle  Cycle
+	now      Cycle
+	tickers  []Ticker
+	hinters  []WakeHinter // parallel to tickers; nil = no hint
+	allHint  bool
+	perCycle bool
+	doners   []Doner
+	maxCycle Cycle
 
-	// IdleSkipped counts cycles the event-driven mode never simulated
+	// Wake-set scheduling state. dueAt[i] is the earliest cycle
+	// component i must be ticked at (WakeNever = quiescent); curMask is
+	// the per-cycle dispatch bitmask over registration order, rebuilt at
+	// each active cycle and mutated mid-dispatch by same-cycle wakes.
+	dueAt       []Cycle
+	curMask     []uint64
+	pos         int // highest registration index already dispatched this cycle
+	dispatching bool
+
+	// IdleSkipped counts cycles the wake-set mode never simulated
 	// (throughput diagnostics; not part of any Result).
 	IdleSkipped int64
 }
@@ -101,30 +155,57 @@ func (e *Engine) Now() Cycle { return e.now }
 // wake hints (the conformance baseline for A/B determinism testing).
 func (e *Engine) SetPerCycle(on bool) { e.perCycle = on }
 
-// EventDriven reports whether the engine will use idle-skip scheduling.
+// EventDriven reports whether the engine will use wake-set scheduling.
 func (e *Engine) EventDriven() bool { return !e.perCycle && e.allHint }
 
 // Register adds a ticker. If the ticker also implements Doner it
 // participates in the completion check. Registration order defines
-// per-cycle execution order. Tickers that also implement WakeHinter
-// enable event-driven time advancement; a single ticker without a hint
-// reverts the whole engine to per-cycle ticking (conformance fallback).
+// execution order within a cycle. Tickers that also implement
+// WakeHinter enable wake-set time advancement; a single ticker without
+// a hint reverts the whole engine to per-cycle ticking (conformance
+// fallback). Tickers implementing WakeSink receive their Waker here.
 func (e *Engine) Register(t Ticker) {
+	id := len(e.tickers)
 	e.tickers = append(e.tickers, t)
 	h, ok := t.(WakeHinter)
 	if !ok {
 		e.allHint = false
 	}
 	e.hinters = append(e.hinters, h)
+	e.dueAt = append(e.dueAt, e.now+1)
+	if id>>6 >= len(e.curMask) {
+		e.curMask = append(e.curMask, 0)
+	}
 	if d, ok := t.(Doner); ok {
 		e.doners = append(e.doners, d)
+	}
+	if ws, ok := t.(WakeSink); ok {
+		ws.BindWaker(Waker{e: e, id: id})
 	}
 }
 
 // RegisterDoner adds a completion check that is not a ticker.
 func (e *Engine) RegisterDoner(d Doner) { e.doners = append(e.doners, d) }
 
-// Step advances the simulation a single cycle.
+// WakeAt marks component id due at cycle c (the Waker handle calls
+// this). Wakes at or before the current cycle fold into the in-flight
+// dispatch when the component's turn has not passed, and defer to
+// now+1 when it has — the first cycle per-cycle execution could act.
+func (e *Engine) WakeAt(id int, c Cycle) {
+	if c <= e.now {
+		if e.dispatching && id > e.pos {
+			e.curMask[id>>6] |= 1 << (uint(id) & 63)
+			return
+		}
+		c = e.now + 1
+	}
+	if c < e.dueAt[id] {
+		e.dueAt[id] = c
+	}
+}
+
+// Step advances the simulation a single cycle, ticking every component
+// (per-cycle semantics).
 func (e *Engine) Step() {
 	e.now++
 	for _, t := range e.tickers {
@@ -132,32 +213,66 @@ func (e *Engine) Step() {
 	}
 }
 
-// nextWake computes the earliest cycle any component may act at, never
-// earlier than now+1 (a hint at or before now means "tick me next
-// cycle"). The scan starts at the component that bound the previous
-// decision: during dense phases (a spinning core) the first probe
-// answers immediately, making the scan O(1) instead of O(components).
-// Scan order cannot affect the result — only the early exit.
-func (e *Engine) nextWake() Cycle {
-	n := len(e.hinters)
+// nextDue reports the earliest cycle any component is due at. This is
+// the only full scan in the wake-set scheduler, and it is a branch-light
+// pass over a contiguous []Cycle — not a virtual NextWake call per
+// component per cycle.
+func (e *Engine) nextDue() Cycle {
 	earliest := WakeNever
-	for k := 0; k < n; k++ {
-		i := e.scanStart + k
-		if i >= n {
-			i -= n
+	for _, d := range e.dueAt {
+		if d < earliest {
+			earliest = d
 		}
-		if w := e.hinters[i].NextWake(e.now); w < earliest {
-			earliest = w
-			if earliest <= e.now+1 {
-				e.scanStart = i
-				return e.now + 1
-			}
-		}
-	}
-	if earliest <= e.now {
-		earliest = e.now + 1
 	}
 	return earliest
+}
+
+// dispatch ticks every due component at the current cycle in
+// registration order. Components woken mid-dispatch for this same cycle
+// (a mesh delivery into an inbox, a completion callback into a core)
+// are picked up in the same pass as long as their turn has not passed;
+// bit identity with per-cycle execution holds because stimulation only
+// flows forward in registration order within a cycle (network → L2s →
+// L1s → frontends), which mirrors per-cycle tick order.
+func (e *Engine) dispatch() {
+	now := e.now
+	for w := range e.curMask {
+		e.curMask[w] = 0
+	}
+	for i, d := range e.dueAt {
+		if d <= now {
+			e.curMask[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	e.dispatching = true
+	e.pos = -1
+	for w := 0; w < len(e.curMask); {
+		wordBits := e.curMask[w]
+		if wordBits == 0 {
+			// Word exhausted: everything below the next word has had its
+			// turn; later same-cycle wakes for these indices defer to now+1.
+			e.pos = (w+1)<<6 - 1
+			w++
+			continue
+		}
+		i := w<<6 + bits.TrailingZeros64(wordBits)
+		e.curMask[w] = wordBits & (wordBits - 1)
+		e.pos = i
+		// Consume the due entry before ticking: wakes issued during the
+		// tick (timers the component schedules on itself, messages it
+		// receives) min into a clean slate, and the post-tick hint covers
+		// all remaining self-visible work.
+		e.dueAt[i] = WakeNever
+		e.tickers[i].Tick(now)
+		if h := e.hinters[i].NextWake(now); h < e.dueAt[i] {
+			if h <= now {
+				h = now + 1 // a hint at or before now means "tick me next cycle"
+			}
+			e.dueAt[i] = h
+		}
+	}
+	e.dispatching = false
+	e.pos = len(e.tickers)
 }
 
 // Run advances the simulation until every Doner reports done, or the
@@ -166,7 +281,23 @@ func (e *Engine) Run() (Cycle, error) {
 	if len(e.doners) == 0 {
 		return e.now, fmt.Errorf("sim: no completion conditions registered")
 	}
-	event := e.EventDriven()
+	if !e.EventDriven() {
+		for {
+			if e.allDone() {
+				return e.now, nil
+			}
+			if e.now >= e.maxCycle {
+				return e.now, fmt.Errorf("%w (limit %d)", ErrCycleLimit, e.maxCycle)
+			}
+			e.Step()
+		}
+	}
+	// Wake-set mode. Start from a clean slate: every component is due on
+	// the first cycle (mirroring per-cycle execution, which ticks
+	// everything from cycle 1), and hints are collected as they tick.
+	for i := range e.dueAt {
+		e.dueAt[i] = e.now + 1
+	}
 	for {
 		if e.allDone() {
 			return e.now, nil
@@ -174,24 +305,20 @@ func (e *Engine) Run() (Cycle, error) {
 		if e.now >= e.maxCycle {
 			return e.now, fmt.Errorf("%w (limit %d)", ErrCycleLimit, e.maxCycle)
 		}
-		if event {
-			next := e.nextWake()
-			if next > e.now+1 {
-				// Everything is idle until `next`: leap straight there.
-				// WakeNever with pending Doners is a deadlock; advance to
-				// the limit so the error path matches per-cycle mode.
-				if next > e.maxCycle {
-					next = e.maxCycle
-				}
-				e.IdleSkipped += int64(next - e.now - 1)
-				e.now = next - 1
-			}
+		next := e.nextDue()
+		if next > e.maxCycle {
+			// WakeNever with pending Doners is a deadlock; advance to the
+			// limit so the error path matches per-cycle mode.
+			next = e.maxCycle
 		}
-		e.Step()
+		e.IdleSkipped += int64(next - e.now - 1)
+		e.now = next
+		e.dispatch()
 	}
 }
 
-// RunFor advances exactly n cycles regardless of completion state.
+// RunFor advances exactly n cycles regardless of completion state,
+// ticking every component every cycle.
 func (e *Engine) RunFor(n Cycle) {
 	for i := Cycle(0); i < n; i++ {
 		e.Step()

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// workRec is one unit of observable work: toy `id` acted at cycle `at`.
+// The property below asserts the full (id, at) sequence — including
+// intra-cycle order — is identical between the wake-set engine and a
+// scan-all reference.
+type workRec struct {
+	id int
+	at Cycle
+}
+
+// stimToy is a randomized component for the wake-set property test. It
+// has a scripted schedule of self-driven work (selfDue, covered by
+// NextWake) and accepts external stimulations (AddStim — the analogue
+// of a mesh delivery or a completion callback), which wake it through
+// its Waker. Whenever it does work it may, deterministically from its
+// own RNG, stimulate a random peer at a random near-future cycle —
+// including the current cycle, in both the forward (peer not yet
+// ticked) and backward (peer's turn already passed) directions.
+type stimToy struct {
+	id    int
+	peers []*stimToy
+	waker Waker // zero in reference mode
+
+	selfDue []Cycle // ascending; consumed from the front
+	stim    []Cycle // pending external stimulations
+	rng     *RNG
+	log     *[]workRec
+}
+
+func (t *stimToy) BindWaker(w Waker) { t.waker = w }
+
+// AddStim lands external work on the toy: recorded in its own state
+// (visible to NextWake, like an inbox) and self-woken (like Deliver).
+func (t *stimToy) AddStim(c Cycle) {
+	t.stim = append(t.stim, c)
+	t.waker.WakeAt(c)
+}
+
+func (t *stimToy) Tick(now Cycle) {
+	worked := false
+	for len(t.selfDue) > 0 && t.selfDue[0] <= now {
+		t.selfDue = t.selfDue[1:]
+		worked = true
+	}
+	kept := t.stim[:0]
+	for _, c := range t.stim {
+		if c <= now {
+			worked = true
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	t.stim = kept
+	if !worked {
+		return
+	}
+	*t.log = append(*t.log, workRec{id: t.id, at: now})
+	// Deterministically derived side effects: the RNG is consumed only on
+	// work events, so both engines (which must agree on the work
+	// sequence) draw identical streams.
+	if t.rng != nil && t.rng.Intn(2) == 0 {
+		target := t.peers[t.rng.Intn(len(t.peers))]
+		delta := Cycle(t.rng.Intn(4)) // 0..3; 0 = same-cycle stimulation
+		target.AddStim(now + delta)
+	}
+}
+
+func (t *stimToy) NextWake(now Cycle) Cycle {
+	earliest := WakeNever
+	if len(t.selfDue) > 0 {
+		earliest = t.selfDue[0]
+	}
+	for _, c := range t.stim {
+		if c < earliest {
+			earliest = c
+		}
+	}
+	return earliest
+}
+
+func (t *stimToy) Done() bool { return len(t.selfDue) == 0 && len(t.stim) == 0 }
+
+// buildToys constructs one seeded scenario: n toys with sparse random
+// self-schedules, wired as mutual peers.
+func buildToys(seed uint64, log *[]workRec) []*stimToy {
+	rng := NewRNG(seed)
+	n := 1 + rng.Intn(8)
+	toys := make([]*stimToy, n)
+	for i := range toys {
+		toys[i] = &stimToy{id: i, rng: NewRNG(seed*1000 + uint64(i)), log: log}
+	}
+	for i, t := range toys {
+		t.peers = toys
+		c := Cycle(0)
+		for k := 0; k < rng.Intn(20); k++ {
+			c += 1 + Cycle(rng.Intn(200))
+			t.selfDue = append(t.selfDue, c)
+		}
+		_ = i
+	}
+	// Guarantee at least one unit of work so Run has something to do.
+	if allEmpty := func() bool {
+		for _, t := range toys {
+			if len(t.selfDue) > 0 {
+				return false
+			}
+		}
+		return true
+	}(); allEmpty {
+		toys[0].selfDue = append(toys[0].selfDue, 1)
+	}
+	return toys
+}
+
+// runReference executes the scan-all baseline: at every step, poll every
+// component's NextWake, leap to the earliest, tick ALL components in
+// registration order. This is the old event engine's contract; toys
+// record work only when they actually have some, so its log is directly
+// comparable to the wake-set engine's.
+func runReference(t *testing.T, toys []*stimToy, maxCycle Cycle) Cycle {
+	t.Helper()
+	now := Cycle(0)
+	done := func() bool {
+		for _, toy := range toys {
+			if !toy.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	for !done() {
+		if now >= maxCycle {
+			t.Fatal("reference run hit the cycle limit")
+		}
+		next := WakeNever
+		for _, toy := range toys {
+			if h := toy.NextWake(now); h < next {
+				next = h
+			}
+		}
+		if next == WakeNever {
+			t.Fatal("reference run stuck: pending work but no wake")
+		}
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+		for _, toy := range toys {
+			toy.Tick(now)
+		}
+	}
+	return now
+}
+
+// TestWakeSetMatchesScanAllReference is the wake-set scheduler's
+// property gate: across many random interleavings of self-scheduled
+// work, cross-component WakeAt stimulation (same-cycle forward and
+// backward, and future-cycle), NextWake polling and ticking, the
+// wake-set engine must produce exactly the scan-all reference's work
+// sequence — same cycles, same intra-cycle order, same final cycle.
+func TestWakeSetMatchesScanAllReference(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			const limit = 1_000_000
+
+			var refLog []workRec
+			refToys := buildToys(seed, &refLog)
+			refCycles := runReference(t, refToys, limit)
+
+			var wsLog []workRec
+			wsToys := buildToys(seed, &wsLog)
+			e := NewEngine(limit)
+			for _, toy := range wsToys {
+				e.Register(toy)
+			}
+			if !e.EventDriven() {
+				t.Fatal("toys should enable wake-set mode")
+			}
+			wsCycles, err := e.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if wsCycles != refCycles {
+				t.Fatalf("final cycles differ: wake-set %d, reference %d", wsCycles, refCycles)
+			}
+			if len(wsLog) != len(refLog) {
+				t.Fatalf("work counts differ: wake-set %d, reference %d", len(wsLog), len(refLog))
+			}
+			for i := range wsLog {
+				if wsLog[i] != refLog[i] {
+					t.Fatalf("work[%d]: wake-set %+v, reference %+v", i, wsLog[i], refLog[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWakeAtBeforeOwnTurnSameCycle pins the mid-dispatch semantics
+// directly: a component stimulated at the current cycle by an
+// earlier-registered component must act this same cycle (its turn is
+// still ahead), while a stimulation flowing backward — to a component
+// whose turn already passed — must land exactly one cycle later.
+func TestWakeAtBeforeOwnTurnSameCycle(t *testing.T) {
+	var log []workRec
+	back := &stimToy{id: 0, log: &log}    // registered before the source
+	forward := &stimToy{id: 2, log: &log} // registered after the source
+	src := &scriptTicker{at: 5, run: func(now Cycle) {
+		back.AddStim(now)    // backward: turn passed -> acts at 6
+		forward.AddStim(now) // forward: turn ahead -> acts at 5
+	}}
+	e := NewEngine(100)
+	e.Register(back)
+	e.Register(src)
+	e.Register(forward)
+	cycles, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []workRec{{id: 2, at: 5}, {id: 0, at: 6}}
+	if len(log) != len(want) {
+		t.Fatalf("log %+v, want %+v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log %+v, want %+v", log, want)
+		}
+	}
+	if cycles != 6 {
+		t.Fatalf("cycles = %d, want 6", cycles)
+	}
+}
+
+// scriptTicker runs a callback at one scripted cycle.
+type scriptTicker struct {
+	at   Cycle
+	run  func(now Cycle)
+	done bool
+}
+
+func (s *scriptTicker) Tick(now Cycle) {
+	if !s.done && now == s.at {
+		s.done = true
+		s.run(now)
+	}
+}
+
+func (s *scriptTicker) NextWake(now Cycle) Cycle {
+	if s.done {
+		return WakeNever
+	}
+	return s.at
+}
+
+func (s *scriptTicker) Done() bool { return s.done }

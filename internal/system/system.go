@@ -33,6 +33,7 @@ type Protocol = coherence.Protocol
 type Frontend interface {
 	sim.Ticker
 	sim.WakeHinter
+	sim.WakeSink
 	// Done reports whether the frontend has retired its full stream and
 	// drained its write buffer.
 	Done() bool
@@ -162,10 +163,15 @@ func newBase(cfg config.System, proto Protocol, initMem map[uint64]uint64) (*Mac
 		L1s: l1s, L2s: l2s, proto: proto}, nil
 }
 
-// finish registers every component in the deterministic per-cycle
+// finish registers every component in the deterministic intra-cycle
 // order: network delivery, then L2 tiles, then L1s (timers + message
 // handling), then frontends. Controllers are registered directly:
-// coherence.Controller is a superset of sim.Ticker + sim.WakeHinter.
+// coherence.Controller is a superset of sim.Ticker + sim.WakeHinter +
+// sim.WakeSink (Register binds each component's Waker). This order is
+// also what makes same-cycle wake-set dispatch exact: within a cycle,
+// stimulation only flows forward (mesh deliveries into controllers,
+// controller callbacks into frontends), so a woken component's turn is
+// always still ahead.
 func (m *Machine) finish() {
 	m.Engine.Register(m.Net)
 	for _, t := range m.L2s {

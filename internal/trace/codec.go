@@ -9,11 +9,11 @@ import (
 	"repro/internal/sim"
 )
 
-// Binary trace format, version 1. All integers are unsigned varints
+// Binary trace format, version 2. All integers are unsigned varints
 // (encoding/binary) unless marked zigzag (signed varint). Layout:
 //
 //	magic     8 bytes "TSOCCTRC"
-//	version   uvarint (== 1)
+//	version   uvarint (1 or 2)
 //	protocol  string (uvarint length + bytes)
 //	workload  string
 //	seed      uvarint
@@ -26,7 +26,7 @@ import (
 //	            value  uvarint
 //	streams   uvarint count, then per stream:
 //	            core   uvarint (strictly ascending across streams)
-//	            ops    uvarint count, then per op:
+//	            ops    uvarint count, then per op record:
 //	              kind    1 byte
 //	              gap     uvarint
 //	              instrs  uvarint
@@ -35,14 +35,53 @@ import (
 //	              val     uvarint (store/rmw/cas only)
 //	              val2    uvarint (cas only)
 //
-// The encoding is canonical: Encode is a pure function of the trace, so
-// encode → decode → re-encode is byte-identical (FuzzTraceRoundTrip
-// enforces it), which is what lets the conformance gates diff trace
-// files across engine modes and core models directly.
+// Version 2 adds run-length encoding of repeated operations: an op
+// record may be followed by a repeat marker
+//
+//	rle       1 byte 0xFF, then
+//	count     uvarint (>= 1)
+//
+// meaning "the previous op occurs count more times" — same kind,
+// address, values, gap and instruction delta. Spin-heavy streams (lock
+// probes re-polling one address on a fixed cadence) collapse from one
+// record per probe to one record per probe *burst*. The marker byte
+// cannot collide with a kind byte (kinds are < config.NumTraceOps), so
+// version-1 payloads — which never contain markers — decode unchanged
+// through the same loop; the encoder always writes version 2.
+//
+// The encoding is canonical: runs are maximal, so Encode is a pure
+// function of the trace and encode → decode → re-encode is
+// byte-identical (FuzzTraceRoundTrip enforces it, over both versions),
+// which is what lets the conformance gates diff trace files across
+// engine modes and core models directly.
 const (
-	formatVersion = 1
-	magicLen      = 8
+	formatVersion   = 2
+	formatVersionV1 = 1 // still decoded; see encodeV1 in codec_test.go
+	magicLen        = 8
+	rleMarker       = 0xFF
+
+	// maxDecodeOps floors the decoder's total-op budget (see
+	// decodeOpBudget) — far above any trace the simulator produces
+	// today, and what stands between a ~20-byte corrupt file and a
+	// multi-GB allocation.
+	maxDecodeOps = 4 << 20
 )
+
+// decodeOpBudget is the total op count, across all streams, a decoder
+// will expand from an n-byte file: one shared budget (a corrupt file
+// cannot multiply a per-stream allowance by a fabricated stream count)
+// that scales with input size, so legitimately large traces keep
+// decoding — a real capture spends several bytes per op outside its
+// RLE runs — while the allocation from a tiny corrupt file stays
+// bounded by the maxDecodeOps floor. Encode enforces the same formula
+// against its own output, so the codec never produces a file it would
+// refuse to read back.
+func decodeOpBudget(n int) int {
+	if b := 4096 * n; b > maxDecodeOps {
+		return b
+	}
+	return maxDecodeOps
+}
 
 var magic = [magicLen]byte{'T', 'S', 'O', 'C', 'C', 'T', 'R', 'C'}
 
@@ -82,7 +121,8 @@ func Encode(t *Trace) ([]byte, error) {
 		e.uvarint(uint64(s.Core))
 		e.uvarint(uint64(len(s.Ops)))
 		prev := uint64(0)
-		for _, op := range s.Ops {
+		for i := 0; i < len(s.Ops); {
+			op := s.Ops[i]
 			e.buf = append(e.buf, byte(op.Kind))
 			e.uvarint(uint64(op.Gap))
 			e.uvarint(uint64(op.Instrs))
@@ -96,9 +136,51 @@ func Encode(t *Trace) ([]byte, error) {
 			if op.Kind == config.TraceCAS {
 				e.uvarint(op.Val2)
 			}
+			// Maximal run of wire-identical ops, emitted as one repeat
+			// marker. Maximality keeps the encoding canonical, and the
+			// comparison covers exactly the fields the format encodes for
+			// this kind — a full struct compare would see fields the wire
+			// drops (e.g. a stray Addr on a fence), split the run, and
+			// break encode ∘ decode ∘ encode byte-identity.
+			run := 0
+			for i+1+run < len(s.Ops) && sameWire(s.Ops[i+1+run], op) {
+				run++
+			}
+			if run > 0 {
+				e.buf = append(e.buf, rleMarker)
+				e.uvarint(uint64(run))
+			}
+			i += 1 + run
 		}
 	}
+	// Self-check against the decoder's budget (see decodeOpBudget): only
+	// a degenerate trace — millions of ops collapsing into a few runs —
+	// can trip this, and refusing here beats writing a file no decoder
+	// will accept.
+	if total := t.Ops(); total > decodeOpBudget(len(e.buf)) {
+		return nil, fmt.Errorf("trace: %d total ops exceeds the decode budget for a %d-byte encoding",
+			total, len(e.buf))
+	}
 	return e.buf, nil
+}
+
+// sameWire reports whether two ops have identical wire encodings: the
+// always-encoded fields plus whichever optional fields a's kind
+// serializes. Fields the format drops for this kind are ignored.
+func sameWire(a, b Op) bool {
+	if a.Kind != b.Kind || a.Gap != b.Gap || a.Instrs != b.Instrs {
+		return false
+	}
+	if a.Kind.HasAddr() && a.Addr != b.Addr {
+		return false
+	}
+	if a.Kind.HasVal() && a.Val != b.Val {
+		return false
+	}
+	if a.Kind == config.TraceCAS && a.Val2 != b.Val2 {
+		return false
+	}
+	return true
 }
 
 // geometryFields lists the header's machine-geometry values in encoding
@@ -143,7 +225,7 @@ func Decode(data []byte) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != formatVersion {
+	if version != formatVersion && version != formatVersionV1 {
 		return nil, fmt.Errorf("trace: unsupported format version %d (have %d)", version, formatVersion)
 	}
 	t := &Trace{}
@@ -203,6 +285,7 @@ func Decode(data []byte) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
+	opBudget := decodeOpBudget(len(data))
 	for i := 0; i < nstreams; i++ {
 		core, err := d.uvarint("stream core")
 		if err != nil {
@@ -211,15 +294,53 @@ func Decode(data []byte) (*Trace, error) {
 		if core > 1<<20 {
 			return nil, fmt.Errorf("trace: stream core id %d out of range", core)
 		}
-		nops, err := d.count("ops")
+		// The op count cannot be bounded by the remaining input: run-length
+		// markers expand to arbitrarily many ops by design. A decoder-side
+		// sanity budget — shared across every stream in the file — keeps
+		// corrupt counts from driving huge allocations, and the capacity
+		// hint never trusts the count beyond the bytes actually present
+		// (append grows as markers expand).
+		nopsU, err := d.uvarint("ops")
 		if err != nil {
 			return nil, err
 		}
-		s := Stream{Core: int(core), Ops: make([]Op, 0, nops)}
+		if nopsU > uint64(opBudget) {
+			return nil, fmt.Errorf("trace: ops count %d exceeds remaining decoder budget %d",
+				nopsU, opBudget)
+		}
+		nops := int(nopsU)
+		opBudget -= nops
+		capHint := nops
+		if rem := len(d.buf) - d.pos; capHint > rem {
+			capHint = rem
+		}
+		s := Stream{Core: int(core), Ops: make([]Op, 0, capHint)}
 		prev := uint64(0)
 		for j := 0; j < nops; j++ {
 			if d.pos >= len(d.buf) {
 				return nil, fmt.Errorf("trace: truncated at core %d op %d", core, j)
+			}
+			if version >= 2 && d.buf[d.pos] == rleMarker {
+				// Repeat marker: replicate the previous op. Bounded by the
+				// declared op count, so corrupt repeats cannot blow up the
+				// allocation.
+				d.pos++
+				if j == 0 {
+					return nil, fmt.Errorf("trace: core %d: repeat marker before any op", core)
+				}
+				count, err := d.uvarint("op repeat")
+				if err != nil {
+					return nil, err
+				}
+				if count < 1 || count > uint64(nops-j) {
+					return nil, fmt.Errorf("trace: core %d op %d: repeat count %d exceeds declared ops", core, j, count)
+				}
+				last := s.Ops[len(s.Ops)-1]
+				for k := uint64(0); k < count; k++ {
+					s.Ops = append(s.Ops, last)
+				}
+				j += int(count) - 1
+				continue
 			}
 			op := Op{Kind: config.TraceOp(d.buf[d.pos])}
 			d.pos++

@@ -37,6 +37,196 @@ func sampleTrace() *Trace {
 	}
 }
 
+// encodeV1 emits the legacy version-1 encoding (no run-length markers):
+// the generator for decoder coverage of traces written before the v2
+// compaction. It mirrors Encode byte for byte apart from the version
+// number and the absence of RLE.
+func encodeV1(t *Trace) ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	e := encoder{buf: make([]byte, 0, 256+16*t.Ops())}
+	e.buf = append(e.buf, magic[:]...)
+	e.uvarint(formatVersionV1)
+	e.str(t.Meta.Protocol)
+	e.str(t.Meta.Workload)
+	e.uvarint(t.Meta.Seed)
+	for _, v := range geometryFields(t.Meta.Sys) {
+		e.uvarint(uint64(v))
+	}
+	e.uvarint(uint64(len(t.InitMem)))
+	prevAddr := uint64(0)
+	for i, w := range t.InitMem {
+		if i == 0 {
+			e.uvarint(w.Addr)
+		} else {
+			e.uvarint(w.Addr - prevAddr)
+		}
+		prevAddr = w.Addr
+		e.uvarint(w.Val)
+	}
+	e.uvarint(uint64(len(t.Streams)))
+	for _, s := range t.Streams {
+		e.uvarint(uint64(s.Core))
+		e.uvarint(uint64(len(s.Ops)))
+		prev := uint64(0)
+		for _, op := range s.Ops {
+			e.buf = append(e.buf, byte(op.Kind))
+			e.uvarint(uint64(op.Gap))
+			e.uvarint(uint64(op.Instrs))
+			if op.Kind.HasAddr() {
+				e.zigzag(int64(op.Addr - prev))
+				prev = op.Addr
+			}
+			if op.Kind.HasVal() {
+				e.uvarint(op.Val)
+			}
+			if op.Kind == config.TraceCAS {
+				e.uvarint(op.Val2)
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+// spinTrace builds a lock-probe-shaped stream: long bursts of identical
+// same-address/same-gap loads and CAS probes — the shape v2's RLE
+// exists for.
+func spinTrace(probes int) *Trace {
+	var ops []Op
+	for round := 0; round < 4; round++ {
+		ops = append(ops, Op{Kind: config.TraceCAS, Addr: 0x1000, Val: 0, Val2: 1, Gap: 3, Instrs: 2})
+		for i := 0; i < probes; i++ {
+			ops = append(ops, Op{Kind: config.TraceLoad, Addr: 0x1000, Gap: 17, Instrs: 4})
+		}
+		ops = append(ops, Op{Kind: config.TraceStore, Addr: 0x2000, Val: uint64(round), Gap: 1, Instrs: 2})
+	}
+	ops = append(ops, Op{Kind: config.TraceHalt, Gap: 1, Instrs: 1})
+	return &Trace{
+		Meta: Meta{Protocol: "TSO-CC-4-12-3", Workload: "spin",
+			Seed: 7, Sys: normalizeSys(config.Small(1))},
+		Streams: []Stream{{Core: 0, Ops: ops}},
+	}
+}
+
+// TestCodecV1Decodes pins backward compatibility: a version-1 encoding
+// decodes to the same trace as the version-2 encoding of the same data,
+// and a repeat marker inside a version-1 payload is rejected as a bad
+// kind (v1 never contained one).
+func TestCodecV1Decodes(t *testing.T) {
+	for _, tr := range []*Trace{sampleTrace(), spinTrace(50)} {
+		v1, err := encodeV1(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(v1)
+		if err != nil {
+			t.Fatalf("decode of v1 encoding: %v", err)
+		}
+		if !reflect.DeepEqual(tr, got) {
+			t.Fatal("v1 decode mismatch")
+		}
+		v2, err := Encode(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := Decode(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(tr, got2) {
+			t.Fatal("v1 -> v2 re-encode round trip mismatch")
+		}
+	}
+}
+
+// TestCodecRLECompression checks v2 actually compacts the spin shape:
+// the run-length encoding must shrink a probe-heavy stream by an order
+// of magnitude relative to v1, and the bytes-per-op headline must drop
+// below one.
+func TestCodecRLECompression(t *testing.T) {
+	tr := spinTrace(200)
+	v1, err := encodeV1(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Decode(v2); err != nil || !reflect.DeepEqual(tr, got) {
+		t.Fatalf("v2 round trip broken: %v", err)
+	}
+	if len(v2)*10 > len(v1) {
+		t.Fatalf("RLE shrank %d -> %d bytes; want >= 10x on the spin shape", len(v1), len(v2))
+	}
+	perOp := float64(len(v2)) / float64(tr.Ops())
+	if perOp >= 1 {
+		t.Fatalf("v2 bytes/op = %.2f on the spin shape, want < 1", perOp)
+	}
+	t.Logf("spin stream: v1 %d bytes (%.2f B/op), v2 %d bytes (%.2f B/op)",
+		len(v1), float64(len(v1))/float64(tr.Ops()), len(v2), perOp)
+}
+
+// TestCodecRLEIgnoresUnencodedFields pins the run comparison to the
+// wire format: ops differing only in fields their kind never encodes
+// (a stray Addr on a fence) must still form a run, keeping
+// encode ∘ decode ∘ encode byte-identical.
+func TestCodecRLEIgnoresUnencodedFields(t *testing.T) {
+	tr := &Trace{
+		Meta: Meta{Protocol: "MESI", Workload: "junkfields",
+			Seed: 1, Sys: normalizeSys(config.Small(1))},
+		Streams: []Stream{{Core: 0, Ops: []Op{
+			{Kind: config.TraceFence, Addr: 0x1000, Gap: 2, Instrs: 1},
+			{Kind: config.TraceFence, Addr: 0x2000, Gap: 2, Instrs: 1},
+			{Kind: config.TraceLoad, Addr: 0x1000, Val: 99, Gap: 3, Instrs: 1},
+			{Kind: config.TraceLoad, Addr: 0x1000, Val: 7, Gap: 3, Instrs: 1},
+			{Kind: config.TraceHalt, Gap: 1, Instrs: 1},
+		}}},
+	}
+	enc, err := Encode(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := Encode(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("re-encode not byte-identical (%d vs %d bytes): unencoded fields split a run", len(enc), len(enc2))
+	}
+}
+
+// TestCodecDecodeOpBudget pins the allocation guard: a crafted file
+// declaring more total ops than the decoder budget is rejected at the
+// count, before any expansion loop runs — RLE decouples op counts from
+// input size, so this cap is what stands between a ~20-byte corrupt
+// file and a multi-GB allocation.
+func TestCodecDecodeOpBudget(t *testing.T) {
+	e := encoder{}
+	e.buf = append(e.buf, magic[:]...)
+	e.uvarint(formatVersion)
+	e.str("MESI")
+	e.str("evil")
+	e.uvarint(1)
+	for _, v := range geometryFields(normalizeSys(config.Small(1))) {
+		e.uvarint(uint64(v))
+	}
+	e.uvarint(0)                // initmem count
+	e.uvarint(1)                // stream count
+	e.uvarint(0)                // core 0
+	e.uvarint(maxDecodeOps + 1) // declared ops past the budget
+	e.buf = append(e.buf, 0)    // one op would follow...
+	_, err := Decode(e.buf)
+	if err == nil {
+		t.Fatal("decode accepted an op count past the decoder budget")
+	}
+}
+
 func TestCodecRoundTrip(t *testing.T) {
 	orig := sampleTrace()
 	data, err := Encode(orig)

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/config"
@@ -60,17 +61,22 @@ func traceFromBytes(data []byte) *Trace {
 	return t
 }
 
-// FuzzTraceRoundTrip is the codec's fuzz gate with two properties:
+// FuzzTraceRoundTrip is the codec's fuzz gate with three properties:
 //
 //  1. For any structurally valid trace (derived from the fuzz input),
 //     encode → decode → re-encode is byte-identical and the decoded
-//     trace deep-equals the original.
-//  2. Decoding the raw fuzz input itself — almost always garbage —
+//     trace deep-equals the original (version 2, the current format).
+//  2. The same trace's legacy version-1 encoding (no RLE) decodes to a
+//     deep-equal trace — both format versions stay covered.
+//  3. Decoding the raw fuzz input itself — almost always garbage —
 //     must return an error or a valid trace, and must never panic.
 func FuzzTraceRoundTrip(f *testing.F) {
 	f.Add([]byte(nil))
 	f.Add([]byte("TSOCCTRC"))
 	if seed, err := Encode(sampleTrace()); err == nil {
+		f.Add(seed)
+	}
+	if seed, err := encodeV1(sampleTrace()); err == nil {
 		f.Add(seed)
 	}
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
@@ -87,12 +93,28 @@ func FuzzTraceRoundTrip(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decode of valid encoding: %v", err)
 		}
+		if !reflect.DeepEqual(tr, dec) {
+			t.Fatal("decode does not deep-equal the original")
+		}
 		enc2, err := Encode(dec)
 		if err != nil {
 			t.Fatalf("re-encode: %v", err)
 		}
 		if !bytes.Equal(enc, enc2) {
 			t.Fatalf("re-encode not byte-identical (%d vs %d bytes)", len(enc), len(enc2))
+		}
+
+		// Legacy version-1 payloads must keep decoding to the same trace.
+		v1, err := encodeV1(tr)
+		if err != nil {
+			t.Fatalf("v1 encode: %v", err)
+		}
+		decV1, err := Decode(v1)
+		if err != nil {
+			t.Fatalf("decode of valid v1 encoding: %v", err)
+		}
+		if !reflect.DeepEqual(tr, decV1) {
+			t.Fatal("v1 decode does not deep-equal the original")
 		}
 
 		// Raw input: decode must never panic.

@@ -52,6 +52,10 @@ type ReplayCore struct {
 	readyAt  sim.Cycle
 	gapArmed bool
 
+	// waker marks the core due when a completion callback fires (the
+	// wake-set contract, mirroring cpu.Core).
+	waker sim.Waker
+
 	loadCb  func(val uint64)
 	rmwCb   func(old uint64)
 	storeCb func()
@@ -89,14 +93,24 @@ func NewReplayCore(id int, ops []Op, port coherence.CorePort, wbEntries int) *Re
 	} else {
 		c.halted = true
 	}
-	c.loadCb = func(uint64) { c.waiting = false }
-	c.rmwCb = func(uint64) { c.waiting = false }
+	c.loadCb = func(uint64) {
+		c.waiting = false
+		c.waker.Wake()
+	}
+	c.rmwCb = func(uint64) {
+		c.waiting = false
+		c.waker.Wake()
+	}
 	c.storeCb = func() {
 		c.wbHead = (c.wbHead + 1) % len(c.wb)
 		c.wbLen--
 		c.wbInFlight = false
+		c.waker.Wake()
 	}
-	c.fenceCb = func() { c.waiting = false }
+	c.fenceCb = func() {
+		c.waiting = false
+		c.waker.Wake()
+	}
 	c.fAdd = func(old uint64) (uint64, bool) { return old + c.rmwA, true }
 	c.fXchg = func(old uint64) (uint64, bool) { return c.rmwA, true }
 	c.fCas = func(old uint64) (uint64, bool) {
@@ -107,6 +121,9 @@ func NewReplayCore(id int, ops []Op, port coherence.CorePort, wbEntries int) *Re
 	}
 	return c
 }
+
+// BindWaker implements sim.WakeSink (see the waker field).
+func (c *ReplayCore) BindWaker(w sim.Waker) { c.waker = w }
 
 // Done reports whether the stream is exhausted and all writes drained.
 func (c *ReplayCore) Done() bool {
@@ -262,8 +279,11 @@ func (c *ReplayCore) drainWriteBuffer(now sim.Cycle) {
 		c.wbInFlight = true
 		c.wbStalled = false
 	} else {
-		// Same contract as cpu.Core: the L1 frees up only on an active
-		// cycle, on which this core ticks and retries.
+		// Same invariant as cpu.Core.drainWriteBuffer: every L1 decline
+		// reason is one of this core's own in-flight transactions, whose
+		// completion callback wakes the core on the cycle the L1 frees —
+		// required for the retry to be dispatched under wake-set
+		// scheduling while the core reports WakeNever.
 		c.wbStalled = true
 	}
 }

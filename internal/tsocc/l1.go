@@ -62,6 +62,7 @@ type L1 struct {
 
 	timers coherence.Timers
 	inbox  []*coherence.Msg
+	waker  sim.Waker
 
 	// rd/wr point at rdBuf/wrBuf when active: the L1 serves one read and
 	// one write transaction at a time, so the transaction records are
@@ -140,8 +141,20 @@ func (l *L1) newEvict(data []byte, dirty bool, ts uint32, tsOwn bool) *evictEntr
 	return e
 }
 
+// BindWaker implements sim.WakeSink: stored for inbox deliveries and
+// forwarded to the timer heap, so any work landing on this L1 from
+// outside its own Tick (a mesh delivery, a hit latency scheduled during
+// the core's tick) marks it due.
+func (l *L1) BindWaker(w sim.Waker) {
+	l.waker = w
+	l.timers.SetWaker(w)
+}
+
 // Deliver implements mesh.Endpoint.
-func (l *L1) Deliver(now sim.Cycle, m *coherence.Msg) { l.inbox = append(l.inbox, m) }
+func (l *L1) Deliver(now sim.Cycle, m *coherence.Msg) {
+	l.inbox = append(l.inbox, m)
+	l.waker.Wake()
+}
 
 // Busy implements coherence.Controller.
 func (l *L1) Busy() bool {

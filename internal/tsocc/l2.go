@@ -118,6 +118,14 @@ func (t *L2) coarseMembersBuf(vec uint64) []int {
 	return t.membersBuf
 }
 
+// BindWaker implements sim.WakeSink: the wake handle flows into the
+// timer heap and the transaction table, which mark this tile due for
+// scheduled actions and delivered messages respectively.
+func (t *L2) BindWaker(w sim.Waker) {
+	t.timers.SetWaker(w)
+	t.txs.SetWaker(w)
+}
+
 // Deliver implements mesh.Endpoint.
 func (t *L2) Deliver(now sim.Cycle, m *coherence.Msg) { t.txs.Deliver(m) }
 
