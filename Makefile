@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate ci
+.PHONY: all vet build test race bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate fault-smoke ci
 
 all: ci
 
@@ -65,6 +65,16 @@ bench-gate:
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzTraceRoundTrip -fuzztime 10s ./internal/trace
 
+# Fault-injection smoke: the litmus suite with invariant oracles armed
+# under two fault profiles × two protocols (mirrors the CI fault job);
+# any TSO-forbidden outcome, oracle violation or deadlock fails.
+fault-smoke:
+	@set -e; for prof in jitter pressure; do for proto in MESI TSO-CC-4-12-3; do \
+	  echo "fault smoke: $$prof / $$proto"; \
+	  $(GO) run ./cmd/tsocc-litmus -iters 25 -proto $$proto \
+	    -faults $$prof -fault-seed 7 -checks > /dev/null; \
+	done; done; echo "fault smoke: all oracles clean"
+
 # Record → replay → diff-stats conformance over a small grid (mirrors
 # the CI trace gate).
 trace-gate:
@@ -77,4 +87,4 @@ trace-gate:
 	  diff $$tmp/rec.txt $$tmp/rep.txt; \
 	done; done; echo "trace gate: record/replay stats identical"
 
-ci: vet build test race bench-smoke bench-gate trace-gate
+ci: vet build test race bench-smoke bench-gate trace-gate fault-smoke

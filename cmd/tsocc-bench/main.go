@@ -46,6 +46,9 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	perf := flag.Bool("perf", false, "report simulator throughput (cycles/sec, ns/simcycle) as JSON and exit")
 	batched := flag.Bool("batched", true, "batched straight-line core execution (config.System.BatchedCore)")
+	faultSpec := flag.String("faults", "", "fault-injection profile: jitter, pressure or burst, optionally name:key=val,... (empty = off)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
+	checks := flag.Bool("checks", false, "enable runtime invariant oracles (SWMR, value, TSO order)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on (successful) exit")
 	flag.Parse()
@@ -128,7 +131,8 @@ func main() {
 		if *benchList != "" {
 			benches = strings.Split(*benchList, ",")
 		}
-		if err := runPerf(*cores, *scale, *seed, benches, protos); err != nil {
+		if err := runPerf(*cores, *scale, *seed, benches, protos,
+			*faultSpec, *faultSeed, *checks); err != nil {
 			fmt.Fprintln(os.Stderr, "perf failed:", err)
 			os.Exit(1)
 		}
@@ -147,6 +151,9 @@ func main() {
 	}
 	cfg := config.Scaled(*cores)
 	cfg.BatchedCore = *batched
+	cfg.FaultProfile = *faultSpec
+	cfg.FaultSeed = *faultSeed
+	cfg.Checks = *checks
 	p := workloads.Params{Threads: *cores, Scale: *scale, Seed: *seed}
 
 	progress := os.Stderr
@@ -281,7 +288,8 @@ var perfModes = []struct {
 // no -proto selection it measures the paper's best realistic
 // configuration. The synthetic "dense-compute" ALU workload (the
 // batched-core acceptance case) is always appended to the selection.
-func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Protocol) error {
+func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Protocol,
+	faultSpec string, faultSeed uint64, checks bool) error {
 	if len(benches) == 0 {
 		benches = []string{"canneal", "x264", "ssca2"}
 	}
@@ -302,11 +310,12 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 	// protocol) is shared with its reader, tsocc-benchdiff, via
 	// internal/benchfmt.
 	out := benchfmt.Snapshot{Host: benchfmt.Host{
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		ChecksEnabled: checks,
 	}}
 	for _, bench := range benches {
 		e := workloads.ByName(bench)
@@ -320,6 +329,9 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 				cfg := config.Scaled(cores)
 				cfg.PerCycleEngine = mode.perCycle
 				cfg.BatchedCore = mode.batched
+				cfg.FaultProfile = faultSpec
+				cfg.FaultSeed = faultSeed
+				cfg.Checks = checks
 				best := time.Duration(0)
 				var cycles int64
 				var skipped int64

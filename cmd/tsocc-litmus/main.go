@@ -22,6 +22,9 @@ func main() {
 	iters := flag.Int("iters", 40, "iterations per test per protocol")
 	cores := flag.Int("cores", 4, "core count (tests use up to 4 threads)")
 	seed := flag.Uint64("seed", 0xC0FFEE, "perturbation seed")
+	faultSpec := flag.String("faults", "", "fault-injection profile: jitter, pressure or burst, optionally name:key=val,... (empty = off)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
+	checks := flag.Bool("checks", false, "enable runtime invariant oracles (SWMR, value, TSO order)")
 	protoList := flag.String("proto", "", "comma-separated protocol subset (registry names; default all)")
 	verbose := flag.Bool("v", false, "print outcome histograms")
 	listW := flag.Bool("list-workloads", false, "list workloads (registry + synthetic extras) and exit")
@@ -52,6 +55,9 @@ func main() {
 	}
 
 	cfg := config.Small(*cores)
+	cfg.FaultProfile = *faultSpec
+	cfg.FaultSeed = *faultSeed
+	cfg.Checks = *checks
 	failed := false
 	for _, proto := range protos {
 		fmt.Printf("== %s ==\n", proto.Name())

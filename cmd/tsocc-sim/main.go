@@ -25,6 +25,9 @@ func main() {
 	cores := flag.Int("cores", 32, "core count")
 	scale := flag.Int("scale", 1, "workload size multiplier")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	faultSpec := flag.String("faults", "", "fault-injection profile: jitter, pressure or burst, optionally name:key=val,... (empty = off)")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
+	checks := flag.Bool("checks", false, "enable runtime invariant oracles (SWMR, value, TSO order)")
 	list := flag.Bool("list", false, "list workloads and protocols")
 	listW := flag.Bool("list-workloads", false, "list workloads (registry + synthetic extras) and exit")
 	listP := flag.Bool("list-protocols", false, "list registered protocols and exit")
@@ -60,6 +63,9 @@ func main() {
 	}
 
 	cfg := config.Scaled(*cores)
+	cfg.FaultProfile = *faultSpec
+	cfg.FaultSeed = *faultSeed
+	cfg.Checks = *checks
 	w := e.Gen(workloads.Params{Threads: *cores, Scale: *scale, Seed: *seed})
 	res, err := system.Run(cfg, chosen, w)
 	if err != nil {

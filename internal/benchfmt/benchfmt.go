@@ -20,6 +20,10 @@ type Host struct {
 	GOARCH     string `json:"goarch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	// ChecksEnabled records whether runtime invariant oracles
+	// (config.System.Checks) were active during measurement; checked
+	// numbers are not comparable against unchecked baselines.
+	ChecksEnabled bool `json:"checks_enabled"`
 }
 
 // Record is one benchmark × protocol measurement. Three configurations

@@ -133,6 +133,12 @@ type Msg struct {
 	TS      uint32 // line timestamp (0 = invalid)
 	Epoch   uint8  // epoch-id of the timestamp source
 	TSValid bool   // whether TS carries a meaningful timestamp
+
+	// FaultStalls is injector scratch (internal/faults): how many times
+	// a pressure-profile stall has deferred this message's TxTable
+	// consumption. Zeroed with the rest of the message on pool Put; no
+	// protocol logic may read it.
+	FaultStalls uint8
 }
 
 // BlockAddr masks addr down to its containing block address.

@@ -67,7 +67,18 @@ type TxTable struct {
 	// appended to from inside the owner's own tick, whose post-tick
 	// NextWake refresh reports them via QueuedWork).
 	waker sim.Waker
+
+	// stall, when set, is consulted before each Drain consumption; a true
+	// return defers the message to the next drain round (fault
+	// injection). The deferred message stays table-owned in retryQ —
+	// Consume never runs, so the retained discipline is untouched — and
+	// QueuedWork keeps reporting it, so the owner re-ticks next cycle.
+	stall func(m *Msg) bool
 }
+
+// SetStall installs a consumption-stall hook (see the stall field);
+// nil removes it.
+func (t *TxTable) SetStall(f func(m *Msg) bool) { t.stall = f }
 
 // SetWaker binds the owning controller's wake handle (see waker).
 func (t *TxTable) SetWaker(w sim.Waker) { t.waker = w }
@@ -176,6 +187,10 @@ func (t *TxTable) Drain(now sim.Cycle) {
 		rq := t.retryQ
 		t.retryQ = t.retryScratch[:0]
 		for _, m := range rq {
+			if t.stall != nil && t.stall(m) {
+				t.retryQ = append(t.retryQ, m)
+				continue
+			}
 			t.Consume(now, m)
 		}
 		t.retryScratch = rq[:0]
@@ -188,6 +203,10 @@ func (t *TxTable) Drain(now sim.Cycle) {
 	msgs := t.inbox
 	t.inbox = t.inbox[:0]
 	for _, m := range msgs {
+		if t.stall != nil && t.stall(m) {
+			t.retryQ = append(t.retryQ, m)
+			continue
+		}
 		t.Consume(now, m)
 	}
 }

@@ -52,6 +52,25 @@ type System struct {
 	// engine modes and core models, so the same workload records the
 	// same trace under every conformance combination.
 	TraceOut TraceSink
+
+	// FaultProfile selects a deterministic fault-injection profile
+	// ("jitter", "pressure", "burst", optionally parameterized — see
+	// internal/faults.Parse). Empty disables injection entirely: no
+	// hooks are installed and the hot paths are untouched. For a fixed
+	// (FaultProfile, FaultSeed) pair, injected runs remain bit-identical
+	// across engine mode, core batching, and trace replay.
+	FaultProfile string
+
+	// FaultSeed seeds the fault injector's decision hash. Independent of
+	// the workload seed so the same program can be swept across fault
+	// schedules.
+	FaultSeed uint64
+
+	// Checks enables the runtime invariant oracles (internal/check):
+	// SWMR, data-value, and TSO-ordering checking at every core port.
+	// Off by default; checking observes but never perturbs the
+	// simulation, so checked runs stay bit-identical to unchecked ones.
+	Checks bool
 }
 
 // Table2 returns the paper's 32-core configuration.

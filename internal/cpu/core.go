@@ -105,6 +105,13 @@ func New(id int, prog *program.Program, port coherence.CorePort, wbEntries int) 
 		panic("cpu: write buffer must have at least one entry")
 	}
 	c := &Core{ID: id, prog: prog, port: port, wb: make([]wbEntry, wbEntries)}
+	c.Loads.SetName(fmt.Sprintf("core%d.loads", id))
+	c.Stores.SetName(fmt.Sprintf("core%d.stores", id))
+	c.RMWs.SetName(fmt.Sprintf("core%d.rmws", id))
+	c.Fences.SetName(fmt.Sprintf("core%d.fences", id))
+	c.Instructions.SetName(fmt.Sprintf("core%d.instructions", id))
+	c.WBForwards.SetName(fmt.Sprintf("core%d.wb_forwards", id))
+	c.WBFullStalls.SetName(fmt.Sprintf("core%d.wb_full_stalls", id))
 	c.loadCb = func(val uint64) {
 		c.regs[c.opDst] = int64(val)
 		c.waiting = false
@@ -575,6 +582,9 @@ func (c *Core) doFence(now sim.Cycle) bool {
 	c.Instructions.Inc()
 	return false
 }
+
+// ComponentLabel implements sim.Labeled (forensic reports).
+func (c *Core) ComponentLabel() string { return fmt.Sprintf("core %d", c.ID) }
 
 // Debug renders the core's execution state (deadlock diagnostics).
 func (c *Core) Debug() string {

@@ -1,0 +1,331 @@
+// Package faults provides seeded, deterministic fault injection for the
+// simulator: bounded perturbations of message delivery and admission
+// timing that stay within protocol-legal bounds. The point is
+// adversarial-timing coverage — shaking loose ordering bugs that
+// nominal timing never exercises — while preserving the repo's
+// bit-identity contract: for a fixed (profile, seed) every fault
+// decision is a pure function of values that are themselves
+// bit-identical across engine mode, core batching, and trace replay
+// (per-site decision counters, delivery cycles, message send order).
+// Fault-injected runs therefore fingerprint-compare exactly like
+// nominal runs; they form the fifth conformance axis.
+//
+// Three profiles are built in:
+//
+//   - jitter: each mesh delivery independently risks a bounded extra
+//     delay (rate per-mille, 1..delay extra cycles).
+//   - pressure: L1 port admissions (loads, RMWs, fences — never
+//     stores, see Port) and TxTable message consumption are forcibly
+//     declined/stalled at a per-mille rate, capped per op/message so
+//     forward progress is guaranteed.
+//   - burst: time is divided into 2^window-cycle windows; a per-mille
+//     fraction of windows delay every delivery scheduled inside them
+//     by a fixed amount, clustering congestion instead of spreading it.
+//
+// Delay-based profiles preserve per-(src,dst) delivery order with a
+// monotonic clamp: a delayed message never lets a later send on the
+// same ordered pair overtake it, because the protocols rely on
+// pairwise FIFO (an invalidation must never pass an earlier data
+// response).
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+)
+
+// Profile names accepted by Parse.
+const (
+	Jitter   = "jitter"
+	Pressure = "pressure"
+	Burst    = "burst"
+)
+
+// Profile is a parsed, clamped fault profile. Zero value means "no
+// injection" (Name empty).
+type Profile struct {
+	// Name is one of Jitter, Pressure, Burst.
+	Name string
+	// Rate is the injection probability in per-mille (0..1000): per
+	// delivery for jitter, per admission attempt for pressure, per
+	// window for burst.
+	Rate uint32
+	// MaxDelay bounds the extra delivery latency in cycles: jitter
+	// draws uniformly from 1..MaxDelay, burst adds exactly MaxDelay.
+	MaxDelay sim.Cycle
+	// StallCap caps consecutive forced declines of one port op and
+	// total forced stalls of one TxTable message (pressure), so
+	// injection can slow but never starve an operation.
+	StallCap uint8
+	// WindowLog is the burst window size as log2 cycles.
+	WindowLog uint8
+}
+
+// Defaults per profile; overridable via the spec string.
+func defaults(name string) Profile {
+	switch name {
+	case Jitter:
+		return Profile{Name: Jitter, Rate: 200, MaxDelay: 6}
+	case Pressure:
+		return Profile{Name: Pressure, Rate: 150, StallCap: 3}
+	case Burst:
+		return Profile{Name: Burst, Rate: 125, MaxDelay: 8, WindowLog: 6}
+	}
+	return Profile{}
+}
+
+func clamp(v, lo, hi uint64) uint64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Parse parses a profile spec of the form "name" or
+// "name:key=val,key=val". Keys: rate (per-mille), delay (cycles), cap
+// (max consecutive stalls), window (log2 cycles). Out-of-range values
+// are clamped rather than rejected so randomized specs (fuzzing) stay
+// valid; only malformed syntax, unknown names, and unknown keys error.
+func Parse(spec string) (Profile, error) {
+	name, params, _ := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	p := defaults(name)
+	if p.Name == "" {
+		return Profile{}, fmt.Errorf("faults: unknown profile %q (want jitter, pressure, or burst)", name)
+	}
+	if params == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(params, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("faults: malformed parameter %q in %q (want key=val)", kv, spec)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return Profile{}, fmt.Errorf("faults: parameter %q in %q: %v", kv, spec, err)
+		}
+		switch strings.TrimSpace(key) {
+		case "rate":
+			p.Rate = uint32(clamp(n, 0, 1000))
+		case "delay":
+			p.MaxDelay = sim.Cycle(clamp(n, 1, 64))
+		case "cap":
+			p.StallCap = uint8(clamp(n, 1, 8))
+		case "window":
+			p.WindowLog = uint8(clamp(n, 2, 16))
+		default:
+			return Profile{}, fmt.Errorf("faults: unknown parameter %q in %q", key, spec)
+		}
+	}
+	return p, nil
+}
+
+// Injector makes all fault decisions for one run. It is
+// single-goroutine, like the rest of the simulator, and is rebuilt
+// fresh per system so identical (profile, seed) runs see identical
+// decision streams.
+type Injector struct {
+	seed uint64
+	prof Profile
+
+	// Per-(src,dst) state for mesh delays: a decision counter (the
+	// per-site sequence number jitter rolls against) and the latest
+	// delivery cycle handed out (the FIFO clamp).
+	pairSeq map[uint64]uint64
+	lastOut map[uint64]sim.Cycle
+}
+
+// New builds an injector from a profile spec (see Parse) and a seed.
+func New(spec string, seed uint64) (*Injector, error) {
+	p, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Injector{
+		seed:    seed,
+		prof:    p,
+		pairSeq: make(map[uint64]uint64),
+		lastOut: make(map[uint64]sim.Cycle),
+	}, nil
+}
+
+// Profile returns the parsed profile driving this injector.
+func (in *Injector) Profile() Profile { return in.prof }
+
+// MeshActive reports whether the injector perturbs mesh delivery times.
+func (in *Injector) MeshActive() bool {
+	return in.prof.Name == Jitter || in.prof.Name == Burst
+}
+
+// PortActive reports whether the injector declines L1 port admissions.
+func (in *Injector) PortActive() bool { return in.prof.Name == Pressure }
+
+// TxActive reports whether the injector stalls TxTable consumption.
+func (in *Injector) TxActive() bool { return in.prof.Name == Pressure }
+
+// Decision sites, mixed into the hash so the same counter value at
+// different hook points draws independent rolls.
+const (
+	siteMesh = 0x6d657368 // "mesh"
+	sitePort = 0x706f7274 // "port"
+	siteTx   = 0x74787462 // "txtb"
+)
+
+// mix is the splitmix64/murmur finalizer: a cheap, well-distributed
+// 64-bit hash used for all fault decisions.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// draw hashes (seed, site, a, b) to a 64-bit value; roll reduces it to
+// a per-mille bucket. The inputs are all deterministic across engine
+// modes, so the decision stream is too.
+func (in *Injector) draw(site, a, b uint64) uint64 {
+	x := in.seed
+	x ^= site * 0x9e3779b97f4a7c15
+	x ^= a * 0xc2b2ae3d27d4eb4f
+	x ^= b * 0x165667b19e3779f9
+	return mix(x)
+}
+
+func pairKey(src, dst coherence.NodeID) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(dst))
+}
+
+// MeshDelay is the mesh.Network delay hook: given a delivery scheduled
+// at cycle at for the (src, dst) endpoint pair, it returns the
+// (possibly later) cycle the delivery should actually land. The result
+// is clamped monotonically per pair so injected delay never reorders
+// an ordered-pair FIFO.
+func (in *Injector) MeshDelay(now, at sim.Cycle, src, dst coherence.NodeID) sim.Cycle {
+	key := pairKey(src, dst)
+	out := at
+	switch in.prof.Name {
+	case Jitter:
+		n := in.pairSeq[key]
+		in.pairSeq[key] = n + 1
+		if h := in.draw(siteMesh, key, n); uint32(h%1000) < in.prof.Rate {
+			out = at + 1 + sim.Cycle((h>>32)%uint64(in.prof.MaxDelay))
+		}
+	case Burst:
+		win := uint64(at) >> in.prof.WindowLog
+		if uint32(in.draw(siteMesh, win, 0)%1000) < in.prof.Rate {
+			out = at + in.prof.MaxDelay
+		}
+	}
+	if last := in.lastOut[key]; out < last {
+		out = last // FIFO clamp: never pass an earlier same-pair delivery
+	}
+	in.lastOut[key] = out
+	return out
+}
+
+// TxStall returns a TxTable stall hook for one tile: each call decides
+// whether the message about to be consumed is deferred one drain
+// round. A per-message stall budget (Msg.FaultStalls, zeroed by the
+// message pool) bounds how long any one message can be held.
+func (in *Injector) TxStall(tile int) func(m *coherence.Msg) bool {
+	var seq uint64
+	rate, budget := in.prof.Rate, in.prof.StallCap
+	return func(m *coherence.Msg) bool {
+		seq++
+		if m.FaultStalls >= budget {
+			return false
+		}
+		if uint32(in.draw(siteTx, uint64(tile), seq)%1000) < rate {
+			m.FaultStalls++
+			return true
+		}
+		return false
+	}
+}
+
+// Port is a coherence.CorePort decorator that injects admission
+// declines (the pressure profile). Loads, RMWs, and fences are safe to
+// decline: in both engine modes a core with a ready-but-unaccepted op
+// reports NextWake = now+1 and retries every cycle, so the per-core
+// attempt counter advances identically and the decision stream stays
+// bit-identical.
+//
+// Stores are NEVER declined. The write-buffer drain relies on the
+// invariant that every Store decline is caused by one of the core's own
+// in-flight transactions, whose completion callback wakes the core (see
+// cpu.Core.drainWriteBuffer). An injected decline has no such callback:
+// under wake-set scheduling the core would report WakeNever with a
+// pending store — a lost-wakeup deadlock. Per-cycle mode would also
+// retry stores on cycles wake-set mode never ticks, diverging the
+// decision counters.
+type Port struct {
+	inner coherence.CorePort
+	inj   *Injector
+	core  uint64
+
+	attempts uint64 // decision counter across load/RMW/fence admissions
+	streak   uint8  // consecutive injected declines of the current op
+}
+
+// WrapPort decorates inner with pressure-profile admission declines for
+// one core. The wrapper is only installed when PortActive; a disabled
+// injector adds nothing to the hot path.
+func (in *Injector) WrapPort(core int, inner coherence.CorePort) *Port {
+	return &Port{inner: inner, inj: in, core: uint64(core)}
+}
+
+// decline rolls the next admission decision; capped so at most
+// StallCap consecutive declines hit one op.
+func (p *Port) decline() bool {
+	p.attempts++
+	if p.streak >= p.inj.prof.StallCap {
+		p.streak = 0
+		return false
+	}
+	if uint32(p.inj.draw(sitePort, p.core, p.attempts)%1000) < p.inj.prof.Rate {
+		p.streak++
+		return true
+	}
+	p.streak = 0
+	return false
+}
+
+// Load implements coherence.CorePort.
+func (p *Port) Load(now sim.Cycle, addr uint64, cb func(val uint64)) bool {
+	if p.decline() {
+		return false
+	}
+	return p.inner.Load(now, addr, cb)
+}
+
+// Store implements coherence.CorePort. Stores pass through untouched —
+// see the type comment for why declining one is a deadlock.
+func (p *Port) Store(now sim.Cycle, addr uint64, val uint64, cb func()) bool {
+	return p.inner.Store(now, addr, val, cb)
+}
+
+// RMW implements coherence.CorePort.
+func (p *Port) RMW(now sim.Cycle, addr uint64, f func(old uint64) (uint64, bool), cb func(old uint64)) bool {
+	if p.decline() {
+		return false
+	}
+	return p.inner.RMW(now, addr, f, cb)
+}
+
+// Fence implements coherence.CorePort.
+func (p *Port) Fence(now sim.Cycle, cb func()) bool {
+	if p.decline() {
+		return false
+	}
+	return p.inner.Fence(now, cb)
+}

@@ -58,6 +58,13 @@ type Network struct {
 	scratch []delivery
 	waker   sim.Waker
 
+	// delayHook, when set, may defer a delivery (fault injection: extra
+	// latency within protocol-legal bounds). It sees the computed
+	// delivery cycle and returns the cycle to use instead; implementations
+	// must keep per-(src,dst) delivery order (see faults.Injector). Nil
+	// on the hot path costs a single branch per Send.
+	delayHook func(now, at sim.Cycle, src, dst coherence.NodeID) sim.Cycle
+
 	// Pool recycles coherence messages flowing through this network.
 	// Protocol controllers draw their messages from here and return them
 	// once consumed.
@@ -113,6 +120,11 @@ func New(cfg Config) *Network {
 	for d := 0; d < 4; d++ {
 		n.linkBusy[d] = make([]sim.Cycle, rows*cols)
 	}
+	n.MsgsSent.SetName("mesh.msgs_sent")
+	n.FlitsSent.SetName("mesh.flits_sent")
+	n.FlitHops.SetName("mesh.flit_hops")
+	n.FlitsByClass[0].SetName("mesh.flits_control")
+	n.FlitsByClass[1].SetName("mesh.flits_data")
 	return n
 }
 
@@ -145,16 +157,22 @@ func (n *Network) Attach(id coherence.NodeID, router int, ep Endpoint) {
 	n.nodes[id] = &attachment{router: router, ep: ep}
 }
 
+// SetDelayHook installs a delivery-delay hook (see the delayHook
+// field). Install before the first Send; passing nil removes it.
+func (n *Network) SetDelayHook(h func(now, at sim.Cycle, src, dst coherence.NodeID) sim.Cycle) {
+	n.delayHook = h
+}
+
 // Send routes m from m.Src to m.Dst, reserving link bandwidth, and
 // schedules delivery. It panics on unknown endpoints (a wiring bug).
 func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	src, ok := n.nodes[m.Src]
 	if !ok {
-		panic(fmt.Sprintf("mesh: unknown src %d", m.Src))
+		panic(fmt.Sprintf("mesh: cycle %d: unknown src %d in %s", now, m.Src, m))
 	}
 	dst, ok := n.nodes[m.Dst]
 	if !ok {
-		panic(fmt.Sprintf("mesh: unknown dst %d", m.Dst))
+		panic(fmt.Sprintf("mesh: cycle %d: unknown dst %d in %s", now, m.Dst, m))
 	}
 	if TraceAll || (TraceAddr != 0 && m.Addr == TraceAddr) {
 		TraceLog = append(TraceLog, fmt.Sprintf("cyc=%d %s", now, m))
@@ -171,7 +189,11 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	if src.router == dst.router {
 		// Co-located endpoints: one cycle of crossbar delay, no
 		// link traffic.
-		n.schedule(now, now+n.cfg.LocalDelay, m, dst.ep)
+		at := now + n.cfg.LocalDelay
+		if n.delayHook != nil {
+			at = n.delayHook(now, at, m.Src, m.Dst)
+		}
+		n.schedule(now, at, m, dst.ep)
 		return
 	}
 
@@ -197,7 +219,11 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	// Tail-flit serialization at the destination.
 	t += sim.Cycle(flits - 1)
 	n.FlitHops.Add(int64(flits * hops))
-	n.schedule(now, t+1, m, dst.ep)
+	at := t + 1
+	if n.delayHook != nil {
+		at = n.delayHook(now, at, m.Src, m.Dst)
+	}
+	n.schedule(now, at, m, dst.ep)
 }
 
 // rebaseLinks starts a new link-reservation epoch at now: reservations
@@ -232,7 +258,7 @@ func (n *Network) xyStep(r, dst int) (dir, next int) {
 	case ry > dy:
 		return dirNorth, r - n.cols
 	}
-	panic("mesh: xyStep at destination")
+	panic(fmt.Sprintf("mesh: xyStep called with router %d already at destination %d", r, dst))
 }
 
 // BindWaker implements sim.WakeSink: the engine hands the network its
@@ -286,6 +312,21 @@ func (n *Network) NextWake(now sim.Cycle) sim.Cycle {
 // Pending reports the number of undelivered messages (used by completion
 // checks and deadlock diagnostics).
 func (n *Network) Pending() int { return n.q.pending }
+
+// ComponentLabel implements sim.Labeled (forensic reports).
+func (n *Network) ComponentLabel() string {
+	return fmt.Sprintf("mesh %dx%d", n.rows, n.cols)
+}
+
+// Debug implements sim.Debugger: queued-delivery state for forensic
+// reports.
+func (n *Network) Debug() string {
+	s := fmt.Sprintf("mesh: %d pending deliveries", n.q.pending)
+	if at, ok := n.q.earliestDeadline(); ok {
+		s += fmt.Sprintf(", earliest due cycle %d", at)
+	}
+	return s
+}
 
 // HopDistance reports the XY hop count between two node IDs.
 func (n *Network) HopDistance(a, b coherence.NodeID) int {

@@ -292,11 +292,11 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 
 	case coherence.MsgUpgAck:
 		if l.wr == nil || l.wr.addr != m.Addr {
-			panic(fmt.Sprintf("mesi: L1 %d: unexpected UpgAck %s", l.id, m))
+			panic(fmt.Sprintf("mesi: L1 %d cycle %d: unexpected UpgAck %s", l.id, now, m))
 		}
 		w := l.cache.Peek(m.Addr)
 		if w == nil || w.Meta.state != stateS {
-			panic(fmt.Sprintf("mesi: L1 %d: UpgAck without Shared line %s", l.id, m))
+			panic(fmt.Sprintf("mesi: L1 %d cycle %d: UpgAck without Shared line %s", l.id, now, m))
 		}
 		l.completeWrite(now, nil)
 		l.send(now, coherence.Msg{Type: coherence.MsgAck, Dst: l.home(m.Addr), Addr: m.Addr}, nil)
@@ -317,7 +317,7 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 		}
 
 	default:
-		panic(fmt.Sprintf("mesi: L1 %d: unexpected message %s", l.id, m))
+		panic(fmt.Sprintf("mesi: L1 %d cycle %d: unexpected message %s", l.id, now, m))
 	}
 }
 
@@ -329,7 +329,7 @@ func (l *L1) completeWrite(now sim.Cycle, data []byte) {
 		w = l.install(now, tx.addr, data)
 	}
 	if w == nil {
-		panic(fmt.Sprintf("mesi: L1 %d: write completion without line %#x", l.id, tx.addr))
+		panic(fmt.Sprintf("mesi: L1 %d cycle %d: write completion without line %#x", l.id, now, tx.addr))
 	}
 	w.Busy = false
 	w.Meta.state = stateM
@@ -353,7 +353,7 @@ func (l *L1) completeWrite(now sim.Cycle, data []byte) {
 func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 	tx := l.rd
 	if tx == nil || tx.addr != m.Addr {
-		panic(fmt.Sprintf("mesi: L1 %d: data response without read tx %s", l.id, m))
+		panic(fmt.Sprintf("mesi: L1 %d cycle %d: data response without read tx %s", l.id, now, m))
 	}
 	val := memsys.GetWord(m.Data, tx.wordAddr)
 	// Responses sent by the L2 itself are FIFO-ordered after any Inv the
@@ -374,7 +374,7 @@ func (l *L1) install(now sim.Cycle, addr uint64, data []byte) *memsys.Way[l1Line
 	}
 	w := l.cache.Victim(addr)
 	if w == nil {
-		panic(fmt.Sprintf("mesi: L1 %d: no victim for %#x", l.id, addr))
+		panic(fmt.Sprintf("mesi: L1 %d cycle %d: no victim for %#x", l.id, now, addr))
 	}
 	if w.Valid {
 		l.evictLine(now, w)
@@ -416,7 +416,7 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 			Dirty: e.dirty, NoCopy: true}, e.data)
 		return
 	}
-	panic(fmt.Sprintf("mesi: L1 %d: FwdGetS for absent line %s", l.id, m))
+	panic(fmt.Sprintf("mesi: L1 %d cycle %d: FwdGetS for absent line %s", l.id, now, m))
 }
 
 func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
@@ -432,7 +432,7 @@ func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
 			Dirty: e.dirty}, e.data)
 		return
 	}
-	panic(fmt.Sprintf("mesi: L1 %d: FwdGetX for absent line %s", l.id, m))
+	panic(fmt.Sprintf("mesi: L1 %d cycle %d: FwdGetX for absent line %s", l.id, now, m))
 }
 
 func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
@@ -461,6 +461,9 @@ func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
 	// Invalidation for a line we no longer hold (crossed a PutS).
 	l.send(now, coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr}, nil)
 }
+
+// ComponentLabel implements sim.Labeled (forensic reports).
+func (l *L1) ComponentLabel() string { return fmt.Sprintf("mesi L1 %d", l.id) }
 
 // Debug renders outstanding transaction state (deadlock diagnostics).
 func (l *L1) Debug() string {

@@ -96,6 +96,13 @@ func (t *L2) BindWaker(w sim.Waker) {
 // Deliver implements mesh.Endpoint.
 func (t *L2) Deliver(now sim.Cycle, m *coherence.Msg) { t.txs.Deliver(m) }
 
+// SetStall installs a TxTable consumption-stall hook (fault injection;
+// see faults.Injector.TxStall).
+func (t *L2) SetStall(f func(m *coherence.Msg) bool) { t.txs.SetStall(f) }
+
+// ComponentLabel implements sim.Labeled (forensic reports).
+func (t *L2) ComponentLabel() string { return fmt.Sprintf("mesi L2 tile %d", t.tile) }
+
 // Busy reports outstanding work (completion/deadlock checks).
 func (t *L2) Busy() bool {
 	return t.txs.Outstanding() || t.timers.Pending() > 0
@@ -134,7 +141,7 @@ func (t *L2) handle(now sim.Cycle, m *coherence.Msg) {
 	case coherence.MsgWBData:
 		t.handleWBData(now, m)
 	default:
-		panic(fmt.Sprintf("mesi: L2 %d: unexpected message %s", t.id, m))
+		panic(fmt.Sprintf("mesi: L2 %d cycle %d: unexpected message %s", t.id, now, m))
 	}
 }
 
@@ -184,7 +191,7 @@ func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 	t.timers.At(now+lat, func(nw sim.Cycle) {
 		way := t.cache.Peek(addr)
 		if way == nil {
-			panic(fmt.Sprintf("mesi: L2 %d: fetched line vanished %#x", t.id, addr))
+			panic(fmt.Sprintf("mesi: L2 %d cycle %d: fetched line vanished %#x", t.id, now, addr))
 		}
 		t.mem.ReadBlock(addr, way.Data)
 		way.Meta.state = dirV
@@ -228,7 +235,7 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 		t.txs.New(addr, txEvict, nil, 1)
 		return false
 	}
-	panic("mesi: evictLine on invalid state")
+	panic(fmt.Sprintf("mesi: L2 %d cycle %d: evictLine on invalid state %d for %#x", t.id, now, v.Meta.state, v.Tag))
 }
 
 func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
@@ -244,7 +251,7 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		t.respond(now, m.Requestor, coherence.MsgDataS, m.Addr, w.Data)
 	case dirX:
 		if w.Meta.owner == m.Requestor {
-			panic(fmt.Sprintf("mesi: L2 %d: GetS from current owner %s", t.id, m))
+			panic(fmt.Sprintf("mesi: L2 %d cycle %d: GetS from current owner %s", t.id, now, m))
 		}
 		w.Busy = true
 		t.txs.New(m.Addr, txFwdGetS, m, 0)
@@ -281,7 +288,7 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		}
 	case dirX:
 		if w.Meta.owner == m.Requestor {
-			panic(fmt.Sprintf("mesi: L2 %d: GetX from current owner %s", t.id, m))
+			panic(fmt.Sprintf("mesi: L2 %d cycle %d: GetX from current owner %s", t.id, now, m))
 		}
 		w.Busy = true
 		tx := t.txs.New(m.Addr, txFwdGetX, m, 0)
@@ -305,7 +312,7 @@ func (t *L2) respond(now sim.Cycle, dst coherence.NodeID, typ coherence.MsgType,
 func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
 	tx, ok := t.txs.Get(m.Addr)
 	if !ok || (tx.Kind != txAwaitAck && tx.Kind != txFwdGetX) {
-		panic(fmt.Sprintf("mesi: L2 %d: stray Ack %s", t.id, m))
+		panic(fmt.Sprintf("mesi: L2 %d cycle %d: stray Ack %s", t.id, now, m))
 	}
 	w := t.cache.Peek(m.Addr)
 	w.Meta.state = dirX
@@ -319,7 +326,7 @@ func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
 func (t *L2) handleInvAck(now sim.Cycle, m *coherence.Msg) {
 	tx, ok := t.txs.Get(m.Addr)
 	if !ok {
-		panic(fmt.Sprintf("mesi: L2 %d: stray InvAck %s", t.id, m))
+		panic(fmt.Sprintf("mesi: L2 %d cycle %d: stray InvAck %s", t.id, now, m))
 	}
 	tx.AcksLeft--
 	if tx.AcksLeft > 0 {
@@ -335,14 +342,14 @@ func (t *L2) handleInvAck(now sim.Cycle, m *coherence.Msg) {
 	case txEvict:
 		t.finishEvict(now, w)
 	default:
-		panic(fmt.Sprintf("mesi: L2 %d: InvAck in tx kind %d", t.id, tx.Kind))
+		panic(fmt.Sprintf("mesi: L2 %d cycle %d: InvAck in tx kind %d", t.id, now, tx.Kind))
 	}
 }
 
 func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 	tx, ok := t.txs.Get(m.Addr)
 	if !ok {
-		panic(fmt.Sprintf("mesi: L2 %d: stray WBData %s", t.id, m))
+		panic(fmt.Sprintf("mesi: L2 %d cycle %d: stray WBData %s", t.id, now, m))
 	}
 	w := t.cache.Peek(m.Addr)
 	switch tx.Kind {
@@ -369,7 +376,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 		}
 		t.finishEvict(now, w)
 	default:
-		panic(fmt.Sprintf("mesi: L2 %d: WBData in tx kind %d", t.id, tx.Kind))
+		panic(fmt.Sprintf("mesi: L2 %d cycle %d: WBData in tx kind %d", t.id, now, tx.Kind))
 	}
 }
 

@@ -115,8 +115,11 @@ func TestEventDrivenFallback(t *testing.T) {
 	}
 }
 
-// TestEventDrivenCycleLimit: a deadlocked (never-waking) system must hit
-// the cycle limit with the same error as per-cycle mode.
+// TestEventDrivenCycleLimit: a deadlocked (never-waking) system errors
+// out in both modes, and the error stays ErrCycleLimit-compatible.
+// Per-cycle mode cannot detect the stall early and grinds to the cycle
+// limit; wake-set mode sees the empty wake set and reports the deadlock
+// at the cycle progress actually stopped.
 func TestEventDrivenCycleLimit(t *testing.T) {
 	for _, pc := range []bool{true, false} {
 		e := NewEngine(50)
@@ -125,10 +128,23 @@ func TestEventDrivenCycleLimit(t *testing.T) {
 		e.RegisterDoner(doneNever{})
 		_, err := e.Run()
 		if !errors.Is(err, ErrCycleLimit) {
-			t.Fatalf("perCycle=%v: err = %v, want ErrCycleLimit", pc, err)
+			t.Fatalf("perCycle=%v: err = %v, want ErrCycleLimit compatibility", pc, err)
 		}
-		if e.Now() != 50 {
-			t.Fatalf("perCycle=%v: stopped at %d, want maxCycle 50", pc, e.Now())
+		var dl *DeadlockError
+		if !errors.As(err, &dl) {
+			t.Fatalf("perCycle=%v: err = %T, want *DeadlockError", pc, err)
+		}
+		if pc {
+			if e.Now() != 50 || dl.Stalled {
+				t.Fatalf("per-cycle: stopped at %d (stalled=%v), want cycle-limit exit at 50", e.Now(), dl.Stalled)
+			}
+		} else {
+			if !dl.Stalled {
+				t.Fatalf("wake-set: want a stalled deadlock report, got %v", err)
+			}
+			if e.Now() >= 50 {
+				t.Fatalf("wake-set: deadlock should be reported before the limit, stopped at %d", e.Now())
+			}
 		}
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"strings"
 )
 
 // Cycle is a point in simulated time, measured in core clock cycles.
@@ -118,6 +119,7 @@ type Engine struct {
 	allHint  bool
 	perCycle bool
 	doners   []Doner
+	donerFor []int // parallel to doners: ticker index, -1 for RegisterDoner
 	maxCycle Cycle
 
 	// Wake-set scheduling state. dueAt[i] is the earliest cycle
@@ -138,6 +140,61 @@ type Engine struct {
 // before all Doners report completion (usually a deadlock or livelock
 // in the simulated system).
 var ErrCycleLimit = errors.New("sim: cycle limit reached before completion")
+
+// Labeled is an optional component interface: a human-readable name
+// used in forensic reports. Components without one are labeled by type.
+type Labeled interface {
+	ComponentLabel() string
+}
+
+// Debugger is an optional component interface: a one-line dump of the
+// component's pending state (in-flight transactions, queued timers),
+// included in forensic reports.
+type Debugger interface {
+	Debug() string
+}
+
+// PendingComponent is one registered component's state at the moment a
+// run failed to complete, captured for forensic reports.
+type PendingComponent struct {
+	Index  int    // registration index
+	Label  string // ComponentLabel() or the component's type
+	Due    Cycle  // next cycle the component would act (WakeNever = quiescent)
+	Done   bool   // false if the component is a Doner still pending
+	Detail string // Debug() output, if implemented
+}
+
+// DeadlockError is returned by Run when the simulation cannot complete:
+// either no component will ever act again while Doners are still
+// pending (Stalled), or the cycle limit was hit first. It unwraps to
+// ErrCycleLimit in both cases so existing errors.Is checks keep
+// working; use errors.As to reach the forensic detail.
+type DeadlockError struct {
+	Cycle      Cycle // cycle at which progress stopped
+	Limit      Cycle // the engine's cycle limit
+	Stalled    bool  // true: WakeNever with pending Doners (a true deadlock)
+	Components []PendingComponent
+}
+
+// Error summarizes the failure and names the components that are not
+// done; the full per-component dump is in Components.
+func (e *DeadlockError) Error() string {
+	var pending []string
+	for _, c := range e.Components {
+		if !c.Done {
+			pending = append(pending, c.Label)
+		}
+	}
+	if e.Stalled {
+		return fmt.Sprintf("sim: deadlock at cycle %d: no component has scheduled work but %d completion check(s) are pending (%s)",
+			e.Cycle, len(pending), strings.Join(pending, ", "))
+	}
+	return fmt.Sprintf("%v (limit %d, %d pending: %s)",
+		ErrCycleLimit, e.Limit, len(pending), strings.Join(pending, ", "))
+}
+
+// Unwrap lets errors.Is(err, ErrCycleLimit) match both flavors.
+func (e *DeadlockError) Unwrap() error { return ErrCycleLimit }
 
 // NewEngine returns an engine that refuses to run past maxCycle.
 // A maxCycle of 0 selects a generous default.
@@ -178,6 +235,7 @@ func (e *Engine) Register(t Ticker) {
 	}
 	if d, ok := t.(Doner); ok {
 		e.doners = append(e.doners, d)
+		e.donerFor = append(e.donerFor, id)
 	}
 	if ws, ok := t.(WakeSink); ok {
 		ws.BindWaker(Waker{e: e, id: id})
@@ -185,7 +243,74 @@ func (e *Engine) Register(t Ticker) {
 }
 
 // RegisterDoner adds a completion check that is not a ticker.
-func (e *Engine) RegisterDoner(d Doner) { e.doners = append(e.doners, d) }
+func (e *Engine) RegisterDoner(d Doner) {
+	e.doners = append(e.doners, d)
+	e.donerFor = append(e.donerFor, -1)
+}
+
+// Snapshot captures every registered component's pending state for a
+// forensic report: label, next due cycle, completion status, and the
+// component's own Debug dump when it offers one. Non-ticker Doners
+// (external completion checks) that are still pending are appended with
+// Index -1.
+func (e *Engine) Snapshot() []PendingComponent {
+	done := make(map[int]bool, len(e.doners))
+	for di, d := range e.doners {
+		if i := e.donerFor[di]; i >= 0 {
+			done[i] = d.Done()
+		}
+	}
+	out := make([]PendingComponent, 0, len(e.tickers))
+	for i, t := range e.tickers {
+		pc := PendingComponent{Index: i, Due: e.dueAt[i], Done: true}
+		if !e.EventDriven() {
+			// dueAt is not maintained in per-cycle mode; fall back to the
+			// component's own hint when it has one.
+			pc.Due = WakeNever
+			if e.hinters[i] != nil {
+				pc.Due = e.hinters[i].NextWake(e.now)
+			}
+		}
+		if lb, ok := t.(Labeled); ok {
+			pc.Label = lb.ComponentLabel()
+		} else {
+			pc.Label = fmt.Sprintf("%T", t)
+		}
+		if d, ok := done[i]; ok {
+			pc.Done = d
+		}
+		if dbg, ok := t.(Debugger); ok {
+			pc.Detail = dbg.Debug()
+		}
+		out = append(out, pc)
+	}
+	for di, d := range e.doners {
+		if e.donerFor[di] >= 0 || d.Done() {
+			continue
+		}
+		pc := PendingComponent{Index: -1, Due: WakeNever}
+		if lb, ok := d.(Labeled); ok {
+			pc.Label = lb.ComponentLabel()
+		} else {
+			pc.Label = fmt.Sprintf("%T", d)
+		}
+		if dbg, ok := d.(Debugger); ok {
+			pc.Detail = dbg.Debug()
+		}
+		out = append(out, pc)
+	}
+	return out
+}
+
+// deadlockError builds the typed failure for the current engine state.
+func (e *Engine) deadlockError(stalled bool) *DeadlockError {
+	return &DeadlockError{
+		Cycle:      e.now,
+		Limit:      e.maxCycle,
+		Stalled:    stalled,
+		Components: e.Snapshot(),
+	}
+}
 
 // WakeAt marks component id due at cycle c (the Waker handle calls
 // this). Wakes at or before the current cycle fold into the in-flight
@@ -287,7 +412,7 @@ func (e *Engine) Run() (Cycle, error) {
 				return e.now, nil
 			}
 			if e.now >= e.maxCycle {
-				return e.now, fmt.Errorf("%w (limit %d)", ErrCycleLimit, e.maxCycle)
+				return e.now, e.deadlockError(false)
 			}
 			e.Step()
 		}
@@ -303,13 +428,22 @@ func (e *Engine) Run() (Cycle, error) {
 			return e.now, nil
 		}
 		if e.now >= e.maxCycle {
-			return e.now, fmt.Errorf("%w (limit %d)", ErrCycleLimit, e.maxCycle)
+			return e.now, e.deadlockError(false)
 		}
 		next := e.nextDue()
+		if next == WakeNever {
+			// No component will ever act again, yet Doners are pending: a
+			// true deadlock. Report it at the stall cycle instead of
+			// silently advancing to the cycle limit.
+			return e.now, e.deadlockError(true)
+		}
 		if next > e.maxCycle {
-			// WakeNever with pending Doners is a deadlock; advance to the
-			// limit so the error path matches per-cycle mode.
-			next = e.maxCycle
+			// The earliest scheduled work lies beyond the limit (a
+			// livelock against the clock); stop at the limit like
+			// per-cycle mode would.
+			e.IdleSkipped += int64(e.maxCycle - e.now - 1)
+			e.now = e.maxCycle
+			return e.now, e.deadlockError(false)
 		}
 		e.IdleSkipped += int64(next - e.now - 1)
 		e.now = next

@@ -11,8 +11,13 @@ import (
 
 // Counter is a monotonically increasing event count.
 type Counter struct {
-	n int64
+	n    int64
+	name string
 }
+
+// SetName labels the counter so a misuse panic can identify it. The
+// label is diagnostic-only: unnamed counters behave identically.
+func (c *Counter) SetName(name string) { c.name = name }
 
 // Inc adds one to the counter.
 func (c *Counter) Inc() { c.n++ }
@@ -20,7 +25,11 @@ func (c *Counter) Inc() { c.n++ }
 // Add adds delta (which must be non-negative) to the counter.
 func (c *Counter) Add(delta int64) {
 	if delta < 0 {
-		panic("stats: negative delta on Counter")
+		name := c.name
+		if name == "" {
+			name = "<unnamed>"
+		}
+		panic(fmt.Sprintf("stats: negative delta %d on counter %q (value %d)", delta, name, c.n))
 	}
 	c.n += delta
 }

@@ -21,11 +21,23 @@ func TestCounter(t *testing.T) {
 
 func TestCounterNegativePanics(t *testing.T) {
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("expected panic on negative Add")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value = %T, want string", r)
+		}
+		for _, want := range []string{"core0.loads", "-1", "7"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic message %q missing %q", msg, want)
+			}
 		}
 	}()
 	var c Counter
+	c.SetName("core0.loads")
+	c.Add(7)
 	c.Add(-1)
 }
 

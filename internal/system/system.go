@@ -5,11 +5,15 @@
 package system
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 
+	"repro/internal/check"
 	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/faults"
 	"repro/internal/memsys"
 	"repro/internal/mesh"
 	"repro/internal/program"
@@ -136,8 +140,17 @@ type Machine struct {
 	L2s    []coherence.Controller
 	proto  Protocol
 
+	// inj is the fault injector (nil unless cfg.FaultProfile is set);
+	// checks the invariant-oracle tracker (nil unless cfg.Checks).
+	inj    *faults.Injector
+	checks *check.Tracker
+
 	workload string // result label (workload or trace name)
 }
+
+// Checks exposes the oracle tracker (nil when cfg.Checks is off), so
+// tests can inspect recorded violations directly.
+func (m *Machine) Checks() *check.Tracker { return m.checks }
 
 // newBase wires everything below the frontends: engine, mesh, memory
 // (with the initial image loaded) and the protocol's L1/L2 controllers.
@@ -159,9 +172,57 @@ func newBase(cfg config.System, proto Protocol, initMem map[uint64]uint64) (*Mac
 		net.Attach(coherence.L1ID(i), i, endpoint{l1s[i]})
 		net.Attach(coherence.L2ID(i, cfg.Cores), i, endpoint{l2s[i]})
 	}
-	return &Machine{Cfg: cfg, Engine: engine, Net: net, Mem: mem,
-		L1s: l1s, L2s: l2s, proto: proto}, nil
+	m := &Machine{Cfg: cfg, Engine: engine, Net: net, Mem: mem,
+		L1s: l1s, L2s: l2s, proto: proto}
+	if cfg.FaultProfile != "" {
+		inj, err := faults.New(cfg.FaultProfile, cfg.FaultSeed)
+		if err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+		m.inj = inj
+		if inj.MeshActive() {
+			net.SetDelayHook(inj.MeshDelay)
+		}
+		if inj.TxActive() {
+			for tile, l2 := range l2s {
+				if st, ok := l2.(interface {
+					SetStall(func(m *coherence.Msg) bool)
+				}); ok {
+					st.SetStall(inj.TxStall(tile))
+				}
+			}
+		}
+	}
+	if cfg.Checks {
+		ctrls := make([]coherence.Controller, len(l1s))
+		for i, l := range l1s {
+			ctrls[i] = l
+		}
+		m.checks = check.New(ctrls, engine.Now)
+	}
+	return m, nil
 }
+
+// portFor builds the core-port decorator chain for one core slot:
+// core → oracle checks (outermost, so they observe exactly what the
+// core sees) → fault injection → L1. With faults and checks disabled
+// the raw L1 is returned and the hot path is untouched.
+func (m *Machine) portFor(core int) coherence.CorePort {
+	var p coherence.CorePort = m.L1s[core]
+	if m.inj != nil && m.inj.PortActive() {
+		p = m.inj.WrapPort(core, p)
+	}
+	if m.checks != nil {
+		p = m.checks.WrapPort(core, p)
+	}
+	return p
+}
+
+// CorePort returns the port chain a core in slot `core` is wired with:
+// the raw L1 when faults and checks are disabled, decorated otherwise.
+// Benchmark/test access — the zero-alloc gate drives the L1 hit path
+// through this to prove disabled decorators cost nothing.
+func (m *Machine) CorePort(core int) coherence.CorePort { return m.portFor(core) }
 
 // finish registers every component in the deterministic intra-cycle
 // order: network delivery, then L2 tiles, then L1s (timers + message
@@ -211,7 +272,7 @@ func NewMachine(cfg config.System, proto Protocol, w *program.Workload) (*Machin
 		if p == nil {
 			continue
 		}
-		core := cpu.New(i, p, m.L1s[i], cfg.WriteBuffer)
+		core := cpu.New(i, p, m.portFor(i), cfg.WriteBuffer)
 		core.SetBatched(cfg.BatchedCore)
 		core.SetReg(0, int64(i)) // convention: r0 = thread id
 		if cfg.TraceOut != nil {
@@ -253,7 +314,7 @@ func NewReplayMachine(cfg config.System, proto Protocol, tr *trace.Trace) (*Mach
 	m.workload = tr.Meta.Workload
 	for _, s := range tr.Streams {
 		m.Fronts = append(m.Fronts,
-			trace.NewReplayCore(s.Core, s.Ops, m.L1s[s.Core], cfg.WriteBuffer))
+			trace.NewReplayCore(s.Core, s.Ops, m.portFor(s.Core), cfg.WriteBuffer))
 	}
 	m.finish()
 	return m, nil
@@ -264,6 +325,55 @@ type endpoint struct{ c coherence.Controller }
 
 func (e endpoint) Deliver(now sim.Cycle, m *coherence.Msg) { e.c.Deliver(now, m) }
 
+// forensics assembles the structured dump for a failed run: the engine
+// component snapshot plus mesh/pool state and any oracle findings.
+func (m *Machine) forensics(reason string, panicValue any, stack []byte) *check.Report {
+	return &check.Report{
+		Reason:      reason,
+		Cycle:       m.Engine.Now(),
+		Components:  m.Engine.Snapshot(),
+		MeshPending: m.Net.Pending(),
+		PoolGets:    m.Net.Pool.Gets,
+		PoolLive:    m.Net.Pool.Live(),
+		PanicValue:  panicValue,
+		Stack:       string(stack),
+		Oracle:      m.oracleErr(),
+	}
+}
+
+func (m *Machine) oracleErr() error {
+	if m.checks == nil {
+		return nil
+	}
+	return m.checks.Err()
+}
+
+// runEngine is the harness boundary around Engine.Run: component panics
+// (L1/mesh internals) are recovered into the forensic-report format,
+// deadlock/cycle-limit errors are annotated with the same dump, and
+// oracle violations from an otherwise clean run surface as the error.
+func (m *Machine) runEngine() (cycles sim.Cycle, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep := m.forensics("panic", r, debug.Stack())
+			err = fmt.Errorf("component panic: %v\n%s", r, rep)
+		}
+	}()
+	cycles, err = m.Engine.Run()
+	if err != nil {
+		reason := "cycle limit"
+		var dl *sim.DeadlockError
+		if errors.As(err, &dl) && dl.Stalled {
+			reason = "deadlock"
+		}
+		return cycles, fmt.Errorf("%w\n%s", err, m.forensics(reason, nil, nil))
+	}
+	if oerr := m.oracleErr(); oerr != nil {
+		return cycles, oerr
+	}
+	return cycles, nil
+}
+
 // Run executes a workload on proto under cfg and returns the collected
 // result. The workload's Check (if any) is evaluated on final memory;
 // its outcome lands in Result.CheckErr, not the returned error, so
@@ -273,7 +383,7 @@ func Run(cfg config.System, proto Protocol, w *program.Workload) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	cycles, err := m.Engine.Run()
+	cycles, err := m.runEngine()
 	if err != nil {
 		return nil, fmt.Errorf("system: %s on %s: %w", proto.Name(), w.Name, err)
 	}
@@ -312,7 +422,7 @@ func Replay(cfg config.System, proto Protocol, tr *trace.Trace) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	cycles, err := m.Engine.Run()
+	cycles, err := m.runEngine()
 	if err != nil {
 		return nil, fmt.Errorf("system: %s replaying %s: %w", proto.Name(), tr.Meta.Workload, err)
 	}

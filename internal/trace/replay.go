@@ -86,6 +86,12 @@ func NewReplayCore(id int, ops []Op, port coherence.CorePort, wbEntries int) *Re
 		panic("trace: replay write buffer must have at least one entry")
 	}
 	c := &ReplayCore{ID: id, ops: ops, port: port, wb: make([]wbEntry, wbEntries)}
+	c.Loads.SetName(fmt.Sprintf("replay%d.loads", id))
+	c.Stores.SetName(fmt.Sprintf("replay%d.stores", id))
+	c.RMWs.SetName(fmt.Sprintf("replay%d.rmws", id))
+	c.Fences.SetName(fmt.Sprintf("replay%d.fences", id))
+	c.Instructions.SetName(fmt.Sprintf("replay%d.instructions", id))
+	c.WBForwards.SetName(fmt.Sprintf("replay%d.wb_forwards", id))
 	if len(ops) > 0 {
 		// The stream's anchor is cycle 0; the first op's Gap is its
 		// absolute first-attempt cycle.
@@ -305,6 +311,9 @@ func (c *ReplayCore) NextWake(now sim.Cycle) sim.Cycle {
 	}
 	return now + 1
 }
+
+// ComponentLabel implements sim.Labeled (forensic reports).
+func (c *ReplayCore) ComponentLabel() string { return fmt.Sprintf("replay core %d", c.ID) }
 
 // Debug renders the replay state (deadlock diagnostics).
 func (c *ReplayCore) Debug() string {

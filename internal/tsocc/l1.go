@@ -161,6 +161,25 @@ func (l *L1) Busy() bool {
 	return l.rd != nil || l.wr != nil || len(l.evict) > 0 || l.timers.Pending() > 0 || len(l.inbox) > 0
 }
 
+// ComponentLabel implements sim.Labeled (forensic reports).
+func (l *L1) ComponentLabel() string { return fmt.Sprintf("tsocc L1 %d", l.id) }
+
+// Debug renders in-flight transaction state (deadlock diagnostics).
+func (l *L1) Debug() string {
+	s := fmt.Sprintf("L1 %d:", l.id)
+	if l.rd != nil {
+		s += fmt.Sprintf(" rd=%#x(squash=%v)", l.rd.addr, l.rd.squashed)
+	}
+	if l.wr != nil {
+		s += fmt.Sprintf(" wr=%#x(rmw=%v issued=%d)", l.wr.addr, l.wr.isRMW, l.wr.issued)
+	}
+	for a, e := range l.evict {
+		s += fmt.Sprintf(" evict=%#x(dirty=%v xfer=%v)", a, e.dirty, e.transferred)
+	}
+	s += fmt.Sprintf(" timers=%d%v inbox=%d", l.timers.Pending(), l.timers.DueCycles(), len(l.inbox))
+	return s
+}
+
 // NextWake implements sim.WakeHinter: the earliest due timer, or next
 // cycle if messages are queued. Outstanding transactions need no wake of
 // their own — they advance only when a message or timer fires.
@@ -513,7 +532,7 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 		l.epochL2[tile] = m.Epoch
 
 	default:
-		panic(fmt.Sprintf("tsocc: L1 %d: unexpected message %s", l.id, m))
+		panic(fmt.Sprintf("tsocc: L1 %d cycle %d: unexpected message %s", l.id, now, m))
 	}
 }
 
@@ -554,7 +573,7 @@ func (l *L1) completeWrite(now sim.Cycle, m *coherence.Msg) {
 func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 	tx := l.rd
 	if tx == nil || tx.addr != m.Addr {
-		panic(fmt.Sprintf("tsocc: L1 %d: data response without read tx %s", l.id, m))
+		panic(fmt.Sprintf("tsocc: L1 %d cycle %d: data response without read tx %s", l.id, now, m))
 	}
 	val := memsys.GetWord(m.Data, tx.wordAddr)
 	// Only owner-forwarded data can be overtaken by a later L2
@@ -591,7 +610,7 @@ func (l *L1) install(now sim.Cycle, addr uint64, data []byte) *memsys.Way[l1Line
 	}
 	w := l.cache.Victim(addr)
 	if w == nil {
-		panic(fmt.Sprintf("tsocc: L1 %d: no victim for %#x", l.id, addr))
+		panic(fmt.Sprintf("tsocc: L1 %d cycle %d: no victim for %#x", l.id, now, addr))
 	}
 	if w.Valid {
 		l.evictLine(now, w)
@@ -645,7 +664,7 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 			Dirty: e.dirty, TS: ts, TSValid: valid, Epoch: l.epoch, NoCopy: true}, e.data)
 		return
 	}
-	panic(fmt.Sprintf("tsocc: L1 %d: FwdGetS for absent line %s", l.id, m))
+	panic(fmt.Sprintf("tsocc: L1 %d cycle %d: FwdGetS for absent line %s", l.id, now, m))
 }
 
 func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
@@ -665,7 +684,7 @@ func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
 			Owner: l.id, TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: e.dirty}, e.data)
 		return
 	}
-	panic(fmt.Sprintf("tsocc: L1 %d: FwdGetX for absent line %s", l.id, m))
+	panic(fmt.Sprintf("tsocc: L1 %d cycle %d: FwdGetX for absent line %s", l.id, now, m))
 }
 
 func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {

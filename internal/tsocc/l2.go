@@ -129,6 +129,18 @@ func (t *L2) BindWaker(w sim.Waker) {
 // Deliver implements mesh.Endpoint.
 func (t *L2) Deliver(now sim.Cycle, m *coherence.Msg) { t.txs.Deliver(m) }
 
+// SetStall installs a TxTable consumption-stall hook (fault injection;
+// see faults.Injector.TxStall).
+func (t *L2) SetStall(f func(m *coherence.Msg) bool) { t.txs.SetStall(f) }
+
+// ComponentLabel implements sim.Labeled (forensic reports).
+func (t *L2) ComponentLabel() string { return fmt.Sprintf("tsocc L2 tile %d", t.tile) }
+
+// Debug renders outstanding directory state (deadlock diagnostics).
+func (t *L2) Debug() string {
+	return fmt.Sprintf("L2 %d:%s timers=%d", t.tile, t.txs.Debug(), t.timers.Pending())
+}
+
 // TileStats reports SharedRO transitions, Shared->SharedRO decay events,
 // SharedRO write broadcasts and tile timestamp resets (used by the
 // system-level result collection and the decay ablation).
@@ -195,7 +207,7 @@ func (t *L2) handle(now sim.Cycle, m *coherence.Msg) {
 		t.tsL1.drop(src)
 		t.epochL1[src] = m.Epoch
 	default:
-		panic(fmt.Sprintf("tsocc: L2 %d: unexpected message %s", t.id, m))
+		panic(fmt.Sprintf("tsocc: L2 %d cycle %d: unexpected message %s", t.id, now, m))
 	}
 }
 
@@ -368,7 +380,7 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 		t.txs.New(addr, txEvict, nil, 1)
 		return false
 	}
-	panic("tsocc: evictLine on invalid state")
+	panic(fmt.Sprintf("tsocc: L2 %d cycle %d: evictLine on invalid state %d for %#x", t.id, now, v.Meta.state, v.Tag))
 }
 
 func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
@@ -384,7 +396,7 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
 	case dirX:
 		if w.Meta.owner == m.Requestor {
-			panic(fmt.Sprintf("tsocc: L2 %d: GetS from current owner %s", t.id, m))
+			panic(fmt.Sprintf("tsocc: L2 %d cycle %d: GetS from current owner %s", t.id, now, m))
 		}
 		w.Busy = true
 		t.txs.New(m.Addr, txFwdGetS, m, 0)
@@ -448,7 +460,7 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
 	case dirX:
 		if w.Meta.owner == m.Requestor {
-			panic(fmt.Sprintf("tsocc: L2 %d: GetX from current owner %s", t.id, m))
+			panic(fmt.Sprintf("tsocc: L2 %d cycle %d: GetX from current owner %s", t.id, now, m))
 		}
 		w.Busy = true
 		t.txs.New(m.Addr, txFwdGetX, m, 0)
@@ -494,7 +506,7 @@ func (t *L2) respond(now sim.Cycle, dst coherence.NodeID, typ coherence.MsgType,
 func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
 	tx, ok := t.txs.Get(m.Addr)
 	if !ok || (tx.Kind != txAwaitAck && tx.Kind != txFwdGetX) {
-		panic(fmt.Sprintf("tsocc: L2 %d: stray Ack %s", t.id, m))
+		panic(fmt.Sprintf("tsocc: L2 %d cycle %d: stray Ack %s", t.id, now, m))
 	}
 	w := t.cache.Peek(m.Addr)
 	w.Meta.state = dirX
@@ -515,7 +527,7 @@ func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
 func (t *L2) handleInvAck(now sim.Cycle, m *coherence.Msg) {
 	tx, ok := t.txs.Get(m.Addr)
 	if !ok {
-		panic(fmt.Sprintf("tsocc: L2 %d: stray InvAck %s", t.id, m))
+		panic(fmt.Sprintf("tsocc: L2 %d cycle %d: stray InvAck %s", t.id, now, m))
 	}
 	tx.AcksLeft--
 	if tx.AcksLeft > 0 {
@@ -532,14 +544,14 @@ func (t *L2) handleInvAck(now sim.Cycle, m *coherence.Msg) {
 	case txEvict:
 		t.finishEvict(now, w)
 	default:
-		panic(fmt.Sprintf("tsocc: L2 %d: InvAck in tx kind %d", t.id, tx.Kind))
+		panic(fmt.Sprintf("tsocc: L2 %d cycle %d: InvAck in tx kind %d", t.id, now, tx.Kind))
 	}
 }
 
 func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 	tx, ok := t.txs.Get(m.Addr)
 	if !ok {
-		panic(fmt.Sprintf("tsocc: L2 %d: stray WBData %s", t.id, m))
+		panic(fmt.Sprintf("tsocc: L2 %d cycle %d: stray WBData %s", t.id, now, m))
 	}
 	w := t.cache.Peek(m.Addr)
 	switch tx.Kind {
@@ -582,7 +594,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 		}
 		t.finishEvict(now, w)
 	default:
-		panic(fmt.Sprintf("tsocc: L2 %d: WBData in tx kind %d", t.id, tx.Kind))
+		panic(fmt.Sprintf("tsocc: L2 %d cycle %d: WBData in tx kind %d", t.id, now, tx.Kind))
 	}
 }
 

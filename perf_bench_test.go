@@ -349,7 +349,9 @@ func TestHotPathZeroAlloc(t *testing.T) {
 		fn   func(b *testing.B)
 	}{
 		{"L1HitPath", BenchmarkL1HitPath},
+		{"L1HitPathFaultsChecksOff", BenchmarkL1HitPathFaultsChecksOff},
 		{"MeshDelivery", BenchmarkMeshDelivery},
+		{"MeshDeliveryFaultsOff", BenchmarkMeshDeliveryFaultsOff},
 	} {
 		t.Run(bench.name, func(t *testing.T) {
 			res := testing.Benchmark(bench.fn)
@@ -359,6 +361,87 @@ func TestHotPathZeroAlloc(t *testing.T) {
 			}
 		})
 	}
+}
+
+// BenchmarkL1HitPathFaultsChecksOff is BenchmarkL1HitPath driven through
+// the machine's wired port chain with fault injection and invariant
+// oracles explicitly disabled: portFor must hand back the raw L1 (no
+// decorator) and the hit path must stay allocation-free.
+func BenchmarkL1HitPathFaultsChecksOff(b *testing.B) {
+	cfg := config.Scaled(1)
+	cfg.FaultProfile = ""
+	cfg.Checks = false
+	warm := program.NewBuilder("warm")
+	warm.Li(1, 0x1000)
+	warm.Ld(2, 1, 0)
+	warm.Halt()
+	w := &program.Workload{Name: "warm", Programs: []*program.Program{warm.MustBuild()}}
+	m, err := system.NewMachine(cfg, tsocc.New(config.C12x3()), w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Engine.Run(); err != nil {
+		b.Fatal(err)
+	}
+	port := m.CorePort(0)
+	l1 := m.L1s[0]
+	now := m.Engine.Now() + 1
+	var sink uint64
+	cb := func(val uint64) { sink = val }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !port.Load(now, 0x1000, cb) {
+			b.Fatal("port refused a hit load")
+		}
+		now += cfg.L1HitLat
+		l1.Tick(now)
+		now++
+	}
+	_ = sink
+}
+
+// BenchmarkMeshDeliveryFaultsOff drives the pooled send/deliver cycle
+// through the mesh of a machine built with fault injection disabled:
+// system wiring must install no delay hook and the calendar-queue path
+// must stay allocation-free.
+func BenchmarkMeshDeliveryFaultsOff(b *testing.B) {
+	cfg := config.Scaled(16)
+	cfg.FaultProfile = ""
+	idle := program.NewBuilder("idle")
+	idle.Halt()
+	w := &program.Workload{Name: "idle", Programs: []*program.Program{idle.MustBuild()}}
+	m, err := system.NewMachine(cfg, tsocc.New(config.C12x3()), w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := m.Net
+	base := coherence.NodeID(0x7000)
+	sinks := make([]*poolSink, 16)
+	for i := range sinks {
+		sinks[i] = &poolSink{net: net}
+		net.Attach(base+coherence.NodeID(i), i, sinks[i])
+	}
+	payload := make([]byte, 64)
+	now := sim.Cycle(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg := net.Pool.Get()
+		msg.Type = coherence.MsgDataS
+		msg.Src = base + coherence.NodeID(i%16)
+		msg.Dst = base + coherence.NodeID((i*7+3)%16)
+		msg.SetData(payload)
+		if msg.Src == msg.Dst {
+			msg.Dst = base + coherence.NodeID((i%16+1)%16)
+		}
+		net.Send(now, msg)
+		for net.Pending() > 0 {
+			now++
+			net.Tick(now)
+		}
+	}
+	b.ReportMetric(float64(sinks[0].received), "sink0-msgs")
 }
 
 // BenchmarkDataResponsePath stresses the L1 data-response path: a reader
