@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate fault-smoke ci
+.PHONY: all vet build test race race-parallel bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate fault-smoke parallel-smoke ci
 
 all: ci
 
@@ -17,6 +17,15 @@ test:
 # assertions compiled in (mirrors the CI race job).
 race:
 	$(GO) test -race -tags txdebug ./internal/...
+
+# Race-detect the sharded parallel engine on 4 scheduler threads
+# (mirrors the CI race job's parallel leg): the bounded litmus
+# conformance subset at 4 shards plus the sharded-engine property test.
+# The full conformance suite under -race costs ~100x wall time, so the
+# race leg deliberately runs these small, protocol-complete targets.
+race-parallel:
+	GOMAXPROCS=4 $(GO) test -race -run 'TestParallelLitmusEveryProtocol' .
+	GOMAXPROCS=4 $(GO) test -race ./internal/sim/
 
 # Quick benchmark smoke: exercises the perf-critical paths without the
 # full figure grids.
@@ -75,6 +84,18 @@ fault-smoke:
 	    -faults $$prof -fault-seed 7 -checks > /dev/null; \
 	done; done; echo "fault smoke: all oracles clean"
 
+# Parallel-engine smoke: the litmus suite through the tsocc-litmus CLI
+# at 1, 2 and 4 shards × two protocols (mirrors the CI parallel job).
+# Shards=1 is the single-threaded engine, so the sweep covers both
+# engine flavors end to end; any TSO-forbidden outcome fails. Stats
+# bit-identity across shard counts is pinned by TestParallel* in the
+# test suite.
+parallel-smoke:
+	@set -e; for shards in 1 2 4; do for proto in MESI TSO-CC-4-12-3; do \
+	  echo "parallel smoke: shards=$$shards / $$proto"; \
+	  $(GO) run ./cmd/tsocc-litmus -iters 25 -proto $$proto -shards $$shards > /dev/null; \
+	done; done; echo "parallel smoke: all shard counts TSO-clean"
+
 # Record → replay → diff-stats conformance over a small grid (mirrors
 # the CI trace gate).
 trace-gate:
@@ -87,4 +108,4 @@ trace-gate:
 	  diff $$tmp/rec.txt $$tmp/rep.txt; \
 	done; done; echo "trace gate: record/replay stats identical"
 
-ci: vet build test race bench-smoke bench-gate trace-gate fault-smoke
+ci: vet build test race race-parallel bench-smoke bench-gate trace-gate fault-smoke parallel-smoke

@@ -46,6 +46,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	perf := flag.Bool("perf", false, "report simulator throughput (cycles/sec, ns/simcycle) as JSON and exit")
 	batched := flag.Bool("batched", true, "batched straight-line core execution (config.System.BatchedCore)")
+	shards := flag.Int("shards", 0, "engine shards (0 = auto from GOMAXPROCS, 1 = single-threaded)")
 	faultSpec := flag.String("faults", "", "fault-injection profile: jitter, pressure or burst, optionally name:key=val,... (empty = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
 	checks := flag.Bool("checks", false, "enable runtime invariant oracles (SWMR, value, TSO order)")
@@ -103,11 +104,17 @@ func main() {
 		}
 	}
 
+	// 0 = auto: follow GOMAXPROCS (1 on a single-CPU runner, which is
+	// exactly the single-threaded engine).
+	if *shards == 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+
 	if *traceOut != "" || *traceIn != "" {
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 		if err := runTraceMode(*traceOut, *traceIn, *benchList, protos,
-			*cores, *scale, *seed, explicit); err != nil {
+			*cores, *scale, *seed, *shards, explicit); err != nil {
 			fmt.Fprintln(os.Stderr, "trace mode:", err)
 			os.Exit(1)
 		}
@@ -131,7 +138,7 @@ func main() {
 		if *benchList != "" {
 			benches = strings.Split(*benchList, ",")
 		}
-		if err := runPerf(*cores, *scale, *seed, benches, protos,
+		if err := runPerf(*cores, *scale, *seed, *shards, benches, protos,
 			*faultSpec, *faultSeed, *checks); err != nil {
 			fmt.Fprintln(os.Stderr, "perf failed:", err)
 			os.Exit(1)
@@ -154,6 +161,7 @@ func main() {
 	cfg.FaultProfile = *faultSpec
 	cfg.FaultSeed = *faultSeed
 	cfg.Checks = *checks
+	cfg.Shards = *shards
 	p := workloads.Params{Threads: *cores, Scale: *scale, Seed: *seed}
 
 	progress := os.Stderr
@@ -202,7 +210,7 @@ func main() {
 // geometry — or an explicit -cores override — optionally on a different
 // protocol).
 func runTraceMode(traceOut, traceIn, benchList string, protos []system.Protocol,
-	cores, scale int, seed uint64, explicit map[string]bool) error {
+	cores, scale int, seed uint64, shards int, explicit map[string]bool) error {
 
 	if traceOut != "" && traceIn != "" {
 		return fmt.Errorf("-trace-out and -trace-in are mutually exclusive")
@@ -224,6 +232,7 @@ func runTraceMode(traceOut, traceIn, benchList string, protos []system.Protocol,
 			proto = protos[0]
 		}
 		cfg := config.Scaled(cores)
+		cfg.Shards = shards
 		w := e.Gen(workloads.Params{Threads: cores, Scale: scale, Seed: seed})
 		res, tr, err := system.RunRecorded(cfg, proto, w, seed)
 		if err != nil {
@@ -247,6 +256,7 @@ func runTraceMode(traceOut, traceIn, benchList string, protos []system.Protocol,
 		return err
 	}
 	cfg := tr.Meta.Sys
+	cfg.Shards = shards
 	if explicit["cores"] {
 		cfg.Cores = cores
 		cfg.MeshRows = 0
@@ -288,7 +298,7 @@ var perfModes = []struct {
 // no -proto selection it measures the paper's best realistic
 // configuration. The synthetic "dense-compute" ALU workload (the
 // batched-core acceptance case) is always appended to the selection.
-func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Protocol,
+func runPerf(cores, scale int, seed uint64, shards int, benches []string, protos []system.Protocol,
 	faultSpec string, faultSeed uint64, checks bool) error {
 	if len(benches) == 0 {
 		benches = []string{"canneal", "x264", "ssca2"}
@@ -369,6 +379,10 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 				rec.Speedup = rec.WallNsPerCycle / rec.WallNsEvent
 				rec.BatchedSpeedup = rec.WallNsUnbatched / rec.WallNsEvent
 			}
+			if err := measureParallel(&rec, cores, shards, proto, gen, p,
+				faultSpec, faultSeed, checks); err != nil {
+				return err
+			}
 			if err := measureTrace(&rec, cores, proto, gen(p)); err != nil {
 				return err
 			}
@@ -378,6 +392,54 @@ func runPerf(cores, scale int, seed uint64, benches []string, protos []system.Pr
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// measureParallel fills a record's sharded-engine fields: the batched
+// event configuration (the production default, whose serial number is
+// WallNsEvent) re-timed with the wake-set engine sharded across
+// goroutines. The leg is skipped — fields left zero — when the resolved
+// shard count is 1 (single-CPU runner or explicit -shards 1) or when
+// the oracles are on (checks force the serial engine). ParallelSpeedup
+// is a within-run wall-time ratio, but unlike the engine-mode speedups
+// it only demonstrates anything when GOMAXPROCS >= Shards, so the
+// per-record GOMAXPROCS is recorded alongside for the benchdiff gate.
+func measureParallel(rec *benchfmt.Record, cores, shards int, proto system.Protocol,
+	gen workloads.Generator, p workloads.Params, faultSpec string, faultSeed uint64, checks bool) error {
+	if shards > cores {
+		shards = cores
+	}
+	if shards <= 1 || checks {
+		return nil
+	}
+	cfg := config.Scaled(cores)
+	cfg.BatchedCore = true
+	cfg.FaultProfile = faultSpec
+	cfg.FaultSeed = faultSeed
+	cfg.Shards = shards
+	best := time.Duration(0)
+	var cycles int64
+	for rep := 0; rep < 3; rep++ {
+		m, err := system.NewMachine(cfg, proto, gen(p))
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		cyc, err := m.SE.Run()
+		if err != nil {
+			return err
+		}
+		if d := time.Since(t0); best == 0 || d < best {
+			best = d
+		}
+		cycles = int64(cyc)
+	}
+	rec.Shards = shards
+	rec.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rec.WallNsParallel = float64(best.Nanoseconds()) / float64(cycles)
+	if rec.WallNsEvent > 0 && rec.WallNsParallel > 0 {
+		rec.ParallelSpeedup = rec.WallNsEvent / rec.WallNsParallel
+	}
+	return nil
 }
 
 // measureTrace fills a perfRecord's trace-subsystem fields: the

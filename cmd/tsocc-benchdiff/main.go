@@ -12,9 +12,15 @@
 // event_vs_percycle_speedup < 1.0 — the event engine must never be
 // slower than the per-cycle conformance ticker on any measured
 // workload — or if the snapshot contains no measurements at all (a
-// vacuously green gate is a disarmed gate). Speedups are within-host
-// ratios, so the gate is meaningful on any machine; absolute ns/cycle
-// deltas are only comparable when the recorded host metadata matches.
+// vacuously green gate is a disarmed gate). Records whose parallel leg
+// ran at >= 4 shards with GOMAXPROCS >= 4 must additionally show
+// parallel_vs_serial_speedup >= 1.0: with enough CPUs behind it the
+// sharded engine must never lose to the single-threaded one. Records
+// timed without the CPUs to back the shards (gomaxprocs < 4) carry the
+// numbers but are exempt — a 1-CPU runner interleaving 4 shards proves
+// nothing about the parallel engine. Speedups are within-host ratios,
+// so the gate is meaningful on any machine; absolute ns/cycle deltas
+// are only comparable when the recorded host metadata matches.
 package main
 
 import (
@@ -86,17 +92,30 @@ func main() {
 			os.Exit(1)
 		}
 		bad := false
+		gated := 0
 		for _, r := range cur.Results {
 			if r.Speedup < 1.0 {
 				fmt.Fprintf(os.Stderr, "GATE FAIL: %s event_vs_percycle_speedup = %.3f < 1.0\n",
 					r.Key(), r.Speedup)
 				bad = true
 			}
+			if r.Shards >= 4 && r.GOMAXPROCS >= 4 {
+				gated++
+				if r.ParallelSpeedup < 1.0 {
+					fmt.Fprintf(os.Stderr,
+						"GATE FAIL: %s parallel_vs_serial_speedup = %.3f < 1.0 (shards=%d, gomaxprocs=%d)\n",
+						r.Key(), r.ParallelSpeedup, r.Shards, r.GOMAXPROCS)
+					bad = true
+				}
+			}
 		}
 		if bad {
 			os.Exit(1)
 		}
 		fmt.Printf("gate ok: event engine >= per-cycle on all %d benchmarks\n", len(cur.Results))
+		if gated > 0 {
+			fmt.Printf("gate ok: sharded engine >= serial on all %d parallel-timed benchmarks\n", gated)
+		}
 	}
 }
 

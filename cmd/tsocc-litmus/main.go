@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/coherence"
@@ -25,6 +26,7 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault-injection profile: jitter, pressure or burst, optionally name:key=val,... (empty = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
 	checks := flag.Bool("checks", false, "enable runtime invariant oracles (SWMR, value, TSO order)")
+	shards := flag.Int("shards", 0, "engine shards (0 = auto from GOMAXPROCS, 1 = single-threaded)")
 	protoList := flag.String("proto", "", "comma-separated protocol subset (registry names; default all)")
 	verbose := flag.Bool("v", false, "print outcome histograms")
 	listW := flag.Bool("list-workloads", false, "list workloads (registry + synthetic extras) and exit")
@@ -58,6 +60,10 @@ func main() {
 	cfg.FaultProfile = *faultSpec
 	cfg.FaultSeed = *faultSeed
 	cfg.Checks = *checks
+	cfg.Shards = *shards
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	failed := false
 	for _, proto := range protos {
 		fmt.Printf("== %s ==\n", proto.Name())

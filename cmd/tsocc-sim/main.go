@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/coherence"
 	"repro/internal/config"
@@ -18,6 +19,17 @@ import (
 	"repro/internal/system"
 	"repro/internal/workloads"
 )
+
+// resolveShards maps the CLI convention (0 = auto) onto a concrete
+// engine shard count: auto follows GOMAXPROCS, 1 is the single-threaded
+// wake-set engine, and anything larger runs the sharded parallel engine
+// (results are bit-identical either way).
+func resolveShards(flagVal int) int {
+	if flagVal == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return flagVal
+}
 
 func main() {
 	bench := flag.String("bench", "intruder", "benchmark name (see -list-workloads)")
@@ -28,6 +40,7 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault-injection profile: jitter, pressure or burst, optionally name:key=val,... (empty = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
 	checks := flag.Bool("checks", false, "enable runtime invariant oracles (SWMR, value, TSO order)")
+	shards := flag.Int("shards", 0, "engine shards (0 = auto from GOMAXPROCS, 1 = single-threaded)")
 	list := flag.Bool("list", false, "list workloads and protocols")
 	listW := flag.Bool("list-workloads", false, "list workloads (registry + synthetic extras) and exit")
 	listP := flag.Bool("list-protocols", false, "list registered protocols and exit")
@@ -66,6 +79,7 @@ func main() {
 	cfg.FaultProfile = *faultSpec
 	cfg.FaultSeed = *faultSeed
 	cfg.Checks = *checks
+	cfg.Shards = resolveShards(*shards)
 	w := e.Gen(workloads.Params{Threads: *cores, Scale: *scale, Seed: *seed})
 	res, err := system.Run(cfg, chosen, w)
 	if err != nil {

@@ -45,6 +45,18 @@ type Record struct {
 	Speedup         float64 `json:"event_vs_percycle_speedup"`
 	BatchedSpeedup  float64 `json:"batched_vs_unbatched_speedup"`
 
+	// Sharded-engine throughput: the batched event configuration re-timed
+	// with the wake-set engine sharded across goroutines. Shards records
+	// the shard count the parallel leg ran with, GOMAXPROCS the per-record
+	// cap in effect while timing it (the Host value can differ when a
+	// snapshot merges runs), and ParallelSpeedup the wall-time ratio
+	// serial/parallel — meaningful only when GOMAXPROCS >= Shards. Zero
+	// values mean the parallel leg was not timed (pre-PR-7 snapshot).
+	Shards          int     `json:"shards,omitempty"`
+	GOMAXPROCS      int     `json:"gomaxprocs,omitempty"`
+	WallNsParallel  float64 `json:"wall_ns_parallel_engine,omitempty"`
+	ParallelSpeedup float64 `json:"parallel_vs_serial_speedup,omitempty"`
+
 	// Trace-subsystem throughput: the benchmark is recorded once, then
 	// its trace is replayed (event engine) and round-tripped through
 	// the codec.

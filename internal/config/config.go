@@ -71,6 +71,19 @@ type System struct {
 	// Off by default; checking observes but never perturbs the
 	// simulation, so checked runs stay bit-identical to unchecked ones.
 	Checks bool
+
+	// Shards selects the parallel wake-set engine: the system's tiles
+	// (core + L1 + directory slice) are partitioned contiguously across
+	// this many goroutines, each running the wake-set scheduler locally
+	// and synchronizing at conservative-lookahead epoch barriers (the
+	// minimum cross-tile mesh latency). Cross-shard messages are merged
+	// at the barrier in a deterministic order, so sharded runs are
+	// bit-identical to single-threaded ones. 0 or 1 selects today's
+	// single-threaded engine; values above Cores clamp to Cores. The
+	// per-cycle conformance engine and the invariant oracles are
+	// single-threaded referees: PerCycleEngine or Checks force the
+	// effective shard count back to 1.
+	Shards int
 }
 
 // Table2 returns the paper's 32-core configuration.
@@ -131,6 +144,9 @@ func (s System) Validate() error {
 	}
 	if s.WriteBuffer <= 0 {
 		return fmt.Errorf("config: write buffer must be positive")
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("config: shards must be non-negative")
 	}
 	return nil
 }

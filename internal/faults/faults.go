@@ -233,6 +233,25 @@ func (in *Injector) MeshDelay(now, at sim.Cycle, src, dst coherence.NodeID) sim.
 	return out
 }
 
+// MeshDelayer returns an independent mesh-delay decision domain: the
+// same (profile, seed) as the parent but fresh per-pair state. All mesh
+// fault decisions are functions of per-(src,dst)-pair state only (the
+// jitter counter, the FIFO clamp; burst is a pure function of the
+// window), so partitioning the ordered pairs across domains — as the
+// sharded mesh does, co-located pairs to their tile's shard and
+// cross-router pairs to the barrier merge — yields exactly the decision
+// stream a single serial domain would, as long as each pair always hits
+// the same domain.
+func (in *Injector) MeshDelayer() func(now, at sim.Cycle, src, dst coherence.NodeID) sim.Cycle {
+	d := &Injector{
+		seed:    in.seed,
+		prof:    in.prof,
+		pairSeq: make(map[uint64]uint64),
+		lastOut: make(map[uint64]sim.Cycle),
+	}
+	return d.MeshDelay
+}
+
 // TxStall returns a TxTable stall hook for one tile: each call decides
 // whether the message about to be consumed is deferred one drain
 // round. A per-message stall budget (Msg.FaultStalls, zeroed by the

@@ -178,6 +178,13 @@ func (c *Cache[L]) CountValid(pred func(w *Way[L]) bool) int {
 
 // Memory is the off-chip backing store: an infinite sparse block store
 // with a deterministic per-address latency in [Base, Base+Spread).
+//
+// By default all blocks live in one store, which is safe only when a
+// single goroutine accesses memory. Interleave splits the store into
+// banks keyed by block address; when every bank is accessed by exactly
+// one goroutine (the sharded engine maps each block's home tile to one
+// shard), accesses stay race-free without locks. Latency is a pure
+// function of the address either way.
 type Memory struct {
 	blocks map[uint64][]byte
 	Base   sim.Cycle
@@ -185,6 +192,17 @@ type Memory struct {
 
 	Reads  int64
 	Writes int64
+
+	banks  []memBank
+	bankOf func(blockAddr uint64) int
+}
+
+// memBank is one independently-owned slice of the block store, with its
+// own access counters so hot-path accounting never crosses goroutines.
+type memBank struct {
+	blocks map[uint64][]byte
+	reads  int64
+	writes int64
 }
 
 // NewMemory builds a memory with the paper's latency band by default
@@ -195,6 +213,43 @@ func NewMemory() *Memory {
 		Base:   120,
 		Spread: 110,
 	}
+}
+
+// Interleave splits the block store into banks routed by bankOf (a pure
+// function of the block address). Existing blocks migrate to their
+// banks, so it may be called after initial state is written.
+func (m *Memory) Interleave(banks int, bankOf func(blockAddr uint64) int) {
+	if banks <= 0 {
+		panic("memsys: Interleave needs at least one bank")
+	}
+	m.banks = make([]memBank, banks)
+	for i := range m.banks {
+		m.banks[i].blocks = make(map[uint64][]byte)
+	}
+	m.bankOf = bankOf
+	for blk, b := range m.blocks {
+		m.banks[bankOf(blk)].blocks[blk] = b
+	}
+	m.blocks = make(map[uint64][]byte)
+}
+
+// store returns the block map and counters owning blk.
+func (m *Memory) store(blk uint64) (map[uint64][]byte, *int64, *int64) {
+	if m.bankOf == nil {
+		return m.blocks, &m.Reads, &m.Writes
+	}
+	bk := &m.banks[m.bankOf(blk)]
+	return bk.blocks, &bk.reads, &bk.writes
+}
+
+// Stats reports total block reads and writes across all banks.
+func (m *Memory) Stats() (reads, writes int64) {
+	reads, writes = m.Reads, m.Writes
+	for i := range m.banks {
+		reads += m.banks[i].reads
+		writes += m.banks[i].writes
+	}
+	return
 }
 
 // Latency reports the deterministic access latency for addr.
@@ -209,9 +264,10 @@ func (m *Memory) Latency(addr uint64) sim.Cycle {
 // ReadBlock copies the block at addr into dst (allocating zeroes for
 // untouched memory).
 func (m *Memory) ReadBlock(addr uint64, dst []byte) {
-	m.Reads++
 	addr = coherence.BlockAddr(addr)
-	if b, ok := m.blocks[addr]; ok {
+	blocks, reads, _ := m.store(addr)
+	*reads++
+	if b, ok := blocks[addr]; ok {
 		copy(dst, b)
 		return
 	}
@@ -222,19 +278,22 @@ func (m *Memory) ReadBlock(addr uint64, dst []byte) {
 
 // WriteBlock stores a copy of src as the block at addr.
 func (m *Memory) WriteBlock(addr uint64, src []byte) {
-	m.Writes++
 	addr = coherence.BlockAddr(addr)
-	b, ok := m.blocks[addr]
+	blocks, _, writes := m.store(addr)
+	*writes++
+	b, ok := blocks[addr]
 	if !ok {
 		b = make([]byte, coherence.BlockSize)
-		m.blocks[addr] = b
+		blocks[addr] = b
 	}
 	copy(b, src)
 }
 
 // ReadWord returns the 8-byte little-endian word at addr (8-aligned).
 func (m *Memory) ReadWord(addr uint64) uint64 {
-	b, ok := m.blocks[coherence.BlockAddr(addr)]
+	blk := coherence.BlockAddr(addr)
+	blocks, _, _ := m.store(blk)
+	b, ok := blocks[blk]
 	if !ok {
 		return 0
 	}
@@ -245,10 +304,11 @@ func (m *Memory) ReadWord(addr uint64) uint64 {
 // bypassing latency modelling; used for initial state setup.
 func (m *Memory) WriteWord(addr uint64, v uint64) {
 	blk := coherence.BlockAddr(addr)
-	b, ok := m.blocks[blk]
+	blocks, _, _ := m.store(blk)
+	b, ok := blocks[blk]
 	if !ok {
 		b = make([]byte, coherence.BlockSize)
-		m.blocks[blk] = b
+		blocks[blk] = b
 	}
 	PutWord(b, addr, v)
 }

@@ -8,9 +8,38 @@ import (
 	"repro/internal/sim"
 )
 
+// dkey is a delivery's position in the serial engine's send order: the
+// send cycle, the canonical (serial registration order) index of the
+// component that was being dispatched when Send was called, and a
+// per-queue-domain sequence number. In single-threaded mode only seq is
+// used (cyc and pos stay zero, so comparisons degenerate to the global
+// send sequence). In sharded mode the triple totally orders sends
+// exactly as the serial engine's global sequence would — within one
+// cycle components dispatch in canonical order, and within one
+// component's dispatch its sends are numbered by the shard-local seq —
+// independent of goroutine interleaving. That equivalence holds because
+// no component ever sends from inside Deliver (deliveries only enqueue
+// to inboxes and wake), so every send is attributable to exactly one
+// (cycle, dispatched component) slot.
+type dkey struct {
+	cyc sim.Cycle
+	pos int32
+	seq uint64
+}
+
+func (a dkey) less(b dkey) bool {
+	if a.cyc != b.cyc {
+		return a.cyc < b.cyc
+	}
+	if a.pos != b.pos {
+		return a.pos < b.pos
+	}
+	return a.seq < b.seq
+}
+
 type delivery struct {
 	at  sim.Cycle
-	seq uint64
+	key dkey
 	msg *coherence.Msg
 	dst Endpoint
 }
@@ -37,6 +66,7 @@ type calQueue struct {
 	base     sim.Cycle               // cycle of the most recent pop; ring holds (base, base+calBuckets)
 	pending  int
 	overflow coherence.EventHeap[delivery]
+	heapSeq  uint64 // overflow insertion counter; pop re-sorts by key, so heap tie order is irrelevant
 
 	earliest   sim.Cycle // cached earliest deadline
 	earliestOK bool
@@ -57,7 +87,8 @@ func (q *calQueue) schedule(d delivery) {
 	if d.at-q.base < calBuckets {
 		q.ringPut(d)
 	} else {
-		q.overflow.Push(d.at, d.seq, d)
+		q.heapSeq++
+		q.overflow.Push(d.at, q.heapSeq, d)
 	}
 	if q.pending == 0 {
 		q.earliest = d.at
@@ -101,10 +132,12 @@ func (q *calQueue) pop(now sim.Cycle, scratch []delivery) []delivery {
 			panic(fmt.Sprintf("mesh: bucket entry for cycle %d popped at %d", out[i].at, now))
 		}
 	}
-	// Entries may have been appended out of seq order (a direct send can
-	// land after an earlier-sent overflow migrant); restore send order.
+	// Entries may have been appended out of send order (a direct send
+	// can land after an earlier-sent overflow migrant, and in sharded
+	// mode barrier-merged deliveries interleave with shard-local ones);
+	// restore serial send order by key.
 	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].seq < out[j-1].seq; j-- {
+		for j := i; j > 0 && out[j].key.less(out[j-1].key); j-- {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}

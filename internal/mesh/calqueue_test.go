@@ -28,7 +28,7 @@ func drainAll(t *testing.T, q *calQueue, from sim.Cycle) []rec {
 		due := q.pop(now, scratch)
 		scratch = due[:0]
 		for _, d := range due {
-			got = append(got, rec{at: d.at, seq: d.seq})
+			got = append(got, rec{at: d.at, seq: d.key.seq})
 		}
 	}
 	return got
@@ -52,7 +52,7 @@ func TestCalQueueOrdering(t *testing.T) {
 		default:
 			at = sim.Cycle(calBuckets + rng.Intn(4*calBuckets)) // overflow heap
 		}
-		q.schedule(delivery{at: at, seq: seq})
+		q.schedule(delivery{at: at, key: dkey{seq: seq}})
 		want = append(want, rec{at: at, seq: seq})
 		seq++
 	}
@@ -88,7 +88,7 @@ func TestCalQueueOverflowMigration(t *testing.T) {
 		n := 1 + rng.Intn(8)
 		for i := 0; i < n; i++ {
 			at := now + 1 + sim.Cycle(rng.Intn(3*calBuckets))
-			q.schedule(delivery{at: at, seq: seq})
+			q.schedule(delivery{at: at, key: dkey{seq: seq}})
 			seq++
 		}
 		// Verify the earliest-deadline cache against brute force.
@@ -119,7 +119,7 @@ func TestCalQueueOverflowMigration(t *testing.T) {
 			due := q.pop(now, scratch)
 			scratch = due[:0]
 			for _, d := range due {
-				r := rec{at: d.at, seq: d.seq}
+				r := rec{at: d.at, seq: d.key.seq}
 				if sawAny {
 					if r.at < last.at || (r.at == last.at && r.seq < last.seq) {
 						t.Fatalf("out of order: %+v after %+v", r, last)
@@ -138,7 +138,7 @@ func TestCalQueueOverflowMigration(t *testing.T) {
 // that skips past a pending deadline must fail loudly, not deliver late.
 func TestCalQueueMissedDeadlinePanics(t *testing.T) {
 	q := &calQueue{}
-	q.schedule(delivery{at: 5, seq: 0})
+	q.schedule(delivery{at: 5})
 	if _, ok := q.earliestDeadline(); !ok {
 		t.Fatal("expected a deadline")
 	}

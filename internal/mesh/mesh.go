@@ -75,6 +75,17 @@ type Network struct {
 	FlitsSent    stats.Counter    // flits injected (message size)
 	FlitHops     stats.Counter    // flit-hops (size x hops traversed)
 	FlitsByClass [2]stats.Counter // 0 = control, 1 = data
+
+	// Sharded-delivery state (nil/empty in single-threaded mode). Each
+	// shard owns a private delivery domain — calendar queue, send
+	// sequence, message pool, traffic counters, outbox — touched only by
+	// its own goroutine inside an epoch; linkBusy, FlitHops and the
+	// cross-shard replay stay coordinator-owned (see shard.go).
+	plan         *ShardPlan
+	shards       []*netShard
+	mergeDelay   func(now, at sim.Cycle, src, dst coherence.NodeID) sim.Cycle
+	mergeIdx     []int
+	mergeTouched []bool
 }
 
 type attachment struct {
@@ -177,6 +188,10 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	if TraceAll || (TraceAddr != 0 && m.Addr == TraceAddr) {
 		TraceLog = append(TraceLog, fmt.Sprintf("cyc=%d %s", now, m))
 	}
+	if n.plan != nil {
+		n.sendSharded(now, m, src, dst)
+		return
+	}
 	flits := m.Type.Flits()
 	n.MsgsSent.Inc()
 	n.FlitsSent.Add(int64(flits))
@@ -197,14 +212,28 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 		return
 	}
 
+	at := n.walkLinks(now, m.Type.Flits(), src.router, dst.router)
+	if n.delayHook != nil {
+		at = n.delayHook(now, at, m.Src, m.Dst)
+	}
+	n.schedule(now, at, m, dst.ep)
+}
+
+// walkLinks routes flits from router src to router dst at cycle now,
+// reserving link bandwidth along the XY path, and returns the delivery
+// cycle. Link state is global; in sharded mode only the barrier merge
+// (coordinator goroutine) calls this, replaying cross-tile sends in
+// serial key order so reservations are computed exactly as a serial run
+// would.
+func (n *Network) walkLinks(now sim.Cycle, flits, src, dst int) sim.Cycle {
 	if now-n.linkBase >= linkEpoch {
 		n.rebaseLinks(now)
 	}
 	t := now
-	r := src.router
+	r := src
 	hops := 0
-	for r != dst.router {
-		d, next := n.xyStep(r, dst.router)
+	for r != dst {
+		d, next := n.xyStep(r, dst)
 		depart := t
 		if busy := n.linkBase + n.linkBusy[d][r]; busy > depart {
 			depart = busy
@@ -219,11 +248,7 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	// Tail-flit serialization at the destination.
 	t += sim.Cycle(flits - 1)
 	n.FlitHops.Add(int64(flits * hops))
-	at := t + 1
-	if n.delayHook != nil {
-		at = n.delayHook(now, at, m.Src, m.Dst)
-	}
-	n.schedule(now, at, m, dst.ep)
+	return t + 1
 }
 
 // rebaseLinks starts a new link-reservation epoch at now: reservations
@@ -275,7 +300,7 @@ func (n *Network) schedule(now, at sim.Cycle, m *coherence.Msg, ep Endpoint) {
 	if n.q.pending == 0 && now > n.q.base {
 		n.q.base = now
 	}
-	n.q.schedule(delivery{at: at, seq: n.seq, msg: m, dst: ep})
+	n.q.schedule(delivery{at: at, key: dkey{seq: n.seq}, msg: m, dst: ep})
 	n.seq++
 	n.waker.WakeAt(at)
 }
@@ -292,14 +317,61 @@ func (n *Network) Tick(now sim.Cycle) {
 	n.scratch = due[:0]
 	for i := range due {
 		if TraceAll {
-			TraceLog = append(TraceLog, fmt.Sprintf("cyc=%d DELIVER(seq=%d) %s", now, due[i].seq, due[i].msg))
+			TraceLog = append(TraceLog, fmt.Sprintf("cyc=%d DELIVER(seq=%d) %s", now, due[i].key.seq, due[i].msg))
 		}
 		due[i].dst.Deliver(now, due[i].msg)
 	}
 }
 
-// MsgPool implements coherence.Network: the shared message free list.
+// MsgPool implements coherence.Network: the shared message free list
+// (single-threaded mode; sharded controllers must use MsgPoolFor).
 func (n *Network) MsgPool() *coherence.MsgPool { return &n.Pool }
+
+// MsgPoolFor implements coherence.Network: the message free list a
+// controller on the given tile must draw from. Single-threaded mode has
+// one shared pool; sharded mode gives each shard a private pool so the
+// allocation fast path stays unsynchronized. Messages may migrate
+// between pools (allocated by the sender's shard, recycled into the
+// consumer's), so per-pool News counts drift across modes but the sums
+// Gets and Gets-Puts (the leak check) stay exact.
+func (n *Network) MsgPoolFor(tile int) *coherence.MsgPool {
+	if n.plan != nil {
+		return &n.shards[n.plan.ShardOfRouter[tile]].pool
+	}
+	return &n.Pool
+}
+
+// PoolTotals reports pooled-message accounting summed over every
+// delivery domain: total Gets and currently live (Gets - Puts).
+func (n *Network) PoolTotals() (gets, live int64) {
+	gets, live = n.Pool.Gets, n.Pool.Live()
+	for _, sh := range n.shards {
+		gets += sh.pool.Gets
+		live += sh.pool.Live()
+	}
+	return gets, live
+}
+
+// Totals reports traffic counters summed over every delivery domain.
+func (n *Network) Totals() (msgs, flits, hops, ctrl, data int64) {
+	msgs, flits = n.MsgsSent.Value(), n.FlitsSent.Value()
+	hops = n.FlitHops.Value()
+	ctrl, data = n.FlitsByClass[0].Value(), n.FlitsByClass[1].Value()
+	for _, sh := range n.shards {
+		msgs += sh.msgsSent.Value()
+		flits += sh.flitsSent.Value()
+		ctrl += sh.flitsByClass[0].Value()
+		data += sh.flitsByClass[1].Value()
+	}
+	return
+}
+
+// Lookahead reports the conservative cross-tile synchronization horizon:
+// the minimum number of cycles between a cross-router send and its
+// earliest possible delivery (one hop's head-flit latency plus the
+// final-cycle handoff; the fault delay hook only ever adds latency).
+// This is the sharded engine's epoch length.
+func (n *Network) Lookahead() sim.Cycle { return n.cfg.LinkLatency + 1 }
 
 // NextWake implements sim.WakeHinter: the earliest pending delivery.
 func (n *Network) NextWake(now sim.Cycle) sim.Cycle {
@@ -309,9 +381,16 @@ func (n *Network) NextWake(now sim.Cycle) sim.Cycle {
 	return sim.WakeNever
 }
 
-// Pending reports the number of undelivered messages (used by completion
-// checks and deadlock diagnostics).
-func (n *Network) Pending() int { return n.q.pending }
+// Pending reports the number of undelivered messages across every
+// delivery domain, including cross-shard sends still awaiting their
+// barrier merge (used by completion checks and deadlock diagnostics).
+func (n *Network) Pending() int {
+	p := n.q.pending
+	for _, sh := range n.shards {
+		p += sh.q.pending + len(sh.outbox)
+	}
+	return p
+}
 
 // ComponentLabel implements sim.Labeled (forensic reports).
 func (n *Network) ComponentLabel() string {

@@ -1,0 +1,264 @@
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ShardPlan partitions the mesh's routers (tiles) across the sharded
+// engine's time domains. DispatchPos reports, for a shard, the
+// canonical serial-order registration index of the component the shard
+// is currently dispatching (sim.ShardedEngine.DispatchPos); the mesh
+// stamps it into every send's merge key.
+type ShardPlan struct {
+	NumShards     int
+	ShardOfRouter []int
+	DispatchPos   func(shard int) int
+}
+
+// netShard is one shard's private delivery domain. During an epoch it
+// is touched only by its shard's goroutine: co-located (same-router)
+// messages are scheduled straight into its calendar queue, cross-router
+// messages are buffered in its outbox. At the barrier the coordinator
+// drains every outbox in merge-key order (MergeEpoch) and schedules the
+// resulting deliveries into the destination shards' queues — the only
+// cross-domain access, serialized by the barrier.
+//
+// It registers first in its shard's engine (like the serial Network's
+// index 0), so deliveries at cycle t are visible to the shard's
+// controllers at cycle t, in canonical order.
+type netShard struct {
+	n       *Network
+	id      int
+	q       calQueue
+	seq     uint64
+	scratch []delivery
+	waker   sim.Waker
+	outbox  []outSend
+
+	pool      coherence.MsgPool
+	delayHook func(now, at sim.Cycle, src, dst coherence.NodeID) sim.Cycle
+
+	msgsSent     stats.Counter
+	flitsSent    stats.Counter
+	flitsByClass [2]stats.Counter
+}
+
+// outSend is a cross-router send awaiting its barrier replay.
+type outSend struct {
+	key dkey
+	now sim.Cycle // send cycle (the replayed link walk's "now")
+	m   *coherence.Msg
+}
+
+// SetShards switches the network into sharded-delivery mode. Call after
+// New and before the protocol builds its controllers (MsgPoolFor routes
+// by plan) and before any Send.
+func (n *Network) SetShards(plan ShardPlan) {
+	if plan.NumShards <= 1 {
+		panic("mesh: SetShards needs at least two shards")
+	}
+	if len(plan.ShardOfRouter) != n.rows*n.cols {
+		panic(fmt.Sprintf("mesh: shard plan covers %d routers, mesh has %d",
+			len(plan.ShardOfRouter), n.rows*n.cols))
+	}
+	p := plan
+	n.plan = &p
+	n.shards = make([]*netShard, plan.NumShards)
+	n.mergeIdx = make([]int, plan.NumShards)
+	for i := range n.shards {
+		sh := &netShard{n: n, id: i}
+		sh.msgsSent.SetName("mesh.msgs_sent")
+		sh.flitsSent.SetName("mesh.flits_sent")
+		sh.flitsByClass[0].SetName("mesh.flits_control")
+		sh.flitsByClass[1].SetName("mesh.flits_data")
+		n.shards[i] = sh
+	}
+}
+
+// Sharded reports whether the network runs sharded delivery domains.
+func (n *Network) Sharded() bool { return n.plan != nil }
+
+// ShardTicker returns the delivery-domain component to register (first)
+// in the given shard's engine.
+func (n *Network) ShardTicker(shard int) interface {
+	sim.Ticker
+	sim.WakeHinter
+	sim.WakeSink
+	sim.Labeled
+	sim.Debugger
+} {
+	return n.shards[shard]
+}
+
+// ShardPending reports undelivered messages owned by one shard: queued
+// deliveries plus outbox entries not yet merged (counted at the sender
+// so a quiescing shard with in-flight output never reports done).
+func (n *Network) ShardPending(shard int) int {
+	sh := n.shards[shard]
+	return sh.q.pending + len(sh.outbox)
+}
+
+// SetShardDelayHook installs a fault-delay domain for one shard's
+// co-located deliveries; SetMergeDelayHook installs the domain the
+// barrier replay applies to cross-router deliveries. Mesh fault
+// decisions are per-(src,dst)-pair functions and every pair is routed
+// to exactly one domain (co-located pairs to their tile's shard,
+// cross-router pairs to the merge), so the split decision streams are
+// identical to a serial run's single stream.
+func (n *Network) SetShardDelayHook(shard int, h func(now, at sim.Cycle, src, dst coherence.NodeID) sim.Cycle) {
+	n.shards[shard].delayHook = h
+}
+
+// SetMergeDelayHook installs the cross-router fault-delay domain (see
+// SetShardDelayHook).
+func (n *Network) SetMergeDelayHook(h func(now, at sim.Cycle, src, dst coherence.NodeID) sim.Cycle) {
+	n.mergeDelay = h
+}
+
+// sendSharded is Send's sharded-mode body, running on the sending
+// shard's goroutine. The sending shard is always the shard owning
+// m.Src's router: controllers only send during their own dispatch.
+func (n *Network) sendSharded(now sim.Cycle, m *coherence.Msg, src, dst *attachment) {
+	s := n.plan.ShardOfRouter[src.router]
+	sh := n.shards[s]
+	flits := m.Type.Flits()
+	sh.msgsSent.Inc()
+	sh.flitsSent.Add(int64(flits))
+	if m.Type.CarriesData() {
+		sh.flitsByClass[1].Add(int64(flits))
+	} else {
+		sh.flitsByClass[0].Add(int64(flits))
+	}
+	key := dkey{cyc: now, pos: int32(n.plan.DispatchPos(s)), seq: sh.seq}
+	sh.seq++
+
+	if src.router == dst.router {
+		// Co-located endpoints stay entirely inside the shard: no link
+		// state is touched and the sender's own domain delivers.
+		at := now + n.cfg.LocalDelay
+		if sh.delayHook != nil {
+			at = sh.delayHook(now, at, m.Src, m.Dst)
+		}
+		sh.schedule(now, delivery{at: at, key: key, msg: m, dst: dst.ep})
+		return
+	}
+	// Cross-router sends reserve global link state, which has zero
+	// lookahead (reservations take effect at the send cycle), so the
+	// walk is deferred to the barrier and replayed there in key order —
+	// reproducing the serial engine's reservation sequence exactly.
+	sh.outbox = append(sh.outbox, outSend{key: key, now: now, m: m})
+}
+
+// schedule inserts a delivery into this shard's queue and self-wakes at
+// the deadline (the shard-local analogue of Network.schedule). floor is
+// a cycle known to precede every delivery still to be scheduled — the
+// send cycle for shard-local sends, the last window cycle for barrier
+// merges (deliveries land in key order, not time order, so anchoring an
+// idle queue at the current delivery's own cycle could strand a
+// later-keyed, earlier-due one behind the base).
+func (sh *netShard) schedule(floor sim.Cycle, d delivery) {
+	if sh.q.pending == 0 && floor > sh.q.base {
+		sh.q.base = floor
+	}
+	sh.q.schedule(d)
+	sh.waker.WakeAt(d.at)
+}
+
+// MergeEpoch replays every shard's buffered cross-router sends in merge
+// key order — the serial engine's send order — walking links, applying
+// the cross-router fault domain, and scheduling each delivery into the
+// destination shard's queue. Called single-threaded at the epoch
+// barrier; the conservative lookahead guarantees every computed
+// delivery cycle lies at or beyond windowEnd (the epoch's exclusive
+// upper bound, which is also the earliest cycle any shard can dispatch
+// next). It returns one bool per shard marking which received
+// deliveries (the engine clears those shards' quiescence episodes). The
+// returned slice is reused across calls.
+func (n *Network) MergeEpoch(windowEnd sim.Cycle) []bool {
+	touched := n.mergeTouched
+	if touched == nil {
+		touched = make([]bool, len(n.shards))
+		n.mergeTouched = touched
+	}
+	for i := range touched {
+		touched[i] = false
+	}
+	idx := n.mergeIdx
+	for i := range idx {
+		idx[i] = 0
+	}
+	for {
+		best := -1
+		for s, sh := range n.shards {
+			if idx[s] >= len(sh.outbox) {
+				continue
+			}
+			if best < 0 || sh.outbox[idx[s]].key.less(n.shards[best].outbox[idx[best]].key) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		os := &n.shards[best].outbox[idx[best]]
+		idx[best]++
+		m := os.m
+		src, dst := n.nodes[m.Src], n.nodes[m.Dst]
+		at := n.walkLinks(os.now, m.Type.Flits(), src.router, dst.router)
+		if n.mergeDelay != nil {
+			at = n.mergeDelay(os.now, at, m.Src, m.Dst)
+		}
+		ds := n.plan.ShardOfRouter[dst.router]
+		n.shards[ds].schedule(windowEnd-1, delivery{at: at, key: os.key, msg: m, dst: dst.ep})
+		touched[ds] = true
+		*os = outSend{}
+	}
+	for _, sh := range n.shards {
+		sh.outbox = sh.outbox[:0]
+	}
+	return touched
+}
+
+// BindWaker implements sim.WakeSink for the shard's delivery domain.
+func (sh *netShard) BindWaker(w sim.Waker) { sh.waker = w }
+
+// Tick delivers all of this shard's messages due at cycle now, in
+// serial send order.
+func (sh *netShard) Tick(now sim.Cycle) {
+	if sh.q.pending == 0 {
+		sh.q.base = now
+		return
+	}
+	due := sh.q.pop(now, sh.scratch)
+	sh.scratch = due[:0]
+	for i := range due {
+		due[i].dst.Deliver(now, due[i].msg)
+	}
+}
+
+// NextWake implements sim.WakeHinter: the earliest pending delivery.
+func (sh *netShard) NextWake(now sim.Cycle) sim.Cycle {
+	if at, ok := sh.q.earliestDeadline(); ok {
+		return at
+	}
+	return sim.WakeNever
+}
+
+// ComponentLabel implements sim.Labeled (forensic reports).
+func (sh *netShard) ComponentLabel() string {
+	return fmt.Sprintf("mesh shard %d (%dx%d)", sh.id, sh.n.rows, sh.n.cols)
+}
+
+// Debug implements sim.Debugger.
+func (sh *netShard) Debug() string {
+	s := fmt.Sprintf("mesh shard %d: %d pending deliveries, %d unmerged sends",
+		sh.id, sh.q.pending, len(sh.outbox))
+	if at, ok := sh.q.earliestDeadline(); ok {
+		s += fmt.Sprintf(", earliest due cycle %d", at)
+	}
+	return s
+}

@@ -82,7 +82,7 @@ func NewL1(core, cores int, sizeBytes, ways int, hitLat sim.Cycle, net coherence
 		cores:  cores,
 		cache:  memsys.NewCache[l1Line](sizeBytes, ways),
 		net:    net,
-		pool:   net.MsgPool(),
+		pool:   net.MsgPoolFor(core),
 		hitLat: hitLat,
 		evict:  make(map[uint64]*evictEntry),
 	}

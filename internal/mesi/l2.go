@@ -63,7 +63,7 @@ func NewL2(tile, cores int, sizeBytes, ways int, accessLat sim.Cycle, net cohere
 		cores:     cores,
 		cache:     memsys.NewCache[l2Line](sizeBytes, ways),
 		net:       net,
-		pool:      net.MsgPool(),
+		pool:      net.MsgPoolFor(tile),
 		mem:       mem,
 		accessLat: accessLat,
 	}

@@ -131,6 +131,17 @@ type Engine struct {
 	pos         int // highest registration index already dispatched this cycle
 	dispatching bool
 
+	// Shard-local quiescence tracking (RunWindow). doneAt is the cycle
+	// of the last dispatch after which every Doner reported done while
+	// the engine stayed done since; it reconstructs the exact completion
+	// cycle of a serial run when this engine is one shard of a
+	// ShardedEngine (spurious no-op dispatches after quiescence do not
+	// move it). wasDone is the episode flag: cleared whenever the engine
+	// is observed non-done after a dispatch, or when the merge phase
+	// injects new work (MarkActive).
+	doneAt  Cycle
+	wasDone bool
+
 	// IdleSkipped counts cycles the wake-set mode never simulated
 	// (throughput diagnostics; not part of any Result).
 	IdleSkipped int64
@@ -458,6 +469,58 @@ func (e *Engine) RunFor(n Cycle) {
 		e.Step()
 	}
 }
+
+// RunWindow advances the wake-set scheduler through every due cycle
+// strictly before end, then returns. It is the shard-local epoch body of
+// the ShardedEngine: the caller (a shard goroutine) owns this engine
+// exclusively while the window runs, and the conservative lookahead
+// guarantees no cross-shard stimulation can land inside the window.
+// Unlike Run it enforces no completion or cycle-limit policy — the
+// coordinator does, across all shards at the barrier.
+func (e *Engine) RunWindow(end Cycle) {
+	for {
+		next := e.nextDue()
+		if next >= end {
+			return
+		}
+		e.now = next
+		e.dispatch()
+		if e.allDone() {
+			if !e.wasDone {
+				e.wasDone = true
+				e.doneAt = e.now
+			}
+		} else {
+			e.wasDone = false
+		}
+	}
+}
+
+// NextDue reports the earliest cycle any component is due at
+// (WakeNever when the engine is fully quiescent). Only meaningful in
+// wake-set mode; the ShardedEngine coordinator uses it to pick the next
+// epoch window across shards.
+func (e *Engine) NextDue() Cycle { return e.nextDue() }
+
+// Quiesced reports whether every registered Doner is done.
+func (e *Engine) Quiesced() bool { return e.allDone() }
+
+// DoneAt reports the cycle of the engine's last effective dispatch
+// before it (most recently) quiesced — see RunWindow. Zero if the
+// engine never dispatched.
+func (e *Engine) DoneAt() Cycle { return e.doneAt }
+
+// MarkActive clears the quiescence episode flag. The ShardedEngine's
+// merge phase calls it on every shard it schedules a cross-shard
+// delivery into, so the shard's next quiescence records a fresh DoneAt
+// instead of reusing the pre-delivery one.
+func (e *Engine) MarkActive() { e.wasDone = false }
+
+// DispatchIndex reports the registration index of the component
+// currently being ticked (meaningful only during a dispatch). The
+// sharded mesh uses it to stamp outbound messages with the sender's
+// position in the serial engine's intra-cycle order.
+func (e *Engine) DispatchIndex() int { return e.pos }
 
 func (e *Engine) allDone() bool {
 	for _, d := range e.doners {

@@ -31,6 +31,15 @@ type stimToy struct {
 	stim    []Cycle // pending external stimulations
 	rng     *RNG
 	log     *[]workRec
+
+	// Sharded-property-test fields (zero in the single-engine tests):
+	// toys on different shards may only stimulate each other at least
+	// `look` cycles ahead, and when `route` is set those stimulations go
+	// through it (the sharded run's cross-shard outbox) instead of
+	// landing directly.
+	shard int
+	look  Cycle
+	route func(target *stimToy, at Cycle)
 }
 
 func (t *stimToy) BindWaker(w Waker) { t.waker = w }
@@ -67,6 +76,15 @@ func (t *stimToy) Tick(now Cycle) {
 	if t.rng != nil && t.rng.Intn(2) == 0 {
 		target := t.peers[t.rng.Intn(len(t.peers))]
 		delta := Cycle(t.rng.Intn(4)) // 0..3; 0 = same-cycle stimulation
+		if target.shard != t.shard {
+			if delta < t.look {
+				delta = t.look // cross-shard: conservative lookahead floor
+			}
+			if t.route != nil {
+				t.route(target, now+delta)
+				return
+			}
+		}
 		target.AddStim(now + delta)
 	}
 }

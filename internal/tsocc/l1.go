@@ -104,7 +104,7 @@ func NewL1(core, cores int, sys config.System, cfg config.TSOCC, net coherence.N
 		cfg:     cfg,
 		cache:   memsys.NewCache[l1Line](sys.L1Size, sys.L1Ways),
 		net:     net,
-		pool:    net.MsgPool(),
+		pool:    net.MsgPoolFor(core),
 		hitLat:  sys.L1HitLat,
 		evict:   make(map[uint64]*evictEntry),
 		tsSrc:   tsFirst,

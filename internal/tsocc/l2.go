@@ -87,7 +87,7 @@ func NewL2(tile, cores int, sys config.System, cfg config.TSOCC, net coherence.N
 		cfg:       cfg,
 		cache:     memsys.NewCache[l2Line](sys.L2TileSize, sys.L2Ways),
 		net:       net,
-		pool:      net.MsgPool(),
+		pool:      net.MsgPoolFor(tile),
 		mem:       mem,
 		accessLat: sys.L2AccessLat,
 		tsL1:      newLastSeen(0, cores),

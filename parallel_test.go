@@ -1,0 +1,220 @@
+package repro_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/litmus"
+	"repro/internal/mesi"
+	"repro/internal/system"
+	"repro/internal/tsocc"
+	"repro/internal/workloads"
+)
+
+// shardCounts are the parallel-engine configurations conformance runs
+// against the single-threaded reference. 3 is deliberately not a
+// divisor of the 4-core geometry, so uneven tile-to-shard assignment is
+// always exercised.
+var shardCounts = []int{2, 3, 4}
+
+// TestParallelEngineBitIdentical is the sixth conformance axis: the
+// sharded parallel engine must reproduce the single-threaded wake-set
+// engine's results bit for bit — identical cycle counts and identical
+// statistics — for every shard count, protocol, and workload, and
+// crossed with the batched core model. Scheduling inside a shard is the
+// same wake-set algorithm; cross-shard traffic merges at epoch barriers
+// in serial send order, so goroutine interleaving must never show
+// through.
+func TestParallelEngineBitIdentical(t *testing.T) {
+	protos := []system.Protocol{
+		mesi.New(),
+		tsocc.New(config.Basic()),
+		tsocc.New(config.C12x3()),
+		tsocc.New(config.CCSharedToL2()),
+	}
+	benches := []string{"canneal", "ssca2"}
+	p := workloads.Params{Threads: 4, Scale: 1, Seed: 1}
+	for _, proto := range protos {
+		for _, bench := range benches {
+			for _, batched := range []bool{false, true} {
+				name := proto.Name() + "/" + bench
+				if batched {
+					name += "/batched"
+				}
+				t.Run(name, func(t *testing.T) {
+					e := workloads.ByName(bench)
+					if e == nil {
+						t.Fatalf("unknown benchmark %q", bench)
+					}
+					cfg := config.Small(4)
+					cfg.BatchedCore = batched
+					ref, err := system.Run(cfg, proto, e.Gen(p))
+					if err != nil {
+						t.Fatalf("serial: %v", err)
+					}
+					if ref.CheckErr != nil {
+						t.Fatalf("serial: functional check: %v", ref.CheckErr)
+					}
+					want := fingerprint(ref)
+					for _, shards := range shardCounts {
+						cfg.Shards = shards
+						r, err := system.Run(cfg, proto, e.Gen(p))
+						if err != nil {
+							t.Fatalf("shards=%d: %v", shards, err)
+						}
+						if r.CheckErr != nil {
+							t.Fatalf("shards=%d: functional check: %v", shards, r.CheckErr)
+						}
+						if got := fingerprint(r); got != want {
+							t.Fatalf("shards=%d diverged:\n serial: %s\n sharded: %s",
+								shards, want, got)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelTraceReplayBitIdentical closes the loop with the trace
+// subsystem: a trace recorded on the sharded engine replays — on both
+// the serial and the sharded engine — to the recording run's result.
+func TestParallelTraceReplayBitIdentical(t *testing.T) {
+	proto := tsocc.New(config.C12x3())
+	e := workloads.ByName("ssca2")
+	w := e.Gen(workloads.Params{Threads: 4, Scale: 1, Seed: 3})
+	cfg := config.Small(4)
+	cfg.Shards = 4
+	res, tr, err := system.RunRecorded(cfg, proto, w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(res)
+	for _, shards := range []int{1, 4} {
+		rcfg := config.Small(4)
+		rcfg.Shards = shards
+		got, err := system.Replay(rcfg, tsocc.New(config.C12x3()), tr)
+		if err != nil {
+			t.Fatalf("replay shards=%d: %v", shards, err)
+		}
+		// The replay result fingerprint differs from the recording run
+		// only in nothing: same protocol, geometry, and streams.
+		if fp := fingerprint(got); fp != want {
+			t.Fatalf("replay shards=%d diverged:\n recorded: %s\n replayed: %s",
+				shards, want, fp)
+		}
+	}
+}
+
+// TestParallelFaultModesBitIdentical crosses the shards axis with fault
+// injection: for every profile, the sharded engine must reproduce the
+// serial fault-injected run exactly (the injector's decision streams
+// are per-(src,dst)-pair and per-tile, so sharding must not perturb
+// them).
+func TestParallelFaultModesBitIdentical(t *testing.T) {
+	proto := tsocc.New(config.C12x3())
+	e := workloads.ByName("ssca2")
+	p := workloads.Params{Threads: 4, Scale: 1, Seed: 1}
+	for _, profile := range []string{"jitter", "pressure", "burst"} {
+		t.Run(profile, func(t *testing.T) {
+			cfg := config.Small(4)
+			cfg.FaultProfile = profile
+			cfg.FaultSeed = 7
+			ref, err := system.Run(cfg, proto, e.Gen(p))
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			want := fingerprint(ref)
+			for _, shards := range shardCounts {
+				cfg.Shards = shards
+				r, err := system.Run(cfg, proto, e.Gen(p))
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got := fingerprint(r); got != want {
+					t.Fatalf("shards=%d diverged under %s:\n serial: %s\n sharded: %s",
+						shards, profile, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelLitmusEveryProtocol drives the sharded engine through a
+// litmus subset for EVERY registered protocol at 4 shards, asserting
+// memory-model conformance (no forbidden outcomes) and agreement with
+// the serial outcome histogram. It is deliberately small: this is the
+// test the CI race job runs under `-race` with GOMAXPROCS=4, where each
+// run costs ~100x wall time.
+func TestParallelLitmusEveryProtocol(t *testing.T) {
+	suite := litmus.Suite()
+	if len(suite) > 3 {
+		suite = suite[:3]
+	}
+	for _, proto := range coherence.Protocols() {
+		for _, test := range suite {
+			t.Run(proto.Name()+"/"+test.Name, func(t *testing.T) {
+				cfg := config.Small(4)
+				ref, err := litmus.Run(test, proto, cfg, 10, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ref.Ok() {
+					t.Fatalf("serial: forbidden outcomes: %v", ref.Violations)
+				}
+				scfg := config.Small(4)
+				scfg.Shards = 4
+				res, err := litmus.Run(test, proto, scfg, 10, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Ok() {
+					t.Fatalf("sharded: forbidden outcomes: %v", res.Violations)
+				}
+				if !reflect.DeepEqual(ref.Outcomes, res.Outcomes) {
+					t.Fatalf("litmus outcome histograms diverged:\n serial: %v\n sharded: %v",
+						ref.Outcomes, res.Outcomes)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelLitmusIdentical runs the litmus suite on the sharded
+// engine for every protocol and requires the exact serial outcome
+// histograms — memory-model observability must not change under
+// parallel execution.
+func TestParallelLitmusIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("litmus sweep is slow")
+	}
+	protos := []system.Protocol{mesi.New(), tsocc.New(config.C12x3())}
+	for _, proto := range protos {
+		for _, test := range litmus.Suite() {
+			t.Run(proto.Name()+"/"+test.Name, func(t *testing.T) {
+				cfg := config.Small(4)
+				ref, err := litmus.Run(test, proto, cfg, 20, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ref.Ok() {
+					t.Fatalf("serial: forbidden outcomes: %v", ref.Violations)
+				}
+				cfg.Shards = 4
+				res, err := litmus.Run(test, proto, cfg, 20, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Ok() {
+					t.Fatalf("sharded: forbidden outcomes: %v", res.Violations)
+				}
+				if !reflect.DeepEqual(ref.Outcomes, res.Outcomes) {
+					t.Fatalf("litmus outcome histograms diverged:\n serial: %v\n sharded: %v",
+						ref.Outcomes, res.Outcomes)
+				}
+			})
+		}
+	}
+}
