@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-parallel bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate fault-smoke parallel-smoke ci
+.PHONY: all vet build test race race-parallel bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate fault-smoke oracle-sweep parallel-smoke ci
 
 all: ci
 
@@ -84,6 +84,23 @@ fault-smoke:
 	    -faults $$prof -fault-seed 7 -checks > /dev/null; \
 	done; done; echo "fault smoke: all oracles clean"
 
+# Protocol-legality oracle sweep: the litmus suite with the
+# state-transition legality tables, TxTable lifecycle audit, and memory
+# oracles armed under the directory-side fault profiles (forced
+# self-evictions, timestamp-reset storms, delayed PutAcks, and a
+# composite) × two protocols. Any illegal state transition, leaked
+# transaction, oracle violation or deadlock fails. The randomized
+# 20-seed version runs in `go test ./...` as TestFaultSweepOracles, and
+# the seeded-bug end-to-end gate (oracle catches a planted illegal
+# transition, shrinker reduces it) as TestSeededLegalityBugShrinks.
+oracle-sweep:
+	@set -e; for prof in evict reset-storm victim "jitter:rate=200+evict:rate=80"; do \
+	for proto in MESI TSO-CC-4-12-3; do \
+	  echo "oracle sweep: $$prof / $$proto"; \
+	  $(GO) run ./cmd/tsocc-litmus -iters 25 -proto $$proto \
+	    -faults "$$prof" -fault-seed 11 -checks > /dev/null; \
+	done; done; echo "oracle sweep: all legality tables and lifecycle audits clean"
+
 # Parallel-engine smoke: the litmus suite through the tsocc-litmus CLI
 # at 1, 2 and 4 shards × two protocols (mirrors the CI parallel job).
 # Shards=1 is the single-threaded engine, so the sweep covers both
@@ -108,4 +125,4 @@ trace-gate:
 	  diff $$tmp/rec.txt $$tmp/rep.txt; \
 	done; done; echo "trace gate: record/replay stats identical"
 
-ci: vet build test race race-parallel bench-smoke bench-gate trace-gate fault-smoke parallel-smoke
+ci: vet build test race race-parallel bench-smoke bench-gate trace-gate fault-smoke oracle-sweep parallel-smoke

@@ -23,7 +23,7 @@ func main() {
 	iters := flag.Int("iters", 40, "iterations per test per protocol")
 	cores := flag.Int("cores", 4, "core count (tests use up to 4 threads)")
 	seed := flag.Uint64("seed", 0xC0FFEE, "perturbation seed")
-	faultSpec := flag.String("faults", "", "fault-injection profile: jitter, pressure or burst, optionally name:key=val,... (empty = off)")
+	faultSpec := flag.String("faults", "", "fault-injection profile(s): jitter, pressure, burst, evict, reset-storm, victim; parameterized name:key=val and composed with + or , (empty = off)")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
 	checks := flag.Bool("checks", false, "enable runtime invariant oracles (SWMR, value, TSO order)")
 	shards := flag.Int("shards", 0, "engine shards (0 = auto from GOMAXPROCS, 1 = single-threaded)")

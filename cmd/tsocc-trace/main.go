@@ -144,6 +144,9 @@ func cmdReplay(args []string) error {
 	proto := fs.String("proto", "", "protocol to replay on (default: the recording protocol)")
 	cores := fs.Int("cores", 0, "core count override (default: recorded geometry)")
 	perCycle := fs.Bool("percycle", false, "use the per-cycle conformance engine")
+	faultSpec := fs.String("faults", "", "fault-injection profile(s): jitter, pressure, burst, evict, reset-storm, victim; parameterized name:key=val and composed with + or , (empty = off)")
+	faultSeed := fs.Uint64("fault-seed", 1, "fault-injection seed")
+	checks := fs.Bool("checks", false, "enable runtime invariant oracles during replay")
 	stats := fs.String("stats", "", "also write the run summary to this file")
 	fs.Parse(args)
 	if *in == "" {
@@ -167,6 +170,9 @@ func cmdReplay(args []string) error {
 	}
 	cfg := tr.Meta.Sys
 	cfg.PerCycleEngine = *perCycle
+	cfg.FaultProfile = *faultSpec
+	cfg.FaultSeed = *faultSeed
+	cfg.Checks = *checks
 	if *cores > 0 {
 		cfg.Cores = *cores
 		cfg.MeshRows = 0

@@ -26,14 +26,14 @@ func fingerprint(r *system.Result) string {
 			"ld=%d st=%d rmw=%d fence=%d instr=%d "+
 			"acc=%d miss=%d selfinv=%d selfinvlines=%d datarsp=%d rmwlat=%.6f "+
 			"hitS=%d hitSRO=%d hitP=%d whit=%d invrecv=%d tsresets=%d "+
-			"sro=%d decay=%d bcast=%d l2rs=%d check=%s",
+			"sro=%d decay=%d bcast=%d l2rs=%d poollive=%d txlive=%d check=%s",
 		r.Protocol, r.Workload, r.Cycles, r.Msgs, r.Flits, r.FlitHops, r.DataFlits, r.CtrlFlits,
 		r.Loads, r.Stores, r.RMWs, r.Fences, r.Instructions,
 		r.L1.Accesses(), r.L1.Misses(), r.L1.SelfInvTotal(), r.L1.SelfInvLines.Value(),
 		r.L1.DataResponses.Value(), r.L1.MeanRMWLatency(),
 		r.L1.ReadHitShared.Value(), r.L1.ReadHitSRO.Value(), r.L1.ReadHitPrivate.Value(),
 		r.L1.WriteHitPrivate.Value(), r.L1.InvalidationsReceived.Value(), r.L1.TimestampResets.Value(),
-		r.SROTransitions, r.DecayEvents, r.SROInvBcasts, r.L2TSResets, check)
+		r.SROTransitions, r.DecayEvents, r.SROInvBcasts, r.L2TSResets, r.PoolLive, r.TxLive, check)
 }
 
 // engineModes is the A/B conformance cross: both time-advancement modes

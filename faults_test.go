@@ -15,19 +15,27 @@ import (
 	"repro/internal/litmus"
 	"repro/internal/mesi"
 	"repro/internal/system"
+	"repro/internal/tsocc"
 	"repro/internal/workloads"
 )
 
 // faultProfiles are the built-in profile specs exercised by the
-// conformance gates.
-var faultProfiles = []string{"jitter", "pressure", "burst"}
+// conformance gates: every single profile plus a composite spec, so
+// profile composition rides through the same bit-identity axes.
+var faultProfiles = []string{
+	"jitter", "pressure", "burst",
+	"evict", "reset-storm", "victim",
+	"jitter:rate=200+evict:rate=80",
+}
 
 // TestFaultModesBitIdentical: for every profile, the injected run is a
 // pure function of (profile, seed) — identical fingerprints across both
 // time-advancement modes, both core models, and a record → replay round
 // trip.
 func TestFaultModesBitIdentical(t *testing.T) {
-	protos := []system.Protocol{mesi.New(), coherence.Protocols()[1]}
+	// The TSO-CC leg uses the timestamped flagship preset so reset-storm
+	// actually fires (timestamp-free presets never consult the hook).
+	protos := []system.Protocol{mesi.New(), tsocc.New(config.C12x3())}
 	p := workloads.Params{Threads: 4, Scale: 1, Seed: 1}
 	for _, proto := range protos {
 		for _, prof := range faultProfiles {
@@ -103,7 +111,7 @@ func TestFaultModesBitIdentical(t *testing.T) {
 func TestFaultDifferentSeedsDiverge(t *testing.T) {
 	e := workloads.ByName("ssca2")
 	p := workloads.Params{Threads: 4, Scale: 1, Seed: 1}
-	proto := coherence.Protocols()[1]
+	proto := tsocc.New(config.C12x3())
 	base, err := system.Run(config.Small(4), proto, e.Gen(p))
 	if err != nil {
 		t.Fatal(err)
@@ -215,6 +223,11 @@ func FuzzFaultProfile(f *testing.F) {
 	f.Add("jitter:rate=1000,delay=64", uint64(2))
 	f.Add("pressure:rate=900,cap=1", uint64(3))
 	f.Add("burst:rate=1000,delay=32,window=2", uint64(4))
+	f.Add("evict:rate=120", uint64(5))
+	f.Add("reset-storm:rate=200", uint64(6))
+	f.Add("victim:rate=500,delay=8", uint64(7))
+	f.Add("jitter:rate=300+evict:rate=100", uint64(8))
+	f.Add("burst,rate=400,victim,delay=3,reset-storm", uint64(9))
 	proto := mesi.New()
 	e := workloads.ByName("ssca2")
 	p := workloads.Params{Threads: 2, Scale: 1, Seed: 1}

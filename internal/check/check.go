@@ -50,11 +50,13 @@ const skewWindow = 512
 // only bump the counter.
 const maxViolations = 32
 
-// Violation is one oracle failure.
+// Violation is one oracle failure. Core is the reporting node's index:
+// a core for the port oracles, a controller/tile index for the
+// "legality" and "txlife" oracles.
 type Violation struct {
 	Cycle sim.Cycle
 	Core  int
-	Kind  string // "swmr", "value", "stale", "order"
+	Kind  string // "swmr", "value", "stale", "order", "legality", "txlife"
 	Msg   string
 }
 
@@ -247,6 +249,31 @@ func (t *Tracker) observe(p *Port, addr, val uint64) {
 			"load of %#x returned initial value %#x after core observed write seq %d (cycle %d)",
 			addr, val, fl.seq, fl.cycle)
 	}
+}
+
+// LegalitySink builds a transition sink for one controller that
+// validates every reported state hop against the protocol's registered
+// legality table (see coherence.TransitionReporter). node identifies
+// the controller in violation records (core index for L1s, tile index
+// for L2s); level labels the message ("L1"/"L2"). The sink runs
+// continuously — an illegal hop is recorded the cycle it happens, with
+// the protocol's own state names.
+func (t *Tracker) LegalitySink(node int, level string, tbl *coherence.StateTable) func(addr uint64, from, to int) {
+	return func(addr uint64, from, to int) {
+		if !tbl.Legal(from, to) {
+			t.violate(node, "legality", "%s line %#x took illegal transition %s -> %s",
+				level, addr, tbl.Name(from), tbl.Name(to))
+		}
+	}
+}
+
+// TxLifeSink builds a report function for one directory tile's TxTable
+// lifecycle audit (see coherence.TxAuditor): double registrations,
+// unregistered retirements, and transactions outstanding past the audit
+// age all land here as "txlife" violations instead of only surfacing in
+// an end-of-run leak count.
+func (t *Tracker) TxLifeSink(tile int) func(string) {
+	return func(msg string) { t.violate(tile, "txlife", "%s", msg) }
 }
 
 // Port is the per-core oracle decorator. It implements

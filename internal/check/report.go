@@ -35,6 +35,11 @@ type Report struct {
 	// Oracle carries invariant-checker violations observed before the
 	// failure, if checks were enabled.
 	Oracle error
+
+	// TxTables holds each directory tile's transaction-table dump
+	// (coherence.TxDebugger), so a stuck transaction is visible in the
+	// report without re-running under -tags txdebug.
+	TxTables []string
 }
 
 // String renders the dump. Quiescent, completed components are
@@ -72,6 +77,12 @@ func (r *Report) String() string {
 	}
 	if quiet > 0 {
 		fmt.Fprintf(&b, "  (%d quiescent completed components omitted)\n", quiet)
+	}
+	if len(r.TxTables) > 0 {
+		b.WriteString("tx tables:\n")
+		for _, s := range r.TxTables {
+			fmt.Fprintf(&b, "  %s\n", s)
+		}
 	}
 	if r.Stack != "" {
 		fmt.Fprintf(&b, "stack:\n%s\n", r.Stack)

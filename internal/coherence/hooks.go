@@ -1,0 +1,58 @@
+package coherence
+
+import "repro/internal/sim"
+
+// Optional controller hooks, discovered by interface assertion at
+// system build time (the same pattern as the TxTable stall hook): a
+// controller that implements one inherits the corresponding fault
+// profile or oracle without the system layer knowing the protocol.
+// All hooks are nil-guarded function fields inside the controllers, so
+// a run without faults or checks pays nothing on the hot path.
+
+// EvictFaulter is implemented by L1 controllers that can force their
+// own eviction path early (the "evict" fault profile). The hook is
+// consulted on accesses that hit a valid, unpinned line; a true return
+// makes the controller evict the line through its normal victim
+// machinery and take the miss path instead.
+type EvictFaulter interface {
+	SetEvictFault(f func() bool)
+}
+
+// ResetFaulter is implemented by controllers with bounded-timestamp
+// state that can roll over early (the "reset-storm" fault profile).
+// The hook is consulted at each timestamp assignment; a true return
+// forces the controller's reset/rollover broadcast as if the timestamp
+// space were exhausted. Protocols without timestamps (MESI) simply
+// don't implement the interface.
+type ResetFaulter interface {
+	SetResetFault(f func() bool)
+}
+
+// AckDelayFaulter is implemented by directory controllers that can
+// hold back eviction acknowledgements (the "victim" fault profile).
+// The hook is consulted when a PutAck is about to be scheduled and
+// returns extra cycles to add (0 = on time).
+type AckDelayFaulter interface {
+	SetAckDelayFault(f func() sim.Cycle)
+}
+
+// TransitionReporter is implemented by controllers that report
+// per-line state transitions to the protocol-legality oracle. The sink
+// is called at every state mutation with the line address and the
+// (from, to) state ids — direct hops only, using the protocol's own
+// state encodings (0 = invalid/absent). Self-loops are not reported.
+type TransitionReporter interface {
+	SetTransitionSink(f func(addr uint64, from, to int))
+}
+
+// TxAuditor is implemented by controllers that own a TxTable and can
+// arm its continuous lifecycle audit (see TxTable.ArmAudit).
+type TxAuditor interface {
+	ArmTxAudit(maxAge sim.Cycle, report func(string))
+}
+
+// TxDebugger exposes a controller's transaction-table state dump for
+// forensic reports.
+type TxDebugger interface {
+	TxDebug() string
+}

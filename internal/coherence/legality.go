@@ -1,0 +1,70 @@
+package coherence
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Edge is one directed state transition (From → To) in a controller's
+// state machine. State ids are the protocol's own compact encodings;
+// id 0 is the invalid/absent state by convention in both L1s and L2
+// directories.
+type Edge struct{ From, To int }
+
+// StateTable is the legality table for one controller class: the named
+// states and the set of transitions the protocol's specification
+// allows. Transitions are reported at mutation time (every edge is a
+// direct hop, never a composite), so Edges is exact — an unlisted edge
+// is a protocol bug, not a gap in the table.
+type StateTable struct {
+	Names map[int]string
+	Edges map[Edge]bool
+}
+
+// Legal reports whether from → to is an allowed transition. Self-loops
+// are never reported by controllers, so they need no table entries.
+func (t *StateTable) Legal(from, to int) bool { return t.Edges[Edge{from, to}] }
+
+// Allow adds from → to edges for every listed destination (table
+// construction sugar for the protocols' init functions).
+func (t *StateTable) Allow(from int, tos ...int) {
+	for _, to := range tos {
+		t.Edges[Edge{from, to}] = true
+	}
+}
+
+// Name renders a state id for violation messages.
+func (t *StateTable) Name(s int) string {
+	if n, ok := t.Names[s]; ok {
+		return n
+	}
+	return "state" + strconv.Itoa(s)
+}
+
+// Legality is a protocol's registered state-transition specification:
+// one table for its L1 controllers, one for its L2 directory
+// controllers. Protocols register it alongside their Protocol factory
+// (RegisterLegality from the same init function) so the legality
+// oracle in internal/check can arm itself for any protocol resolved by
+// name.
+type Legality struct {
+	L1, L2 StateTable
+}
+
+var legalities = map[string]*Legality{}
+
+// RegisterLegality records the legality tables for a registered
+// protocol name. Presets that share a state machine may register the
+// same *Legality under each preset name. A duplicate name panics, like
+// RegisterProtocol.
+func RegisterLegality(proto string, l *Legality) {
+	if _, dup := legalities[proto]; dup {
+		panic(fmt.Sprintf("coherence: legality for %q registered twice", proto))
+	}
+	legalities[proto] = l
+}
+
+// LegalityByName returns the legality tables registered for a protocol
+// name, or nil if the protocol never registered any (the oracle then
+// has nothing to check).
+func LegalityByName(proto string) *Legality { return legalities[proto] }

@@ -2,8 +2,10 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Tx is one outstanding directory transaction. Kind is a protocol-defined
@@ -74,6 +76,48 @@ type TxTable struct {
 	// Consume never runs, so the retained discipline is untouched — and
 	// QueuedWork keeps reporting it, so the owner re-ticks next cycle.
 	stall func(m *Msg) bool
+
+	// News/Dels count transaction registrations and retirements. They
+	// always run (one increment per transaction boundary), so a leak is
+	// visible as News != Dels on any completed run, and they carry names
+	// (SetLabel) so forensic dumps identify the table.
+	News stats.Counter
+	Dels stats.Counter
+
+	// Continuous lifecycle audit (ArmAudit): birth cycles per
+	// registered address, the age bound past which a transaction is
+	// reported leaked, and the report sink. lastNow tracks the latest
+	// cycle the table saw so New (which has no now parameter) can stamp
+	// births; lastSweep rate-limits the age scan.
+	births    map[uint64]sim.Cycle
+	auditAge  sim.Cycle
+	auditFn   func(string)
+	lastNow   sim.Cycle
+	lastSweep sim.Cycle
+}
+
+// SetLabel names the table's lifecycle counters so negative-delta
+// panics and forensic dumps identify which tile's table misbehaved.
+func (t *TxTable) SetLabel(label string) {
+	t.News.SetName(label + ".tx_news")
+	t.Dels.SetName(label + ".tx_dels")
+}
+
+// LiveTx reports registered-minus-retired transactions; nonzero after a
+// completed run means a leaked transaction record.
+func (t *TxTable) LiveTx() int64 { return t.News.Value() - t.Dels.Value() }
+
+// ArmAudit turns on the continuous transaction-lifecycle audit:
+// double registration and unregistered retirement report immediately at
+// runtime (not only under -tags txdebug), and any transaction
+// outstanding longer than maxAge cycles is reported as leaked (then
+// re-armed, so a still-stuck transaction re-reports once per maxAge).
+// report receives a one-line description; the table keeps running so
+// the engine's own deadlock detection still fires.
+func (t *TxTable) ArmAudit(maxAge sim.Cycle, report func(string)) {
+	t.auditAge = maxAge
+	t.auditFn = report
+	t.births = make(map[uint64]sim.Cycle)
 }
 
 // SetStall installs a consumption-stall hook (see the stall field);
@@ -101,6 +145,13 @@ func (t *TxTable) New(addr uint64, kind int, req *Msg, acks int) *Tx {
 			panic(fmt.Sprintf("coherence: TxTable: double transaction for %#x", addr))
 		}
 	}
+	t.News.Inc()
+	if t.auditFn != nil {
+		if _, dup := t.tx[addr]; dup {
+			t.auditFn(fmt.Sprintf("double transaction registered for %#x (new kind=%d)", addr, kind))
+		}
+		t.births[addr] = t.lastNow
+	}
 	var tx *Tx
 	if n := len(t.free); n > 0 {
 		tx = t.free[n-1]
@@ -125,6 +176,13 @@ func (t *TxTable) Del(addr uint64, tx *Tx, freeReq bool) {
 		if reg, ok := t.tx[addr]; !ok || reg != tx {
 			panic(fmt.Sprintf("coherence: TxTable: retiring unregistered transaction for %#x", addr))
 		}
+	}
+	t.Dels.Inc()
+	if t.auditFn != nil {
+		if reg, ok := t.tx[addr]; !ok || reg != tx {
+			t.auditFn(fmt.Sprintf("retiring unregistered transaction for %#x (kind=%d)", addr, tx.Kind))
+		}
+		delete(t.births, addr)
 	}
 	delete(t.tx, addr)
 	if freeReq && tx.Req != nil {
@@ -171,6 +229,7 @@ func (t *TxTable) Deliver(m *Msg) {
 // nested consumption (a handler draining the waiting queue) from
 // clobbering the caller's flag.
 func (t *TxTable) Consume(now sim.Cycle, m *Msg) {
+	t.lastNow = now
 	saved := t.retained
 	t.retained = false
 	t.handle(now, m)
@@ -181,8 +240,15 @@ func (t *TxTable) Consume(now sim.Cycle, m *Msg) {
 }
 
 // Drain processes the retry queue, then the inbox, consuming each
-// message in arrival order. Call once per controller Tick.
+// message in arrival order. Call once per controller Tick. When the
+// lifecycle audit is armed it also sweeps for over-age transactions
+// (rate-limited to every auditAge/4 cycles).
 func (t *TxTable) Drain(now sim.Cycle) {
+	t.lastNow = now
+	if t.auditFn != nil && now-t.lastSweep >= t.auditAge/4 {
+		t.lastSweep = now
+		t.sweepAges(now)
+	}
 	if len(t.retryQ) > 0 {
 		rq := t.retryQ
 		t.retryQ = t.retryScratch[:0]
@@ -235,15 +301,55 @@ func (t *TxTable) Outstanding() bool {
 	return len(t.tx) > 0 || len(t.retryQ) > 0 || len(t.inbox) > 0
 }
 
-// Debug renders outstanding transaction state (deadlock diagnostics).
+// sweepAges reports every audited transaction older than auditAge,
+// in address order so the report stream is deterministic, and re-arms
+// each reported birth so a still-stuck transaction re-reports once per
+// auditAge rather than every sweep.
+func (t *TxTable) sweepAges(now sim.Cycle) {
+	var stale []uint64
+	for a, b := range t.births {
+		if now-b > t.auditAge {
+			stale = append(stale, a)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+	for _, a := range stale {
+		kind := -1
+		if tx, ok := t.tx[a]; ok {
+			kind = tx.Kind
+		}
+		t.auditFn(fmt.Sprintf("transaction for %#x (kind=%d) outstanding %d cycles (born cycle %d)",
+			a, kind, now-t.births[a], t.births[a]))
+		t.births[a] = now
+	}
+}
+
+// Debug renders outstanding transaction state (deadlock diagnostics),
+// in address order; birth cycles are included when the lifecycle audit
+// is armed.
 func (t *TxTable) Debug() string {
+	addrs := make([]uint64, 0, len(t.tx))
+	for a := range t.tx {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	s := ""
-	for a, tx := range t.tx {
-		s += fmt.Sprintf(" tx=%#x(kind=%d acks=%d)", a, tx.Kind, tx.AcksLeft)
+	for _, a := range addrs {
+		tx := t.tx[a]
+		s += fmt.Sprintf(" tx=%#x(kind=%d acks=%d", a, tx.Kind, tx.AcksLeft)
+		if b, ok := t.births[a]; ok {
+			s += fmt.Sprintf(" born=%d", b)
+		}
+		s += ")"
 	}
-	for a, q := range t.waiting {
-		s += fmt.Sprintf(" wait=%#x(%d)", a, len(q))
+	waits := make([]uint64, 0, len(t.waiting))
+	for a := range t.waiting {
+		waits = append(waits, a)
 	}
-	s += fmt.Sprintf(" retry=%d inbox=%d", len(t.retryQ), len(t.inbox))
+	sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+	for _, a := range waits {
+		s += fmt.Sprintf(" wait=%#x(%d)", a, len(t.waiting[a]))
+	}
+	s += fmt.Sprintf(" retry=%d inbox=%d live=%d", len(t.retryQ), len(t.inbox), t.LiveTx())
 	return s
 }

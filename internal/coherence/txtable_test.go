@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -159,6 +160,61 @@ func TestTxTableInboxDrain(t *testing.T) {
 	}
 	if err := h.pool.LeakCheck(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTxTableLifecycleAudit: LiveTx tracks births vs retirements, and
+// the armed audit reports an over-age transaction (re-arming so a
+// still-stuck one re-reports once per age window, not every sweep),
+// while retired transactions never report.
+func TestTxTableLifecycleAudit(t *testing.T) {
+	h := newTxHarness()
+	var reports []string
+	h.txs.SetLabel("test.l2")
+	h.txs.ArmAudit(100, func(msg string) { reports = append(reports, msg) })
+
+	h.txs.Drain(1) // anchors lastNow so births stamp cycle 1
+	txA := h.txs.New(0x40, 3, nil, 0)
+	h.txs.New(0x80, 4, nil, 0)
+	if live := h.txs.LiveTx(); live != 2 {
+		t.Fatalf("LiveTx = %d, want 2", live)
+	}
+
+	// Retire one young: it must never be reported.
+	h.txs.Del(0x40, txA, true)
+	if live := h.txs.LiveTx(); live != 1 {
+		t.Fatalf("LiveTx after Del = %d, want 1", live)
+	}
+
+	// Age past maxAge: exactly the stuck transaction reports, with its
+	// address, kind, and age.
+	h.txs.Drain(150)
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v, want exactly one", reports)
+	}
+	if !strings.Contains(reports[0], "0x80") || !strings.Contains(reports[0], "kind=4") {
+		t.Fatalf("report %q does not name the stuck transaction", reports[0])
+	}
+
+	// The birth re-armed at 150: a sweep shortly after stays quiet, and
+	// another full age window later it re-reports.
+	h.txs.Drain(200)
+	if len(reports) != 1 {
+		t.Fatalf("re-reported before a full age window: %v", reports)
+	}
+	h.txs.Drain(300)
+	if len(reports) != 2 {
+		t.Fatalf("stuck transaction did not re-report: %v", reports)
+	}
+
+	txB, _ := h.txs.Get(0x80)
+	h.txs.Del(0x80, txB, true)
+	if live := h.txs.LiveTx(); live != 0 {
+		t.Fatalf("LiveTx after full retirement = %d", live)
+	}
+	h.txs.Drain(500)
+	if len(reports) != 2 {
+		t.Fatalf("retired transaction reported: %v", reports)
 	}
 }
 

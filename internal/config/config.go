@@ -66,6 +66,16 @@ type System struct {
 	// schedules.
 	FaultSeed uint64
 
+	// FaultFrom/FaultUntil bound the injector's decision-counter window
+	// [FaultFrom, FaultUntil): decisions outside it never fire, while the
+	// hash streams stay untouched, so narrowing the window isolates which
+	// injected faults matter without perturbing the others' draws. Both
+	// zero (the default) means unbounded. Used by the violation shrinker
+	// (tsocc-sim -shrink) to bisect a failing run down to a minimal
+	// fault window.
+	FaultFrom  uint64
+	FaultUntil uint64
+
 	// Checks enables the runtime invariant oracles (internal/check):
 	// SWMR, data-value, and TSO-ordering checking at every core port.
 	// Off by default; checking observes but never perturbs the

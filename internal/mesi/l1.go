@@ -66,7 +66,27 @@ type L1 struct {
 	evict     map[uint64]*evictEntry
 	evictFree []*evictEntry
 
+	// Optional hooks, nil in nominal runs (see coherence hooks doc):
+	// evictFault forces the eviction path on a valid-line access,
+	// transSink reports line-state transitions to the legality oracle.
+	evictFault func() bool
+	transSink  func(addr uint64, from, to int)
+
 	Stats coherence.L1Stats
+}
+
+// SetEvictFault implements coherence.EvictFaulter.
+func (l *L1) SetEvictFault(f func() bool) { l.evictFault = f }
+
+// SetTransitionSink implements coherence.TransitionReporter.
+func (l *L1) SetTransitionSink(f func(addr uint64, from, to int)) { l.transSink = f }
+
+// trans reports a line-state transition to the legality oracle;
+// self-loops are dropped here so call sites stay simple.
+func (l *L1) trans(addr uint64, from, to int) {
+	if l.transSink != nil && from != to {
+		l.transSink(addr, from, to)
+	}
 }
 
 type evictEntry struct {
@@ -174,13 +194,17 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 		return false // serialize same-block read/write transactions
 	}
 	if w := l.cache.Lookup(addr); w != nil {
-		if w.Meta.state == stateS {
-			l.Stats.ReadHitShared.Inc()
+		if l.evictFault != nil && !w.Busy && l.evictFault() {
+			l.evictLine(now, w) // forced early self-eviction; take the miss path
 		} else {
-			l.Stats.ReadHitPrivate.Inc()
+			if w.Meta.state == stateS {
+				l.Stats.ReadHitShared.Inc()
+			} else {
+				l.Stats.ReadHitPrivate.Inc()
+			}
+			l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
+			return true
 		}
-		l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
-		return true
 	}
 	l.Stats.ReadMissInvalid.Inc()
 	l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb}
@@ -199,11 +223,16 @@ func (l *L1) Store(now sim.Cycle, addr uint64, val uint64, cb func()) bool {
 		return false
 	}
 	if w := l.cache.Lookup(addr); w != nil && w.Meta.state != stateS {
-		w.Meta.state = stateM
-		memsys.PutWord(w.Data, addr, val)
-		l.Stats.WriteHitPrivate.Inc()
-		l.timers.AtDone(now+1, cb)
-		return true
+		if l.evictFault != nil && !w.Busy && l.evictFault() {
+			l.evictLine(now, w) // forced early self-eviction; take the miss path
+		} else {
+			l.trans(blk, w.Meta.state, stateM)
+			w.Meta.state = stateM
+			memsys.PutWord(w.Data, addr, val)
+			l.Stats.WriteHitPrivate.Inc()
+			l.timers.AtDone(now+1, cb)
+			return true
+		}
 	}
 	upgrade := false
 	if w := l.cache.Peek(addr); w != nil && w.Meta.state == stateS {
@@ -232,15 +261,20 @@ func (l *L1) RMW(now sim.Cycle, addr uint64, f func(uint64) (uint64, bool), cb f
 		return false
 	}
 	if w := l.cache.Lookup(addr); w != nil && w.Meta.state != stateS {
-		old := memsys.GetWord(w.Data, addr)
-		if nv, doWrite := f(old); doWrite {
-			memsys.PutWord(w.Data, addr, nv)
-			w.Meta.state = stateM
+		if l.evictFault != nil && !w.Busy && l.evictFault() {
+			l.evictLine(now, w) // forced early self-eviction; take the miss path
+		} else {
+			old := memsys.GetWord(w.Data, addr)
+			if nv, doWrite := f(old); doWrite {
+				memsys.PutWord(w.Data, addr, nv)
+				l.trans(blk, w.Meta.state, stateM)
+				w.Meta.state = stateM
+			}
+			l.Stats.WriteHitPrivate.Inc()
+			l.Stats.RMWLat.Observe(int64(l.hitLat))
+			l.timers.AtVal(now+l.hitLat, cb, old)
+			return true
 		}
-		l.Stats.WriteHitPrivate.Inc()
-		l.Stats.RMWLat.Observe(int64(l.hitLat))
-		l.timers.AtVal(now+l.hitLat, cb, old)
-		return true
 	}
 	upgrade := false
 	if w := l.cache.Peek(addr); w != nil && w.Meta.state == stateS {
@@ -324,14 +358,19 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 func (l *L1) completeWrite(now sim.Cycle, data []byte) {
 	tx := l.wr
 	w := l.cache.Peek(tx.addr)
+	from := 0
+	if w != nil {
+		from = w.Meta.state
+	}
 	if data != nil {
 		// Fresh data arrived; (re)install the line.
-		w = l.install(now, tx.addr, data)
+		w, from = l.install(now, tx.addr, data)
 	}
 	if w == nil {
 		panic(fmt.Sprintf("mesi: L1 %d cycle %d: write completion without line %#x", l.id, now, tx.addr))
 	}
 	w.Busy = false
+	l.trans(tx.addr, from, stateM)
 	w.Meta.state = stateM
 	old := memsys.GetWord(w.Data, tx.wordAddr)
 	if tx.isRMW {
@@ -360,17 +399,20 @@ func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 	// L2 issued, so they are always fresh; only owner-forwarded data can
 	// be overtaken by a later invalidation (the squash case).
 	if !tx.squashed || m.Type != coherence.MsgDataOwner {
-		w := l.install(now, m.Addr, m.Data)
+		w, from := l.install(now, m.Addr, m.Data)
+		l.trans(m.Addr, from, state)
 		w.Meta.state = state
 	}
 	l.rd = nil
 	tx.cb(val)
 }
 
-func (l *L1) install(now sim.Cycle, addr uint64, data []byte) *memsys.Way[l1Line] {
+// install places data for addr and returns the way plus the line's
+// prior state (0 when freshly installed) for transition reporting.
+func (l *L1) install(now sim.Cycle, addr uint64, data []byte) (*memsys.Way[l1Line], int) {
 	if w := l.cache.Peek(addr); w != nil {
 		copy(w.Data, data)
-		return w
+		return w, w.Meta.state
 	}
 	w := l.cache.Victim(addr)
 	if w == nil {
@@ -381,11 +423,12 @@ func (l *L1) install(now sim.Cycle, addr uint64, data []byte) *memsys.Way[l1Line
 	}
 	l.cache.Install(w, addr)
 	copy(w.Data, data)
-	return w
+	return w, 0
 }
 
 func (l *L1) evictLine(now sim.Cycle, w *memsys.Way[l1Line]) {
 	addr := w.Tag
+	l.trans(addr, w.Meta.state, 0)
 	switch w.Meta.state {
 	case stateS:
 		l.send(now, coherence.Msg{Type: coherence.MsgPutS, Dst: l.home(addr), Addr: addr}, nil)
@@ -403,6 +446,7 @@ func (l *L1) evictLine(now sim.Cycle, w *memsys.Way[l1Line]) {
 func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 	if w := l.cache.Peek(m.Addr); w != nil && w.Meta.state != stateS {
 		dirty := w.Meta.state == stateM
+		l.trans(m.Addr, w.Meta.state, stateS)
 		w.Meta.state = stateS
 		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr}, w.Data)
 		l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
@@ -423,6 +467,7 @@ func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
 	if w := l.cache.Peek(m.Addr); w != nil && w.Meta.state != stateS {
 		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
 			Dirty: w.Meta.state == stateM}, w.Data)
+		l.trans(m.Addr, w.Meta.state, 0)
 		l.cache.Invalidate(w)
 		return
 	}
@@ -441,6 +486,7 @@ func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
 		l.rd.squashed = true
 	}
 	if w := l.cache.Peek(m.Addr); w != nil {
+		l.trans(m.Addr, w.Meta.state, 0)
 		if w.Meta.state != stateS {
 			// Directory recall of an exclusive line (L2 eviction).
 			l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,

@@ -50,7 +50,35 @@ type L2 struct {
 	// txs owns the transaction lifecycle and message-ownership
 	// discipline (see coherence.TxTable).
 	txs coherence.TxTable
+
+	// Optional hooks, nil in nominal runs (see coherence hooks doc):
+	// ackDelayFault holds back PutAck scheduling (victim fault profile),
+	// transSink reports directory-state transitions to the legality oracle.
+	ackDelayFault func() sim.Cycle
+	transSink     func(addr uint64, from, to int)
 }
+
+// SetAckDelayFault implements coherence.AckDelayFaulter.
+func (t *L2) SetAckDelayFault(f func() sim.Cycle) { t.ackDelayFault = f }
+
+// SetTransitionSink implements coherence.TransitionReporter.
+func (t *L2) SetTransitionSink(f func(addr uint64, from, to int)) { t.transSink = f }
+
+// trans reports a directory-state transition to the legality oracle.
+func (t *L2) trans(addr uint64, from, to int) {
+	if t.transSink != nil && from != to {
+		t.transSink(addr, from, to)
+	}
+}
+
+// ArmTxAudit implements coherence.TxAuditor.
+func (t *L2) ArmTxAudit(maxAge sim.Cycle, report func(string)) { t.txs.ArmAudit(maxAge, report) }
+
+// TxDebug implements coherence.TxDebugger.
+func (t *L2) TxDebug() string { return fmt.Sprintf("mesi L2 tile %d:%s", t.tile, t.txs.Debug()) }
+
+// TxLive reports registered-but-unretired transactions (leak check).
+func (t *L2) TxLive() int64 { return t.txs.LiveTx() }
 
 // NewL2 builds directory tile `tile`.
 func NewL2(tile, cores int, sizeBytes, ways int, accessLat sim.Cycle, net coherence.Network, mem coherence.Memory) *L2 {
@@ -69,6 +97,7 @@ func NewL2(tile, cores int, sizeBytes, ways int, accessLat sim.Cycle, net cohere
 	}
 	l2.sendFn = l2.send
 	l2.txs.Init(l2.pool, l2.handle)
+	l2.txs.SetLabel(fmt.Sprintf("mesi.l2.%d", tile))
 	return l2
 }
 
@@ -194,6 +223,7 @@ func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 			panic(fmt.Sprintf("mesi: L2 %d cycle %d: fetched line vanished %#x", t.id, now, addr))
 		}
 		t.mem.ReadBlock(addr, way.Data)
+		t.trans(addr, 0, dirV)
 		way.Meta.state = dirV
 		way.Busy = false
 		tx, _ := t.txs.Get(addr)
@@ -216,6 +246,7 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 		if v.Meta.dirty {
 			t.mem.WriteBlock(addr, v.Data)
 		}
+		t.trans(addr, dirV, 0)
 		t.cache.Invalidate(v)
 		return true
 	case dirS:
@@ -315,6 +346,7 @@ func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
 		panic(fmt.Sprintf("mesi: L2 %d cycle %d: stray Ack %s", t.id, now, m))
 	}
 	w := t.cache.Peek(m.Addr)
+	t.trans(m.Addr, w.Meta.state, dirX)
 	w.Meta.state = dirX
 	w.Meta.owner = tx.NextOwner
 	w.Meta.sharers = 0
@@ -359,6 +391,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 			w.Meta.dirty = true
 		}
 		prevOwner := w.Meta.owner
+		t.trans(m.Addr, w.Meta.state, dirS)
 		w.Meta.state = dirS
 		w.Meta.sharers = 1 << uint(int(tx.Req.Requestor))
 		if !m.NoCopy {
@@ -387,6 +420,7 @@ func (t *L2) finishEvict(now sim.Cycle, w *memsys.Way[l2Line]) {
 	}
 	tx, _ := t.txs.Get(addr)
 	t.txs.Del(addr, tx, false)
+	t.trans(addr, w.Meta.state, 0)
 	t.cache.Invalidate(w)
 	// Requests that queued behind the eviction now miss and refetch.
 	t.txs.DrainWaiting(now, addr)
@@ -405,6 +439,7 @@ func (t *L2) handlePutS(now sim.Cycle, m *coherence.Msg) {
 	}
 	w.Meta.sharers &^= 1 << uint(int(m.Src))
 	if w.Meta.sharers == 0 {
+		t.trans(m.Addr, dirS, dirV)
 		w.Meta.state = dirV
 	}
 }
@@ -417,16 +452,31 @@ func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 	w := t.cache.Peek(m.Addr)
 	if w == nil || w.Meta.state != dirX || w.Meta.owner != m.Src {
 		// Stale writeback: ownership already moved on. Ack and drop.
-		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr}, nil)
+		t.sendPutAck(now, m.Src, m.Addr)
 		return
 	}
 	if m.Type == coherence.MsgPutM {
 		copy(w.Data, m.Data)
 		w.Meta.dirty = true
 	}
+	t.trans(m.Addr, dirX, dirV)
 	w.Meta.state = dirV
 	w.Meta.owner = 0
-	t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr}, nil)
+	t.sendPutAck(now, m.Src, m.Addr)
+}
+
+// sendPutAck schedules an eviction acknowledgement. The victim fault
+// profile adds extra cycles here, deliberately outside the shared
+// sendAfterAccess delay so a late PutAck can be overtaken by later
+// directory traffic — the requester's evict-buffer machinery must absorb
+// the reorder (PutAck only clears the buffered entry, so it is legal).
+func (t *L2) sendPutAck(now sim.Cycle, dst coherence.NodeID, addr uint64) {
+	extra := sim.Cycle(0)
+	if t.ackDelayFault != nil {
+		extra = t.ackDelayFault()
+	}
+	t.timers.AtMsg(now+t.accessLat+extra, t.sendFn,
+		t.pool.NewFrom(coherence.Msg{Type: coherence.MsgPutAck, Dst: dst, Addr: addr}, nil))
 }
 
 // Debug renders outstanding transaction state (deadlock diagnostics).

@@ -28,6 +28,10 @@ func run(t *testing.T, cfg config.System, w *program.Workload) *system.Result {
 		t.Fatalf("%s: MsgPool leak: %d of %d messages not returned",
 			w.Name, res.PoolLive, res.PoolGets)
 	}
+	// Likewise every registered directory transaction must have retired.
+	if res.TxLive != 0 {
+		t.Fatalf("%s: TxTable leak: %d transaction(s) never retired", w.Name, res.TxLive)
+	}
 	return res
 }
 

@@ -77,6 +77,10 @@ type Result struct {
 	PoolGets int64
 	PoolLive int64
 
+	// TxLive counts directory transactions registered but never retired
+	// across all tiles; like PoolLive it must be zero after a clean run.
+	TxLive int64
+
 	Mem *memsys.Memory // final memory state (for workload checks)
 
 	CheckErr error // workload functional check outcome
@@ -275,6 +279,42 @@ func newBase(cfg config.System, proto Protocol, initMem map[uint64]uint64) (*Mac
 				}
 			}
 		}
+		if inj.EvictActive() {
+			for core, l1 := range l1s {
+				if ef, ok := l1.(coherence.EvictFaulter); ok {
+					ef.SetEvictFault(inj.EvictHook(core))
+				}
+			}
+		}
+		if inj.ResetActive() {
+			// Timestamp-reset storms hit every bounded-timestamp domain:
+			// L1 epochs and L2 timestamp sources. Protocols without
+			// timestamps simply don't implement the interface.
+			for core, l1 := range l1s {
+				if rf, ok := l1.(coherence.ResetFaulter); ok {
+					rf.SetResetFault(inj.ResetHook(coherence.L1ID(core)))
+				}
+			}
+			for tile, l2 := range l2s {
+				if rf, ok := l2.(coherence.ResetFaulter); ok {
+					rf.SetResetFault(inj.ResetHook(coherence.L2ID(tile, cfg.Cores)))
+				}
+			}
+		}
+		if inj.VictimActive() {
+			for tile, l2 := range l2s {
+				if af, ok := l2.(coherence.AckDelayFaulter); ok {
+					af.SetAckDelayFault(inj.AckDelay(tile))
+				}
+			}
+		}
+		inj.SetWindow(cfg.FaultFrom, cfg.FaultUntil)
+		if shards == 1 {
+			// Decision tracking feeds the shrinker's initial window; the
+			// counter is only maintained on serial runs (hooks fire on
+			// shard goroutines otherwise).
+			inj.TrackDecisions()
+		}
 	}
 	if cfg.Checks {
 		ctrls := make([]coherence.Controller, len(l1s))
@@ -282,9 +322,33 @@ func newBase(cfg config.System, proto Protocol, initMem map[uint64]uint64) (*Mac
 			ctrls[i] = l
 		}
 		m.checks = check.New(ctrls, m.Engine.Now)
+		if leg := coherence.LegalityByName(proto.Name()); leg != nil {
+			for core, l1 := range l1s {
+				if tr, ok := l1.(coherence.TransitionReporter); ok {
+					tr.SetTransitionSink(m.checks.LegalitySink(core, "L1", &leg.L1))
+				}
+			}
+			for tile, l2 := range l2s {
+				if tr, ok := l2.(coherence.TransitionReporter); ok {
+					tr.SetTransitionSink(m.checks.LegalitySink(tile, "L2", &leg.L2))
+				}
+			}
+		}
+		for tile, l2 := range l2s {
+			if ta, ok := l2.(coherence.TxAuditor); ok {
+				ta.ArmTxAudit(txAuditAge, m.checks.TxLifeSink(tile))
+			}
+		}
 	}
 	return m, nil
 }
+
+// txAuditAge is the outstanding-transaction age (cycles) at which the
+// continuous TxTable lifecycle audit reports a "txlife" violation. A
+// directory transaction normally completes within a message round trip
+// (tens of cycles); injected delays and stalls stretch that by at most
+// a few hundred. Anything outstanding this long is stuck, not slow.
+const txAuditAge = 8192
 
 // portFor builds the core-port decorator chain for one core slot:
 // core → oracle checks (outermost, so they observe exactly what the
@@ -522,6 +586,12 @@ func (m *Machine) engineRun() (sim.Cycle, error) {
 // component snapshot plus mesh/pool state and any oracle findings.
 func (m *Machine) forensics(reason string, panicValue any, stack []byte) *check.Report {
 	gets, live := m.Net.PoolTotals()
+	var txd []string
+	for _, l2 := range m.L2s {
+		if d, ok := l2.(coherence.TxDebugger); ok {
+			txd = append(txd, d.TxDebug())
+		}
+	}
 	return &check.Report{
 		Reason:      reason,
 		Cycle:       m.engineNow(),
@@ -532,7 +602,20 @@ func (m *Machine) forensics(reason string, panicValue any, stack []byte) *check.
 		PanicValue:  panicValue,
 		Stack:       string(stack),
 		Oracle:      m.oracleErr(),
+		TxTables:    txd,
 	}
+}
+
+// txLive sums live (registered, never retired) directory transactions
+// across all tiles; zero after any clean run.
+func (m *Machine) txLive() int64 {
+	var n int64
+	for _, l2 := range m.L2s {
+		if tl, ok := l2.(interface{ TxLive() int64 }); ok {
+			n += tl.TxLive()
+		}
+	}
+	return n
 }
 
 func (m *Machine) oracleErr() error {
@@ -565,8 +648,34 @@ func (m *Machine) runEngine() (cycles sim.Cycle, err error) {
 	if oerr := m.oracleErr(); oerr != nil {
 		return cycles, oerr
 	}
+	if m.checks != nil {
+		// Leak oracles: a clean, quiesced run must have returned every
+		// pooled message and retired every directory transaction.
+		if _, live := m.Net.PoolTotals(); live != 0 {
+			return cycles, fmt.Errorf("check: %d pooled message(s) leaked after clean run\n%s",
+				live, m.forensics("leak", nil, nil))
+		}
+		if tl := m.txLive(); tl != 0 {
+			return cycles, fmt.Errorf("check: %d directory transaction(s) leaked after clean run\n%s",
+				tl, m.forensics("leak", nil, nil))
+		}
+	}
 	return cycles, nil
 }
+
+// Execute runs the wired machine's engine through the same harness
+// boundary Run uses (forensics on failure, oracle and leak checks on
+// completion) and returns the cycle count. It exists for harnesses —
+// the violation shrinker — that build a Machine themselves and then
+// need to inspect its oracle tracker or fault injector afterwards.
+func (m *Machine) Execute() (sim.Cycle, error) { return m.runEngine() }
+
+// Collect assembles the Result for a finished run (Execute callers).
+func (m *Machine) Collect(cycles sim.Cycle) *Result { return m.collect(cycles) }
+
+// Injector exposes the fault injector (nil when cfg.FaultProfile is
+// empty), so harnesses can read its decision-counter high-water mark.
+func (m *Machine) Injector() *faults.Injector { return m.inj }
 
 // Run executes a workload on proto under cfg and returns the collected
 // result. The workload's Check (if any) is evaluated on final memory;
@@ -637,6 +746,7 @@ func (m *Machine) collect(cycles sim.Cycle) *Result {
 		DataFlits: data,
 		PoolGets:  gets,
 		PoolLive:  live,
+		TxLive:    m.txLive(),
 		Mem:       m.Mem,
 	}
 	for _, l := range m.L1s {

@@ -84,6 +84,10 @@ func runOn(t *testing.T, proto system.Protocol, w *program.Workload, cores int) 
 	if res.CheckErr != nil {
 		t.Fatalf("%s on %s: functional check: %v", proto.Name(), w.Name, res.CheckErr)
 	}
+	if res.PoolLive != 0 || res.TxLive != 0 {
+		t.Fatalf("%s on %s: leak after clean run: %d pooled message(s), %d transaction(s)",
+			proto.Name(), w.Name, res.PoolLive, res.TxLive)
+	}
 	return res
 }
 

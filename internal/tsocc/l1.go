@@ -93,7 +93,32 @@ type L1 struct {
 	tsL2    lastSeen // per L2 tile (SharedRO timestamps)
 	epochL2 []uint8
 
+	// Optional hooks, nil in nominal runs (see coherence hooks doc):
+	// evictFault forces the eviction path on a valid-line access,
+	// resetFault forces an early timestamp rollover, transSink reports
+	// line-state transitions to the legality oracle.
+	evictFault func() bool
+	resetFault func() bool
+	transSink  func(addr uint64, from, to int)
+
 	Stats coherence.L1Stats
+}
+
+// SetEvictFault implements coherence.EvictFaulter.
+func (l *L1) SetEvictFault(f func() bool) { l.evictFault = f }
+
+// SetResetFault implements coherence.ResetFaulter.
+func (l *L1) SetResetFault(f func() bool) { l.resetFault = f }
+
+// SetTransitionSink implements coherence.TransitionReporter.
+func (l *L1) SetTransitionSink(f func(addr uint64, from, to int)) { l.transSink = f }
+
+// trans reports a line-state transition to the legality oracle;
+// self-loops are dropped here so call sites stay simple.
+func (l *L1) trans(addr uint64, from, to int) {
+	if l.transSink != nil && from != to {
+		l.transSink(addr, from, to)
+	}
 }
 
 // NewL1 builds core `core`'s TSO-CC L1.
@@ -226,6 +251,13 @@ func (l *L1) assignTS(now sim.Cycle) uint32 {
 	if !l.cfg.Timestamps() {
 		return tsInvalid
 	}
+	if l.resetFault != nil && l.resetFault() {
+		// Reset-storm fault: roll the timestamp space over as if TSMax
+		// were reached; the write below takes the first timestamp of
+		// the new epoch, exactly like a write straddling a real wrap.
+		l.wgCount = 0
+		l.resetTS(now)
+	}
 	ts := l.tsSrc
 	l.wgCount++
 	if l.wgCount >= l.cfg.WriteGroupSize() {
@@ -279,30 +311,36 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 		return false
 	}
 	if w := l.cache.Lookup(addr); w != nil {
-		switch w.Meta.state {
-		case stateE, stateM:
-			l.Stats.ReadHitPrivate.Inc()
-			l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
-			return true
-		case stateR:
-			l.Stats.ReadHitSRO.Inc()
-			l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
-			return true
-		case stateS:
-			if w.Meta.acnt < l.cfg.MaxAccesses() {
-				// Bounded Shared hit: stale data is permitted until
-				// the access budget forces a re-request (write
-				// propagation, §3.1).
-				w.Meta.acnt++
-				l.Stats.ReadHitShared.Inc()
+		if l.evictFault != nil && l.evictFault() {
+			// Evict fault: run the normal eviction path (silent for
+			// S/R, PutE/PutM for E/M) and take the miss below.
+			l.evictLine(now, w)
+		} else {
+			switch w.Meta.state {
+			case stateE, stateM:
+				l.Stats.ReadHitPrivate.Inc()
 				l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
 				return true
+			case stateR:
+				l.Stats.ReadHitSRO.Inc()
+				l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
+				return true
+			case stateS:
+				if w.Meta.acnt < l.cfg.MaxAccesses() {
+					// Bounded Shared hit: stale data is permitted until
+					// the access budget forces a re-request (write
+					// propagation, §3.1).
+					w.Meta.acnt++
+					l.Stats.ReadHitShared.Inc()
+					l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
+					return true
+				}
+				l.Stats.ReadMissShared.Inc()
+				l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb}
+				l.rd = &l.rdBuf
+				l.send(now, coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
+				return true
 			}
-			l.Stats.ReadMissShared.Inc()
-			l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb}
-			l.rd = &l.rdBuf
-			l.send(now, coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
-			return true
 		}
 	}
 	l.Stats.ReadMissInvalid.Inc()
@@ -322,13 +360,18 @@ func (l *L1) Store(now sim.Cycle, addr uint64, val uint64, cb func()) bool {
 		return false
 	}
 	if w := l.cache.Lookup(addr); w != nil && (w.Meta.state == stateE || w.Meta.state == stateM) {
-		w.Meta.state = stateM
-		memsys.PutWord(w.Data, addr, val)
-		w.Meta.ts = l.assignTS(now)
-		w.Meta.tsOwn = true
-		l.Stats.WriteHitPrivate.Inc()
-		l.timers.AtDone(now+1, cb)
-		return true
+		if l.evictFault != nil && l.evictFault() {
+			l.evictLine(now, w) // fall through to the write miss below
+		} else {
+			l.trans(blk, w.Meta.state, stateM)
+			w.Meta.state = stateM
+			memsys.PutWord(w.Data, addr, val)
+			w.Meta.ts = l.assignTS(now)
+			w.Meta.tsOwn = true
+			l.Stats.WriteHitPrivate.Inc()
+			l.timers.AtDone(now+1, cb)
+			return true
+		}
 	}
 	l.countWriteMiss(blk)
 	l.wrBuf = writeTx{addr: blk, wordAddr: addr, val: val, storeCb: cb, issued: now}
@@ -347,17 +390,22 @@ func (l *L1) RMW(now sim.Cycle, addr uint64, f func(uint64) (uint64, bool), cb f
 		return false
 	}
 	if w := l.cache.Lookup(addr); w != nil && (w.Meta.state == stateE || w.Meta.state == stateM) {
-		old := memsys.GetWord(w.Data, addr)
-		if nv, doWrite := f(old); doWrite {
-			memsys.PutWord(w.Data, addr, nv)
-			w.Meta.state = stateM
-			w.Meta.ts = l.assignTS(now)
-			w.Meta.tsOwn = true
+		if l.evictFault != nil && l.evictFault() {
+			l.evictLine(now, w) // fall through to the write miss below
+		} else {
+			old := memsys.GetWord(w.Data, addr)
+			if nv, doWrite := f(old); doWrite {
+				memsys.PutWord(w.Data, addr, nv)
+				l.trans(blk, w.Meta.state, stateM)
+				w.Meta.state = stateM
+				w.Meta.ts = l.assignTS(now)
+				w.Meta.tsOwn = true
+			}
+			l.Stats.WriteHitPrivate.Inc()
+			l.Stats.RMWLat.Observe(int64(l.hitLat))
+			l.timers.AtVal(now+l.hitLat, cb, old)
+			return true
 		}
-		l.Stats.WriteHitPrivate.Inc()
-		l.Stats.RMWLat.Observe(int64(l.hitLat))
-		l.timers.AtVal(now+l.hitLat, cb, old)
-		return true
 	}
 	l.countWriteMiss(blk)
 	l.wrBuf = writeTx{addr: blk, wordAddr: addr, isRMW: true, f: f, rmwCb: cb, issued: now}
@@ -399,6 +447,7 @@ func (l *L1) selfInvalidate(cause coherence.SelfInvCause) {
 	var dropped int64
 	l.cache.ForEachValid(func(w *memsys.Way[l1Line]) {
 		if w.Meta.state == stateS {
+			l.trans(w.Tag, stateS, 0)
 			l.cache.Invalidate(w)
 			dropped++
 		}
@@ -538,7 +587,8 @@ func (l *L1) handle(now sim.Cycle, m *coherence.Msg) {
 
 func (l *L1) completeWrite(now sim.Cycle, m *coherence.Msg) {
 	tx := l.wr
-	w := l.install(now, tx.addr, m.Data)
+	w, from := l.install(now, tx.addr, m.Data)
+	l.trans(tx.addr, from, stateM)
 	w.Meta.state = stateM
 	old := memsys.GetWord(w.Data, tx.wordAddr)
 	wrote := true
@@ -584,7 +634,8 @@ func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 		install = false
 	}
 	if install {
-		w := l.install(now, m.Addr, m.Data)
+		w, from := l.install(now, m.Addr, m.Data)
+		l.trans(m.Addr, from, state)
 		w.Meta.state = state
 		w.Meta.acnt = 0
 		w.Meta.ts = m.TS
@@ -602,11 +653,14 @@ func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 	tx.cb(val)
 }
 
-func (l *L1) install(now sim.Cycle, addr uint64, data []byte) *memsys.Way[l1Line] {
+// install places data for addr, returning the way and the state the
+// line held before this fill (0 for a fresh install) so callers can
+// report the transition once they assign the new state.
+func (l *L1) install(now sim.Cycle, addr uint64, data []byte) (*memsys.Way[l1Line], int) {
 	if w := l.cache.Peek(addr); w != nil {
 		copy(w.Data, data)
 		w.Meta.acnt = 0
-		return w
+		return w, w.Meta.state
 	}
 	w := l.cache.Victim(addr)
 	if w == nil {
@@ -617,11 +671,12 @@ func (l *L1) install(now sim.Cycle, addr uint64, data []byte) *memsys.Way[l1Line
 	}
 	l.cache.Install(w, addr)
 	copy(w.Data, data)
-	return w
+	return w, 0
 }
 
 func (l *L1) evictLine(now sim.Cycle, w *memsys.Way[l1Line]) {
 	addr := w.Tag
+	l.trans(addr, w.Meta.state, 0)
 	switch w.Meta.state {
 	case stateS, stateR:
 		// Shared and SharedRO evictions are silent (§3.2, §3.4).
@@ -646,10 +701,12 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 		l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
 			Dirty: dirty, TS: ts, TSValid: valid, Epoch: l.epoch}, w.Data)
 		// Downgrade to Shared, keeping the copy with a fresh budget.
+		l.trans(m.Addr, w.Meta.state, stateS)
 		w.Meta.state = stateS
 		w.Meta.acnt = 0
 		l.sharedHint++
 		if l.cfg.MaxAccesses() == 0 {
+			l.trans(m.Addr, stateS, 0)
 			l.cache.Invalidate(w)
 		}
 		return
@@ -673,6 +730,7 @@ func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
 		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
 			Owner: l.id, TS: ts, TSValid: valid, Epoch: l.epoch,
 			Dirty: w.Meta.state == stateM}, w.Data)
+		l.trans(m.Addr, w.Meta.state, 0)
 		l.cache.Invalidate(w)
 		return
 	}
@@ -699,10 +757,12 @@ func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
 			l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
 				Dirty: w.Meta.state == stateM,
 				TS:    ts, TSValid: valid, Epoch: l.epoch}, w.Data)
+			l.trans(m.Addr, w.Meta.state, 0)
 			l.cache.Invalidate(w)
 			return
 		}
 		// SharedRO broadcast invalidation (or a stale Shared copy).
+		l.trans(m.Addr, w.Meta.state, 0)
 		l.cache.Invalidate(w)
 		l.send(now, coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr}, nil)
 		return

@@ -71,11 +71,45 @@ type L2 struct {
 	flag1    bool
 	flag2    bool
 
+	// Optional hooks, nil in nominal runs (see coherence hooks doc):
+	// resetFault forces early SharedRO timestamp rollovers,
+	// ackDelayFault holds back eviction acknowledgements, transSink
+	// reports directory-state transitions to the legality oracle.
+	resetFault    func() bool
+	ackDelayFault func() sim.Cycle
+	transSink     func(addr uint64, from, to int)
+
 	// Tile-level stats.
 	SROTransitions  stats.Counter
 	SROInvBcasts    stats.Counter
 	DecayEvents     stats.Counter
 	TimestampResets stats.Counter
+}
+
+// SetResetFault implements coherence.ResetFaulter.
+func (t *L2) SetResetFault(f func() bool) { t.resetFault = f }
+
+// SetAckDelayFault implements coherence.AckDelayFaulter.
+func (t *L2) SetAckDelayFault(f func() sim.Cycle) { t.ackDelayFault = f }
+
+// SetTransitionSink implements coherence.TransitionReporter.
+func (t *L2) SetTransitionSink(f func(addr uint64, from, to int)) { t.transSink = f }
+
+// ArmTxAudit implements coherence.TxAuditor.
+func (t *L2) ArmTxAudit(maxAge sim.Cycle, report func(string)) { t.txs.ArmAudit(maxAge, report) }
+
+// TxDebug implements coherence.TxDebugger (forensic TxTable dumps).
+func (t *L2) TxDebug() string { return fmt.Sprintf("tsocc L2 tile %d:%s", t.tile, t.txs.Debug()) }
+
+// TxLive reports registered-but-unretired transactions (leak check).
+func (t *L2) TxLive() int64 { return t.txs.LiveTx() }
+
+// trans reports a directory-state transition to the legality oracle;
+// self-loops are dropped here so call sites stay simple.
+func (t *L2) trans(addr uint64, from, to int) {
+	if t.transSink != nil && from != to {
+		t.transSink(addr, from, to)
+	}
 }
 
 // NewL2 builds TSO-CC tile `tile`.
@@ -96,6 +130,12 @@ func NewL2(tile, cores int, sys config.System, cfg config.TSOCC, net coherence.N
 	}
 	l2.sendFn = l2.send
 	l2.txs.Init(l2.pool, l2.handle)
+	label := fmt.Sprintf("tsocc.l2.%d", tile)
+	l2.SROTransitions.SetName(label + ".sro_transitions")
+	l2.SROInvBcasts.SetName(label + ".sro_inv_bcasts")
+	l2.DecayEvents.SetName(label + ".decay_events")
+	l2.TimestampResets.SetName(label + ".timestamp_resets")
+	l2.txs.SetLabel(label)
 	return l2
 }
 
@@ -109,6 +149,20 @@ func (t *L2) send(now sim.Cycle, m *coherence.Msg) {
 // (an invalidation must never overtake an earlier data response).
 func (t *L2) sendAfterAccess(now sim.Cycle, tmpl coherence.Msg, data []byte) {
 	t.timers.AtMsg(now+t.accessLat, t.sendFn, t.pool.NewFrom(tmpl, data))
+}
+
+// sendPutAck schedules an eviction acknowledgement, adding any victim
+// fault delay. PutAck is the one directory-originated message allowed
+// to slip behind later traffic to the same L1: its handler only clears
+// an evict-buffer entry, so reordering it is protocol-legal and is
+// exactly the victim/writeback race the profile injects.
+func (t *L2) sendPutAck(now sim.Cycle, dst coherence.NodeID, addr uint64) {
+	extra := sim.Cycle(0)
+	if t.ackDelayFault != nil {
+		extra = t.ackDelayFault()
+	}
+	t.timers.AtMsg(now+t.accessLat+extra, t.sendFn,
+		t.pool.NewFrom(coherence.Msg{Type: coherence.MsgPutAck, Dst: dst, Addr: addr}, nil))
 }
 
 // coarseMembersBuf expands a coarse sharer vector into preallocated
@@ -250,6 +304,11 @@ func (t *L2) assignSROTS(now sim.Cycle) uint32 {
 	if !t.cfg.Timestamps() {
 		return tsInvalid
 	}
+	if t.resetFault != nil && t.resetFault() {
+		// Reset-storm fault: roll the SharedRO timestamp space over as
+		// if TSMax were reached before assigning.
+		t.resetSRO(now)
+	}
 	if t.flag1 || t.flag2 {
 		t.flag1, t.flag2 = false, false
 		if t.sroSrc >= t.cfg.TSMax() {
@@ -328,6 +387,7 @@ func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 	t.timers.At(now+t.accessLat+t.mem.Latency(addr), func(nw sim.Cycle) {
 		way := t.cache.Peek(addr)
 		t.mem.ReadBlock(addr, way.Data)
+		t.trans(addr, 0, dirV)
 		way.Meta = l2Line{state: dirV, owner: -1}
 		way.Busy = false
 		tx, _ := t.txs.Get(addr)
@@ -353,6 +413,7 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 			t.mem.WriteBlock(addr, v.Data)
 			t.flag1 = true // condition 1: dirty line left the L2
 		}
+		t.trans(addr, v.Meta.state, 0)
 		t.cache.Invalidate(v)
 		return true
 	case dirR:
@@ -365,6 +426,7 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 				t.mem.WriteBlock(addr, v.Data)
 				t.flag1 = true
 			}
+			t.trans(addr, dirR, 0)
 			t.cache.Invalidate(v)
 			return true
 		}
@@ -445,6 +507,7 @@ func (t *L2) shouldDecay(w *l2Line) bool {
 // toSharedRO transitions a line to SharedRO, assigning a tile timestamp.
 func (t *L2) toSharedRO(now sim.Cycle, w *memsys.Way[l2Line]) {
 	t.SROTransitions.Inc()
+	t.trans(w.Tag, w.Meta.state, dirR)
 	w.Meta.state = dirR
 	w.Meta.sharerBits = 0
 	w.Meta.ts = t.assignSROTS(now)
@@ -509,6 +572,7 @@ func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
 		panic(fmt.Sprintf("tsocc: L2 %d cycle %d: stray Ack %s", t.id, now, m))
 	}
 	w := t.cache.Peek(m.Addr)
+	t.trans(m.Addr, w.Meta.state, dirX)
 	w.Meta.state = dirX
 	w.Meta.owner = tx.Req.Requestor
 	w.Meta.sharerBits = 0
@@ -569,6 +633,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 			t.noteWriterTS(prevOwner, m)
 			// Modified by the previous owner: enters Shared (§3.4),
 			// last writer = previous owner.
+			t.trans(m.Addr, w.Meta.state, dirS)
 			w.Meta.state = dirS
 			w.Meta.owner = prevOwner
 			t.flag2 = true // condition 2: line entered Shared
@@ -580,6 +645,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 				w.Meta.sharerBits |= coarseBit(prevOwner, t.cores)
 			}
 		} else {
+			t.trans(m.Addr, w.Meta.state, dirS)
 			w.Meta.state = dirS
 			w.Meta.owner = prevOwner
 			t.flag2 = true
@@ -606,6 +672,7 @@ func (t *L2) finishEvict(now sim.Cycle, w *memsys.Way[l2Line]) {
 	}
 	tx, _ := t.txs.Get(addr)
 	t.txs.Del(addr, tx, false)
+	t.trans(addr, w.Meta.state, 0)
 	t.cache.Invalidate(w)
 	t.txs.DrainWaiting(now, addr)
 }
@@ -619,7 +686,7 @@ func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 	if w == nil || w.Meta.state != dirX || w.Meta.owner != m.Src {
 		// Stale writeback (ownership moved while the Put was in
 		// flight): acknowledge and drop.
-		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr}, nil)
+		t.sendPutAck(now, m.Src, m.Addr)
 		return
 	}
 	if m.Type == coherence.MsgPutM {
@@ -633,7 +700,8 @@ func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 		}
 		t.noteWriterTS(m.Src, m)
 	}
+	t.trans(m.Addr, w.Meta.state, dirV)
 	w.Meta.state = dirV
 	// Keep owner as last-writer for timestamp responses.
-	t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgPutAck, Dst: m.Src, Addr: m.Addr}, nil)
+	t.sendPutAck(now, m.Src, m.Addr)
 }

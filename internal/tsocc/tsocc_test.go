@@ -31,6 +31,11 @@ func run(t *testing.T, cfg config.System, tc config.TSOCC, w *program.Workload) 
 		t.Fatalf("%s on %s: MsgPool leak: %d of %d messages not returned",
 			tc.Name(), w.Name, res.PoolLive, res.PoolGets)
 	}
+	// Likewise every registered directory transaction must have retired.
+	if res.TxLive != 0 {
+		t.Fatalf("%s on %s: TxTable leak: %d transaction(s) never retired",
+			tc.Name(), w.Name, res.TxLive)
+	}
 	return res
 }
 

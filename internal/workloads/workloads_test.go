@@ -57,6 +57,10 @@ func TestAllWorkloadsFunctional(t *testing.T) {
 				if res.CheckErr != nil {
 					t.Fatalf("%s: functional check: %v", proto.Name(), res.CheckErr)
 				}
+				if res.PoolLive != 0 || res.TxLive != 0 {
+					t.Fatalf("%s: leak after clean run: %d pooled message(s), %d transaction(s)",
+						proto.Name(), res.PoolLive, res.TxLive)
+				}
 			}
 		})
 	}
@@ -86,6 +90,10 @@ func TestWorkloadsAllTSOCCConfigs(t *testing.T) {
 			}
 			if res.CheckErr != nil {
 				t.Fatalf("%s on %s: %v", name, tc.Name(), res.CheckErr)
+			}
+			if res.PoolLive != 0 || res.TxLive != 0 {
+				t.Fatalf("%s on %s: leak after clean run: %d pooled message(s), %d transaction(s)",
+					name, tc.Name(), res.PoolLive, res.TxLive)
 			}
 		}
 	}

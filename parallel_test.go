@@ -117,7 +117,7 @@ func TestParallelFaultModesBitIdentical(t *testing.T) {
 	proto := tsocc.New(config.C12x3())
 	e := workloads.ByName("ssca2")
 	p := workloads.Params{Threads: 4, Scale: 1, Seed: 1}
-	for _, profile := range []string{"jitter", "pressure", "burst"} {
+	for _, profile := range []string{"jitter", "pressure", "burst", "evict", "reset-storm", "victim", "jitter:rate=200+evict:rate=80"} {
 		t.Run(profile, func(t *testing.T) {
 			cfg := config.Small(4)
 			cfg.FaultProfile = profile
