@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-parallel bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate fault-smoke oracle-sweep parallel-smoke ci
+.PHONY: all vet build test race race-parallel bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate fault-smoke oracle-sweep parallel-smoke obs-smoke ci
 
 all: ci
 
@@ -125,4 +125,26 @@ trace-gate:
 	  diff $$tmp/rec.txt $$tmp/rep.txt; \
 	done; done; echo "trace gate: record/replay stats identical"
 
-ci: vet build test race race-parallel bench-smoke bench-gate trace-gate fault-smoke oracle-sweep parallel-smoke
+# Observability smoke (mirrors the CI obs job): an 8-core canneal run
+# and a bounded litmus run each emit a metrics-registry dump and a
+# Chrome trace-event timeline; both timelines must be well-formed
+# (matched async begin/end — the validator is the same check Perfetto
+# applies on load) and both metrics dumps must carry counter and
+# histogram series. Then the bounded no-perturbation gate: obs-on vs
+# obs-off fingerprints bit-identical, plus the timeline unit tests
+# (golden file, fuzz-lite, early-termination flush).
+obs-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	echo "obs smoke: tsocc-sim canneal / 8 cores"; \
+	$(GO) run ./cmd/tsocc-sim -bench canneal -cores 8 \
+	  -metrics $$tmp/sim-metrics.json -timeline $$tmp/sim-timeline.json > /dev/null; \
+	echo "obs smoke: tsocc-litmus / TSO-CC-4-12-3"; \
+	$(GO) run ./cmd/tsocc-litmus -iters 10 -proto TSO-CC-4-12-3 \
+	  -metrics $$tmp/lit-metrics.json -timeline $$tmp/lit-timeline.json > /dev/null; \
+	$(GO) run ./internal/obs/validate $$tmp/sim-timeline.json $$tmp/lit-timeline.json; \
+	$(GO) run ./internal/obs/validate -metrics $$tmp/sim-metrics.json $$tmp/lit-metrics.json; \
+	$(GO) test -run 'TestObsOnOffBitIdentical' . ; \
+	$(GO) test -run 'TestTimeline|TestRegistry' ./internal/obs/; \
+	echo "obs smoke: timelines well-formed, metrics populated, on/off bit-identical"
+
+ci: vet build test race race-parallel bench-smoke bench-gate trace-gate fault-smoke oracle-sweep parallel-smoke obs-smoke

@@ -24,6 +24,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/storagemodel"
 	"repro/internal/system"
@@ -52,6 +53,9 @@ func main() {
 	checks := flag.Bool("checks", false, "enable runtime invariant oracles (SWMR, value, TSO order)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on (successful) exit")
+	metricsOut := flag.String("metrics", "", "trace mode only: write the metrics-registry dump to this file (.json = JSON, else text)")
+	timelineOut := flag.String("timeline", "", "trace mode only: write a Chrome trace-event timeline (Perfetto / chrome://tracing) to this file")
+	pprofLabels := flag.Bool("pprof-labels", false, "label goroutines and component ticks for -cpuprofile attribution (adds host-time cost)")
 	flag.Parse()
 
 	// Profiles cover the whole selected mode (grid or -perf); error
@@ -114,11 +118,20 @@ func main() {
 		explicit := map[string]bool{}
 		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 		if err := runTraceMode(*traceOut, *traceIn, *benchList, protos,
-			*cores, *scale, *seed, *shards, explicit); err != nil {
+			*cores, *scale, *seed, *shards, explicit,
+			*metricsOut, *timelineOut, *pprofLabels); err != nil {
 			fmt.Fprintln(os.Stderr, "trace mode:", err)
 			os.Exit(1)
 		}
 		return
+	}
+
+	if *metricsOut != "" || *timelineOut != "" {
+		// Grid legs share one config across parallel workers and -perf
+		// arms its own registry for the snapshot series; a per-run dump
+		// belongs to the single-run CLIs.
+		fmt.Fprintln(os.Stderr, "-metrics/-timeline apply to trace mode only; for a single observed run use tsocc-sim")
+		os.Exit(1)
 	}
 
 	if *perf {
@@ -139,7 +152,7 @@ func main() {
 			benches = strings.Split(*benchList, ",")
 		}
 		if err := runPerf(*cores, *scale, *seed, *shards, benches, protos,
-			*faultSpec, *faultSeed, *checks); err != nil {
+			*faultSpec, *faultSeed, *checks, *pprofLabels); err != nil {
 			fmt.Fprintln(os.Stderr, "perf failed:", err)
 			os.Exit(1)
 		}
@@ -162,6 +175,9 @@ func main() {
 	cfg.FaultSeed = *faultSeed
 	cfg.Checks = *checks
 	cfg.Shards = *shards
+	if *pprofLabels {
+		cfg.Obs = &obs.Obs{ProfileLabels: true}
+	}
 	p := workloads.Params{Threads: *cores, Scale: *scale, Seed: *seed}
 
 	progress := os.Stderr
@@ -210,10 +226,18 @@ func main() {
 // geometry — or an explicit -cores override — optionally on a different
 // protocol).
 func runTraceMode(traceOut, traceIn, benchList string, protos []system.Protocol,
-	cores, scale int, seed uint64, shards int, explicit map[string]bool) error {
+	cores, scale int, seed uint64, shards int, explicit map[string]bool,
+	metricsOut, timelineOut string, pprofLabels bool) error {
 
 	if traceOut != "" && traceIn != "" {
 		return fmt.Errorf("-trace-out and -trace-in are mutually exclusive")
+	}
+	obsCfg := obs.FromPaths(metricsOut, timelineOut)
+	if pprofLabels {
+		if obsCfg == nil {
+			obsCfg = &obs.Obs{}
+		}
+		obsCfg.ProfileLabels = true
 	}
 	if traceOut != "" {
 		if strings.Contains(benchList, ",") || len(protos) > 1 {
@@ -233,8 +257,16 @@ func runTraceMode(traceOut, traceIn, benchList string, protos []system.Protocol,
 		}
 		cfg := config.Scaled(cores)
 		cfg.Shards = shards
+		cfg.Obs = obsCfg
 		w := e.Gen(workloads.Params{Threads: cores, Scale: scale, Seed: seed})
 		res, tr, err := system.RunRecorded(cfg, proto, w, seed)
+		var final int64
+		if res != nil {
+			final = int64(res.Cycles)
+		}
+		if werr := obsCfg.WriteFiles(metricsOut, timelineOut, final); werr != nil && err == nil {
+			err = werr
+		}
 		if err != nil {
 			return err
 		}
@@ -270,8 +302,19 @@ func runTraceMode(traceOut, traceIn, benchList string, protos []system.Protocol,
 		}
 		proto = []system.Protocol{p}
 	}
+	if len(proto) > 1 && obsCfg != nil && (metricsOut != "" || timelineOut != "") {
+		return fmt.Errorf("-metrics/-timeline observe a single replay: select one -proto")
+	}
+	cfg.Obs = obsCfg
 	for _, p := range proto {
 		res, err := system.Replay(cfg, p, tr)
+		var final int64
+		if res != nil {
+			final = int64(res.Cycles)
+		}
+		if werr := obsCfg.WriteFiles(metricsOut, timelineOut, final); werr != nil && err == nil {
+			err = werr
+		}
 		if err != nil {
 			return err
 		}
@@ -299,7 +342,7 @@ var perfModes = []struct {
 // configuration. The synthetic "dense-compute" ALU workload (the
 // batched-core acceptance case) is always appended to the selection.
 func runPerf(cores, scale int, seed uint64, shards int, benches []string, protos []system.Protocol,
-	faultSpec string, faultSeed uint64, checks bool) error {
+	faultSpec string, faultSeed uint64, checks bool, pprofLabels bool) error {
 	if len(benches) == 0 {
 		benches = []string{"canneal", "x264", "ssca2"}
 	}
@@ -342,6 +385,9 @@ func runPerf(cores, scale int, seed uint64, shards int, benches []string, protos
 				cfg.FaultProfile = faultSpec
 				cfg.FaultSeed = faultSeed
 				cfg.Checks = checks
+				if pprofLabels {
+					cfg.Obs = &obs.Obs{ProfileLabels: true}
+				}
 				best := time.Duration(0)
 				var cycles int64
 				var skipped int64
@@ -384,6 +430,9 @@ func runPerf(cores, scale int, seed uint64, shards int, benches []string, protos
 				return err
 			}
 			if err := measureTrace(&rec, cores, proto, gen(p)); err != nil {
+				return err
+			}
+			if err := measureObs(&rec, cores, proto, gen, p, faultSpec, faultSeed, checks); err != nil {
 				return err
 			}
 			out.Results = append(out.Results, rec)
@@ -438,6 +487,42 @@ func measureParallel(rec *benchfmt.Record, cores, shards int, proto system.Proto
 	rec.WallNsParallel = float64(best.Nanoseconds()) / float64(cycles)
 	if rec.WallNsEvent > 0 && rec.WallNsParallel > 0 {
 		rec.ParallelSpeedup = rec.WallNsEvent / rec.WallNsParallel
+	}
+	return nil
+}
+
+// measureObs fills a record's observability series from one extra
+// metrics-armed run of the production configuration (batched event
+// engine, serial). Observation never perturbs simulation, but the run
+// is done separately so the timed legs stay unobserved host-side.
+func measureObs(rec *benchfmt.Record, cores int, proto system.Protocol,
+	gen workloads.Generator, p workloads.Params, faultSpec string, faultSeed uint64, checks bool) error {
+	cfg := config.Scaled(cores)
+	cfg.BatchedCore = true
+	cfg.FaultProfile = faultSpec
+	cfg.FaultSeed = faultSeed
+	cfg.Checks = checks
+	reg := obs.NewRegistry()
+	cfg.Obs = &obs.Obs{Metrics: reg}
+	m, err := system.NewMachine(cfg, proto, gen(p))
+	if err != nil {
+		return err
+	}
+	if _, err := m.Engine.Run(); err != nil {
+		return err
+	}
+	rec.TxLatencyMean = reg.HistSnapshotFor("coherence.tx_latency").Mean()
+	rd := reg.HistSnapshotFor("l1.read_miss_latency")
+	wr := reg.HistSnapshotFor("l1.write_miss_latency")
+	if n := rd.Count + wr.Count; n > 0 {
+		rec.L1MissLatencyMean = float64(rd.Sum+wr.Sum) / float64(n)
+	}
+	// Total truly stalled cycles: every stall series except the
+	// batch-interior attribution (retired compute, not a stall).
+	for _, h := range reg.Hists() {
+		if strings.Contains(h.Name, ".stall.") && !strings.HasSuffix(h.Name, ".stall.batch_interior") {
+			rec.StallCycles += h.Sum
+		}
 	}
 	return nil
 }

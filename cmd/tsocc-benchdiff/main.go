@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/benchfmt"
@@ -58,65 +59,87 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if prev.Host != cur.Host && prev.Host != (benchfmt.Host{}) {
-			fmt.Printf("note: snapshots from different hosts (%s %s/%s %d cpu vs %s %s/%s %d cpu); "+
-				"only speedup ratios are comparable\n\n",
-				prev.Host.GoVersion, prev.Host.GOOS, prev.Host.GOARCH, prev.Host.NumCPU,
-				cur.Host.GoVersion, cur.Host.GOOS, cur.Host.GOARCH, cur.Host.NumCPU)
-		}
-		byKey := map[string]benchfmt.Record{}
-		for _, r := range prev.Results {
-			byKey[r.Key()] = r
-		}
-		fmt.Printf("%-28s %26s %22s %20s\n", "benchmark/protocol",
-			"host_ns/cycle", "event/percycle", "trace B/op")
-		for _, r := range cur.Results {
-			o, ok := byKey[r.Key()]
-			if !ok {
-				fmt.Printf("%-28s %26s %22s %20s  (new)\n", r.Key(),
-					fmt.Sprintf("%.1f", r.HostNsPerCycle),
-					fmt.Sprintf("%.2f", r.Speedup),
-					fmt.Sprintf("%.2f", r.TraceBytesPerOp))
-				continue
-			}
-			fmt.Printf("%-28s %26s %22s %20s\n", r.Key(),
-				deltaStr(o.HostNsPerCycle, r.HostNsPerCycle),
-				deltaStr(o.Speedup, r.Speedup),
-				deltaStr(o.TraceBytesPerOp, r.TraceBytesPerOp))
-		}
+		renderDiff(os.Stdout, prev, cur)
 	}
 
 	if *gate {
-		if len(cur.Results) == 0 {
-			fmt.Fprintf(os.Stderr, "GATE FAIL: %s contains no measurements\n", newPath)
+		if !runGate(os.Stdout, os.Stderr, cur, newPath) {
 			os.Exit(1)
-		}
-		bad := false
-		gated := 0
-		for _, r := range cur.Results {
-			if r.Speedup < 1.0 {
-				fmt.Fprintf(os.Stderr, "GATE FAIL: %s event_vs_percycle_speedup = %.3f < 1.0\n",
-					r.Key(), r.Speedup)
-				bad = true
-			}
-			if r.Shards >= 4 && r.GOMAXPROCS >= 4 {
-				gated++
-				if r.ParallelSpeedup < 1.0 {
-					fmt.Fprintf(os.Stderr,
-						"GATE FAIL: %s parallel_vs_serial_speedup = %.3f < 1.0 (shards=%d, gomaxprocs=%d)\n",
-						r.Key(), r.ParallelSpeedup, r.Shards, r.GOMAXPROCS)
-					bad = true
-				}
-			}
-		}
-		if bad {
-			os.Exit(1)
-		}
-		fmt.Printf("gate ok: event engine >= per-cycle on all %d benchmarks\n", len(cur.Results))
-		if gated > 0 {
-			fmt.Printf("gate ok: sharded engine >= serial on all %d parallel-timed benchmarks\n", gated)
 		}
 	}
+}
+
+// renderDiff writes the per-record comparison table. A zero value on
+// the old side of a series means the snapshot predates that field
+// (schema growth: parallel legs arrived in PR 7, obs series in PR 9),
+// so those cells render "-> new" or "-" instead of a delta against
+// zero — old snapshots stay diffable forever.
+func renderDiff(w io.Writer, prev, cur *benchfmt.Snapshot) {
+	if prev.Host != cur.Host && prev.Host != (benchfmt.Host{}) {
+		fmt.Fprintf(w, "note: snapshots from different hosts (%s %s/%s %d cpu vs %s %s/%s %d cpu); "+
+			"only speedup ratios are comparable\n\n",
+			prev.Host.GoVersion, prev.Host.GOOS, prev.Host.GOARCH, prev.Host.NumCPU,
+			cur.Host.GoVersion, cur.Host.GOOS, cur.Host.GOARCH, cur.Host.NumCPU)
+	}
+	byKey := map[string]benchfmt.Record{}
+	for _, r := range prev.Results {
+		byKey[r.Key()] = r
+	}
+	fmt.Fprintf(w, "%-28s %26s %22s %20s %24s %22s\n", "benchmark/protocol",
+		"host_ns/cycle", "event/percycle", "trace B/op", "tx_lat cyc", "stall cyc")
+	for _, r := range cur.Results {
+		o, ok := byKey[r.Key()]
+		if !ok {
+			fmt.Fprintf(w, "%-28s %26s %22s %20s %24s %22s  (new)\n", r.Key(),
+				fmt.Sprintf("%.1f", r.HostNsPerCycle),
+				fmt.Sprintf("%.2f", r.Speedup),
+				fmt.Sprintf("%.2f", r.TraceBytesPerOp),
+				fmt.Sprintf("%.1f", r.TxLatencyMean),
+				fmt.Sprintf("%d", r.StallCycles))
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %26s %22s %20s %24s %22s\n", r.Key(),
+			deltaStr(o.HostNsPerCycle, r.HostNsPerCycle),
+			deltaStr(o.Speedup, r.Speedup),
+			deltaStr(o.TraceBytesPerOp, r.TraceBytesPerOp),
+			obsDeltaStr(o.TxLatencyMean, r.TxLatencyMean),
+			obsDeltaStr(float64(o.StallCycles), float64(r.StallCycles)))
+	}
+}
+
+// runGate applies the regression gate to cur, reporting failures to
+// errw; it returns false when the gate fails.
+func runGate(w, errw io.Writer, cur *benchfmt.Snapshot, path string) bool {
+	if len(cur.Results) == 0 {
+		fmt.Fprintf(errw, "GATE FAIL: %s contains no measurements\n", path)
+		return false
+	}
+	ok := true
+	gated := 0
+	for _, r := range cur.Results {
+		if r.Speedup < 1.0 {
+			fmt.Fprintf(errw, "GATE FAIL: %s event_vs_percycle_speedup = %.3f < 1.0\n",
+				r.Key(), r.Speedup)
+			ok = false
+		}
+		if r.Shards >= 4 && r.GOMAXPROCS >= 4 {
+			gated++
+			if r.ParallelSpeedup < 1.0 {
+				fmt.Fprintf(errw,
+					"GATE FAIL: %s parallel_vs_serial_speedup = %.3f < 1.0 (shards=%d, gomaxprocs=%d)\n",
+					r.Key(), r.ParallelSpeedup, r.Shards, r.GOMAXPROCS)
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		return false
+	}
+	fmt.Fprintf(w, "gate ok: event engine >= per-cycle on all %d benchmarks\n", len(cur.Results))
+	if gated > 0 {
+		fmt.Fprintf(w, "gate ok: sharded engine >= serial on all %d parallel-timed benchmarks\n", gated)
+	}
+	return true
 }
 
 // deltaStr renders "old -> new (+x%)" (the percentage is new vs old).
@@ -126,4 +149,13 @@ func deltaStr(o, n float64) string {
 	}
 	pct := 100 * (n - o) / o
 	return fmt.Sprintf("%.1f -> %.1f (%+.0f%%)", o, n, pct)
+}
+
+// obsDeltaStr is deltaStr for optional series: both sides absent
+// (pre-obs snapshots) renders "-", an absent old side "-> new".
+func obsDeltaStr(o, n float64) string {
+	if o == 0 && n == 0 {
+		return "-"
+	}
+	return deltaStr(o, n)
 }

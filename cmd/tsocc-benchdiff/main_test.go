@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+// oldRecord is a pre-observability snapshot record: the obs series
+// (tx_latency_mean_cycles, l1_miss_latency_mean_cycles,
+// stall_cycles_total) are absent and decode to zero.
+func oldRecord() benchfmt.Record {
+	return benchfmt.Record{
+		Benchmark:      "canneal",
+		Protocol:       "TSO-CC-4-12-3",
+		Cores:          8,
+		HostNsPerCycle: 100,
+		Speedup:        2.0,
+	}
+}
+
+func newRecord() benchfmt.Record {
+	r := oldRecord()
+	r.HostNsPerCycle = 90
+	r.TxLatencyMean = 42.5
+	r.L1MissLatencyMean = 130.25
+	r.StallCycles = 9001
+	return r
+}
+
+// TestDiffOldVsNewSnapshot diffs a pre-obs snapshot against one
+// carrying the new series: the diff must not report a regression from
+// zero, just the new values.
+func TestDiffOldVsNewSnapshot(t *testing.T) {
+	prev := &benchfmt.Snapshot{Results: []benchfmt.Record{oldRecord()}}
+	cur := &benchfmt.Snapshot{Results: []benchfmt.Record{newRecord()}}
+	var b strings.Builder
+	renderDiff(&b, prev, cur)
+	out := b.String()
+	if !strings.Contains(out, "canneal/TSO-CC-4-12-3") {
+		t.Fatalf("diff lost the record:\n%s", out)
+	}
+	if !strings.Contains(out, "-> 42.50") {
+		t.Errorf("obs series with absent old side should render '-> new', got:\n%s", out)
+	}
+	if strings.Contains(out, "0.0 -> 42.5") {
+		t.Errorf("obs series must not diff against a pre-obs zero:\n%s", out)
+	}
+}
+
+// TestDiffBothOldSnapshots diffs two pre-obs snapshots: obs columns
+// render "-" rather than zero deltas.
+func TestDiffBothOldSnapshots(t *testing.T) {
+	prev := &benchfmt.Snapshot{Results: []benchfmt.Record{oldRecord()}}
+	cur := &benchfmt.Snapshot{Results: []benchfmt.Record{oldRecord()}}
+	var b strings.Builder
+	renderDiff(&b, prev, cur)
+	line := ""
+	for _, l := range strings.Split(b.String(), "\n") {
+		if strings.Contains(l, "canneal") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("record line missing:\n%s", b.String())
+	}
+	if !strings.Contains(line, " - ") && !strings.HasSuffix(strings.TrimRight(line, " "), "-") {
+		t.Errorf("obs columns for two pre-obs snapshots should render '-': %q", line)
+	}
+}
+
+// TestGateIgnoresObsSeries ensures the regression gate still passes on
+// a snapshot with no obs series (they are informational, not gated).
+func TestGateIgnoresObsSeries(t *testing.T) {
+	cur := &benchfmt.Snapshot{Results: []benchfmt.Record{oldRecord()}}
+	var out, errs strings.Builder
+	if !runGate(&out, &errs, cur, "x.json") {
+		t.Fatalf("gate failed on a healthy pre-obs snapshot: %s", errs.String())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/harness"
 	"repro/internal/litmus"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print outcome histograms")
 	listW := flag.Bool("list-workloads", false, "list workloads (registry + synthetic extras) and exit")
 	listP := flag.Bool("list-protocols", false, "list registered protocols and exit")
+	metricsOut := flag.String("metrics", "", "write the metrics-registry dump (accumulated across all tests) to this file (.json = JSON, else text)")
+	timelineOut := flag.String("timeline", "", "write a Chrome trace-event timeline (Perfetto / chrome://tracing) to this file")
 	flag.Parse()
 
 	if *listW || *listP {
@@ -64,6 +67,10 @@ func main() {
 	if cfg.Shards == 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
+	// One registry/timeline accumulates over every test × iteration
+	// (litmus iterations are sequential, so sharing is race-free);
+	// same-named series across runs merge at dump time.
+	cfg.Obs = obs.FromPaths(*metricsOut, *timelineOut)
 	failed := false
 	for _, proto := range protos {
 		fmt.Printf("== %s ==\n", proto.Name())
@@ -92,6 +99,10 @@ func main() {
 				fmt.Println(res)
 			}
 		}
+	}
+	if werr := cfg.Obs.WriteFiles(*metricsOut, *timelineOut, 0); werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/shrink"
 	"repro/internal/system"
 	"repro/internal/workloads"
@@ -48,6 +49,8 @@ func main() {
 	list := flag.Bool("list", false, "list workloads and protocols")
 	listW := flag.Bool("list-workloads", false, "list workloads (registry + synthetic extras) and exit")
 	listP := flag.Bool("list-protocols", false, "list registered protocols and exit")
+	metricsOut := flag.String("metrics", "", "write the metrics-registry dump to this file (.json = JSON, else text)")
+	timelineOut := flag.String("timeline", "", "write a Chrome trace-event timeline (Perfetto / chrome://tracing) to this file")
 	flag.Parse()
 
 	if *list || *listW || *listP {
@@ -96,8 +99,23 @@ func main() {
 		return
 	}
 
+	cfg.Obs = obs.FromPaths(*metricsOut, *timelineOut)
+
 	w := e.Gen(workloads.Params{Threads: *cores, Scale: *scale, Seed: *seed})
 	res, err := system.Run(cfg, chosen, w)
+	// Dump the armed sinks even on failure: a deadlocked or
+	// cycle-limited run's partial timeline is exactly what forensics
+	// wants to look at.
+	var final int64
+	if res != nil {
+		final = int64(res.Cycles)
+	}
+	if werr := cfg.Obs.WriteFiles(*metricsOut, *timelineOut, final); werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+		if err == nil {
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simulation failed:", err)
 		os.Exit(1)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/config"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/system"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -93,6 +94,8 @@ func cmdRecord(args []string) error {
 	seed := fs.Uint64("seed", 1, "workload seed")
 	out := fs.String("o", "", "output trace file (required)")
 	stats := fs.String("stats", "", "also write the run summary to this file")
+	metricsOut := fs.String("metrics", "", "write the metrics-registry dump to this file (.json = JSON, else text)")
+	timelineOut := fs.String("timeline", "", "write a Chrome trace-event timeline (Perfetto / chrome://tracing) to this file")
 	listW := fs.Bool("list-workloads", false, "list workloads and exit")
 	listP := fs.Bool("list-protocols", false, "list protocols and exit")
 	fs.Parse(args)
@@ -111,8 +114,12 @@ func cmdRecord(args []string) error {
 		return fmt.Errorf("unknown benchmark %q (see -list-workloads)", *bench)
 	}
 	cfg := config.Scaled(*cores)
+	cfg.Obs = obs.FromPaths(*metricsOut, *timelineOut)
 	w := e.Gen(workloads.Params{Threads: *cores, Scale: *scale, Seed: *seed})
 	res, tr, err := system.RunRecorded(cfg, p, w, *seed)
+	if werr := cfg.Obs.WriteFiles(*metricsOut, *timelineOut, resultCycles(res)); werr != nil && err == nil {
+		err = werr
+	}
 	if err != nil {
 		return err
 	}
@@ -148,6 +155,8 @@ func cmdReplay(args []string) error {
 	faultSeed := fs.Uint64("fault-seed", 1, "fault-injection seed")
 	checks := fs.Bool("checks", false, "enable runtime invariant oracles during replay")
 	stats := fs.String("stats", "", "also write the run summary to this file")
+	metricsOut := fs.String("metrics", "", "write the metrics-registry dump to this file (.json = JSON, else text)")
+	timelineOut := fs.String("timeline", "", "write a Chrome trace-event timeline (Perfetto / chrome://tracing) to this file")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("replay: -i is required")
@@ -177,12 +186,25 @@ func cmdReplay(args []string) error {
 		cfg.Cores = *cores
 		cfg.MeshRows = 0
 	}
+	cfg.Obs = obs.FromPaths(*metricsOut, *timelineOut)
 	res, err := system.Replay(cfg, p, tr)
+	if werr := cfg.Obs.WriteFiles(*metricsOut, *timelineOut, resultCycles(res)); werr != nil && err == nil {
+		err = werr
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Print(res.Summary())
 	return writeStats(*stats, res)
+}
+
+// resultCycles reports a run's final cycle for the timeline flush (0
+// when the run failed before producing a result).
+func resultCycles(res *system.Result) int64 {
+	if res == nil {
+		return 0
+	}
+	return int64(res.Cycles)
 }
 
 func cmdSynth(args []string) error {

@@ -64,6 +64,15 @@ type Record struct {
 	TraceBytesPerOp   float64 `json:"trace_bytes_per_op"`
 	TraceReplayOpsSec float64 `json:"trace_replay_ops_per_sec"`
 	TraceCodecMBps    float64 `json:"trace_codec_mb_per_sec"`
+
+	// Observability series, measured on one extra metrics-armed run of
+	// the batched event configuration (simulated-time quantities, so
+	// they transfer across hosts). Zero values mean the snapshot
+	// predates the observability layer (pre-PR-9); tsocc-benchdiff
+	// skips the comparison rather than reporting a regression to zero.
+	TxLatencyMean     float64 `json:"tx_latency_mean_cycles,omitempty"`
+	L1MissLatencyMean float64 `json:"l1_miss_latency_mean_cycles,omitempty"`
+	StallCycles       int64   `json:"stall_cycles_total,omitempty"`
 }
 
 // Snapshot is the -perf output document. (Snapshots before PR 5 were a

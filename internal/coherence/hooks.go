@@ -1,6 +1,9 @@
 package coherence
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
 
 // Optional controller hooks, discovered by interface assertion at
 // system build time (the same pattern as the TxTable stall hook): a
@@ -55,4 +58,36 @@ type TxAuditor interface {
 // forensic reports.
 type TxDebugger interface {
 	TxDebug() string
+}
+
+// MissLatencyReporter is implemented by L1 controllers that can report
+// per-miss issue-to-completion latency to the observability layer. The
+// sink is called once per completed miss with whether it was a read and
+// how many cycles the request was outstanding. A nil sink (the default)
+// leaves the hot path untouched.
+type MissLatencyReporter interface {
+	SetMissLatencySink(f func(read bool, cycles sim.Cycle))
+}
+
+// TxObserver is implemented by directory controllers that own a TxTable
+// and can forward its transaction lifecycle to the observability layer:
+// lat receives each transaction's birth-to-death latency, span receives
+// begin/end edges (see TxTable.SetObsSinks). Either may be nil.
+type TxObserver interface {
+	SetTxObs(lat func(cycles sim.Cycle), span func(begin bool, now sim.Cycle, addr uint64, kind int))
+}
+
+// TxKindNamer optionally names a directory controller's transaction
+// kinds for timeline span labels (protocol state terms, e.g.
+// "await-acks"). Controllers without it get numeric kinds.
+type TxKindNamer interface {
+	TxKindName(kind int) string
+}
+
+// ObsCounterProvider is implemented by components that expose named
+// event counters for metrics-registry registration. Every returned
+// counter must carry a name (stats.Counter.SetName) — the registry's
+// unnamed-counter test enforces this.
+type ObsCounterProvider interface {
+	ObsCounters() []*stats.Counter
 }

@@ -78,6 +78,46 @@ type L1Stats struct {
 	rmwMergeSum   int64
 }
 
+// SetNames labels every counter in s with the given prefix (e.g.
+// "l1.3"), so the metrics registry can render and sum them by name.
+func (s *L1Stats) SetNames(prefix string) {
+	s.ReadHitPrivate.SetName(prefix + ".read_hit_private")
+	s.ReadHitShared.SetName(prefix + ".read_hit_shared")
+	s.ReadHitSRO.SetName(prefix + ".read_hit_sro")
+	s.WriteHitPrivate.SetName(prefix + ".write_hit_private")
+	s.ReadMissInvalid.SetName(prefix + ".read_miss_invalid")
+	s.ReadMissShared.SetName(prefix + ".read_miss_shared")
+	s.WriteMissInvalid.SetName(prefix + ".write_miss_invalid")
+	s.WriteMissShared.SetName(prefix + ".write_miss_shared")
+	s.WriteMissSRO.SetName(prefix + ".write_miss_sro")
+	s.DataResponses.SetName(prefix + ".data_responses")
+	for i := range s.SelfInvEvents {
+		s.SelfInvEvents[i].SetName(prefix + ".selfinv_events." + selfInvSlugs[i])
+	}
+	s.SelfInvLines.SetName(prefix + ".selfinv_lines")
+	s.TimestampResets.SetName(prefix + ".timestamp_resets")
+	s.InvalidationsReceived.SetName(prefix + ".invalidations_received")
+}
+
+var selfInvSlugs = [NumSelfInvCauses]string{
+	"invalid_ts", "acquire_non_sro", "acquire_sro", "fence",
+}
+
+// Counters returns every counter in s, for registry registration.
+func (s *L1Stats) Counters() []*stats.Counter {
+	cs := []*stats.Counter{
+		&s.ReadHitPrivate, &s.ReadHitShared, &s.ReadHitSRO, &s.WriteHitPrivate,
+		&s.ReadMissInvalid, &s.ReadMissShared,
+		&s.WriteMissInvalid, &s.WriteMissShared, &s.WriteMissSRO,
+		&s.DataResponses, &s.SelfInvLines, &s.TimestampResets,
+		&s.InvalidationsReceived,
+	}
+	for i := range s.SelfInvEvents {
+		cs = append(cs, &s.SelfInvEvents[i])
+	}
+	return cs
+}
+
 // Reads reports total read accesses.
 func (s *L1Stats) Reads() int64 {
 	return s.ReadHitPrivate.Value() + s.ReadHitShared.Value() + s.ReadHitSRO.Value() +

@@ -80,9 +80,19 @@ type TxTable struct {
 	// News/Dels count transaction registrations and retirements. They
 	// always run (one increment per transaction boundary), so a leak is
 	// visible as News != Dels on any completed run, and they carry names
-	// (SetLabel) so forensic dumps identify the table.
-	News stats.Counter
-	Dels stats.Counter
+	// (SetLabel) so forensic dumps identify the table. Waits/Retries
+	// count messages parked behind a busy line and messages re-queued
+	// for the next drain — the directory's back-pressure signals.
+	News    stats.Counter
+	Dels    stats.Counter
+	Waits   stats.Counter
+	Retries stats.Counter
+
+	// Observability sinks (SetObsSinks), nil when disabled: latSink
+	// receives each transaction's birth-to-death latency, spanSink its
+	// begin/end edges.
+	latSink  func(cycles sim.Cycle)
+	spanSink func(begin bool, now sim.Cycle, addr uint64, kind int)
 
 	// Continuous lifecycle audit (ArmAudit): birth cycles per
 	// registered address, the age bound past which a transaction is
@@ -101,6 +111,14 @@ type TxTable struct {
 func (t *TxTable) SetLabel(label string) {
 	t.News.SetName(label + ".tx_news")
 	t.Dels.SetName(label + ".tx_dels")
+	t.Waits.SetName(label + ".tx_waits")
+	t.Retries.SetName(label + ".tx_retries")
+}
+
+// Counters returns the table's lifecycle counters for metrics-registry
+// registration (name them with SetLabel first).
+func (t *TxTable) Counters() []*stats.Counter {
+	return []*stats.Counter{&t.News, &t.Dels, &t.Waits, &t.Retries}
 }
 
 // LiveTx reports registered-minus-retired transactions; nonzero after a
@@ -118,6 +136,20 @@ func (t *TxTable) ArmAudit(maxAge sim.Cycle, report func(string)) {
 	t.auditAge = maxAge
 	t.auditFn = report
 	t.births = make(map[uint64]sim.Cycle)
+}
+
+// SetObsSinks installs the observability sinks: lat receives each
+// transaction's birth-to-death latency in cycles, span receives
+// begin/end edges (begin carries the registered kind, end the kind at
+// retirement). Arming lat allocates the birth map shared with
+// ArmAudit; both sinks are nil-guarded, so an un-observed table's hot
+// path is untouched.
+func (t *TxTable) SetObsSinks(lat func(cycles sim.Cycle), span func(begin bool, now sim.Cycle, addr uint64, kind int)) {
+	t.latSink = lat
+	t.spanSink = span
+	if lat != nil && t.births == nil {
+		t.births = make(map[uint64]sim.Cycle)
+	}
 }
 
 // SetStall installs a consumption-stall hook (see the stall field);
@@ -150,7 +182,12 @@ func (t *TxTable) New(addr uint64, kind int, req *Msg, acks int) *Tx {
 		if _, dup := t.tx[addr]; dup {
 			t.auditFn(fmt.Sprintf("double transaction registered for %#x (new kind=%d)", addr, kind))
 		}
+	}
+	if t.births != nil {
 		t.births[addr] = t.lastNow
+	}
+	if t.spanSink != nil {
+		t.spanSink(true, t.lastNow, addr, kind)
 	}
 	var tx *Tx
 	if n := len(t.free); n > 0 {
@@ -182,7 +219,17 @@ func (t *TxTable) Del(addr uint64, tx *Tx, freeReq bool) {
 		if reg, ok := t.tx[addr]; !ok || reg != tx {
 			t.auditFn(fmt.Sprintf("retiring unregistered transaction for %#x (kind=%d)", addr, tx.Kind))
 		}
-		delete(t.births, addr)
+	}
+	if t.births != nil {
+		if b, ok := t.births[addr]; ok {
+			if t.latSink != nil {
+				t.latSink(t.lastNow - b)
+			}
+			delete(t.births, addr)
+		}
+	}
+	if t.spanSink != nil {
+		t.spanSink(false, t.lastNow, addr, tx.Kind)
 	}
 	delete(t.tx, addr)
 	if freeReq && tx.Req != nil {
@@ -207,12 +254,14 @@ func (t *TxTable) BusyLine(addr uint64) bool {
 // EnqueueWaiting parks m behind a busy line; DrainWaiting re-dispatches
 // it when the transaction retires. Owns the retained flag.
 func (t *TxTable) EnqueueWaiting(m *Msg) {
+	t.Waits.Inc()
 	t.waiting[m.Addr] = append(t.waiting[m.Addr], m)
 	t.retained = true
 }
 
 // EnqueueRetry re-queues m for the next Drain. Owns the retained flag.
 func (t *TxTable) EnqueueRetry(m *Msg) {
+	t.Retries.Inc()
 	t.retryQ = append(t.retryQ, m)
 	t.retained = true
 }

@@ -6,6 +6,7 @@ package config
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -81,6 +82,15 @@ type System struct {
 	// Off by default; checking observes but never perturbs the
 	// simulation, so checked runs stay bit-identical to unchecked ones.
 	Checks bool
+
+	// Obs, when non-nil, arms the observability layer (internal/obs):
+	// the metrics registry, the Chrome-trace timeline sink, and pprof
+	// labels, per its fields. Observation never perturbs the
+	// simulation — obs-on runs are bit-identical to obs-off runs
+	// across every engine mode and shard count — and a nil Obs leaves
+	// the hot paths untouched (0 allocs/op). The field is excluded
+	// from trace metadata: sinks are per-run, not part of geometry.
+	Obs *obs.Obs `json:"-"`
 
 	// Shards selects the parallel wake-set engine: the system's tiles
 	// (core + L1 + directory slice) are partitioned contiguously across

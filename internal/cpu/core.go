@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -96,6 +97,16 @@ type Core struct {
 	FinishCycle sim.Cycle
 
 	rmwIssue sim.Cycle
+
+	// Stall attribution (internal/obs), nil when disabled. Episodes are
+	// interval-based because the wake-set engine skips a stalled core's
+	// idle cycles entirely: an episode opens at the tick that detects
+	// the stall and closes at the next tick that makes progress, so the
+	// observed length covers skipped cycles too. Batched-run interior
+	// cycles are attributed immediately (the engine leaps them).
+	stalls     *obs.CoreStalls
+	stallWhy   obs.StallReason
+	stallStart sim.Cycle
 }
 
 // New builds a core executing prog against port, with a write buffer of
@@ -146,6 +157,32 @@ func New(id int, prog *program.Program, port coherence.CorePort, wbEntries int) 
 // BindWaker implements sim.WakeSink (see the waker field).
 func (c *Core) BindWaker(w sim.Waker) { c.waker = w }
 
+// SetStalls attaches the stall-attribution histograms (see the stalls
+// field). Nil (the default) keeps every stall path branch-only.
+func (c *Core) SetStalls(s *obs.CoreStalls) {
+	c.stalls = s
+	c.stallWhy = obs.StallNone
+}
+
+// stallOpen begins a stall episode at now unless one is already open
+// (a continuing stall keeps its original start and reason).
+func (c *Core) stallOpen(now sim.Cycle, why obs.StallReason) {
+	if c.stalls == nil || c.stallWhy != obs.StallNone {
+		return
+	}
+	c.stallWhy = why
+	c.stallStart = now
+}
+
+// stallClose observes and ends the open stall episode, if any.
+func (c *Core) stallClose(now sim.Cycle) {
+	if c.stalls == nil || c.stallWhy == obs.StallNone {
+		return
+	}
+	c.stalls.Observe(c.stallWhy, int64(now-c.stallStart))
+	c.stallWhy = obs.StallNone
+}
+
 // SetBatched toggles batched straight-line execution
 // (config.System.BatchedCore). Both settings produce bit-identical
 // simulations: batches contain only register/branch instructions, whose
@@ -176,6 +213,12 @@ func (c *Core) Counts() (loads, stores, rmws, fences, instrs int64) {
 		c.Fences.Value(), c.Instructions.Value()
 }
 
+// ObsCounters implements coherence.ObsCounterProvider.
+func (c *Core) ObsCounters() []*stats.Counter {
+	return []*stats.Counter{&c.Loads, &c.Stores, &c.RMWs, &c.Fences,
+		&c.Instructions, &c.WBForwards, &c.WBFullStalls}
+}
+
 // Reg returns the architectural value of register r (for tests/litmus).
 func (c *Core) Reg(r uint8) int64 { return c.regs[r] }
 
@@ -194,6 +237,9 @@ func (c *Core) Tick(now sim.Cycle) {
 	}
 	if c.waiting || now < c.stallUntil {
 		return
+	}
+	if c.stalls != nil {
+		c.stallClose(now)
 	}
 	if c.prog == nil || c.pc >= len(c.prog.Instrs) {
 		c.halted = true
@@ -281,6 +327,10 @@ func (c *Core) executeRun(now sim.Cycle, n int) {
 	c.pc = pc
 	c.stallUntil = now + sim.Cycle(n)
 	c.Instructions.Add(int64(n))
+	if c.stalls != nil && n > 1 {
+		// The run's interior cycles never tick; attribute them now.
+		c.stalls.Observe(obs.StallBatchInterior, int64(n-1))
+	}
 	if c.trace != nil {
 		// A run of n register/branch instructions occupies exactly n
 		// cycles — identical to the unbatched accounting of n single
@@ -485,8 +535,10 @@ func (c *Core) doLoad(now sim.Cycle, in program.Instr) bool {
 	}
 	c.opDst = in.Dst
 	if !c.port.Load(now, addr, c.loadCb) {
+		c.stallOpen(now, obs.StallPortBusy)
 		return false // port busy; retry next cycle without advancing pc
 	}
+	c.stallOpen(now, obs.StallMissOutstanding)
 	c.Loads.Inc()
 	if c.trace != nil {
 		// Asynchronous completion: the next instruction dispatches on
@@ -504,6 +556,7 @@ func (c *Core) doLoad(now sim.Cycle, in program.Instr) bool {
 func (c *Core) doStore(now sim.Cycle, in program.Instr) bool {
 	if c.wbLen >= len(c.wb) {
 		c.WBFullStalls.Inc()
+		c.stallOpen(now, obs.StallWBFull)
 		return false // write buffer full; retry
 	}
 	e := wbEntry{addr: c.effAddr(in), val: uint64(c.regs[in.B])}
@@ -521,6 +574,7 @@ func (c *Core) doStore(now sim.Cycle, in program.Instr) bool {
 func (c *Core) doAtomic(now sim.Cycle, in program.Instr) bool {
 	// x86 locked operations drain the write buffer first (full barrier).
 	if c.wbLen > 0 || c.wbInFlight {
+		c.stallOpen(now, obs.StallFenceDrain)
 		return false
 	}
 	addr := c.effAddr(in)
@@ -539,8 +593,10 @@ func (c *Core) doAtomic(now sim.Cycle, in program.Instr) bool {
 	}
 	c.opDst = in.Dst
 	if !c.port.RMW(now, addr, f, c.rmwCb) {
+		c.stallOpen(now, obs.StallPortBusy)
 		return false
 	}
+	c.stallOpen(now, obs.StallMissOutstanding)
 	c.RMWs.Inc()
 	if c.trace != nil {
 		var op config.TraceOp
@@ -566,11 +622,14 @@ func (c *Core) doAtomic(now sim.Cycle, in program.Instr) bool {
 
 func (c *Core) doFence(now sim.Cycle) bool {
 	if c.wbLen > 0 || c.wbInFlight {
+		c.stallOpen(now, obs.StallFenceDrain)
 		return false
 	}
 	if !c.port.Fence(now, c.fenceCb) {
+		c.stallOpen(now, obs.StallPortBusy)
 		return false
 	}
+	c.stallOpen(now, obs.StallFenceDrain)
 	c.Fences.Inc()
 	if c.trace != nil {
 		c.trace.RecordOp(config.TraceEvent{Core: c.ID, Op: config.TraceFence,

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/system"
 	"repro/internal/workloads"
 
@@ -86,6 +87,17 @@ func RunGrid(sys config.System, p workloads.Params, protos []system.Protocol,
 	}
 	if len(benches) == 0 {
 		benches = workloads.Names()
+	}
+	// Grid legs run concurrently on one shared config value; a single
+	// registry/timeline attached to all of them would race (and mix
+	// unrelated runs' series), so metric/timeline sinks never apply to
+	// grids. pprof labels survive: each machine owns its label contexts.
+	if sys.Obs != nil {
+		if sys.Obs.ProfileLabels {
+			sys.Obs = &obs.Obs{ProfileLabels: true}
+		} else {
+			sys.Obs = nil
+		}
 	}
 	g := &Grid{Benchmarks: benches, Results: make(map[string]map[string]*system.Result)}
 	for _, pr := range protos {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // Way is one cache way: the tag/valid/LRU bookkeeping plus a functional
@@ -190,8 +191,8 @@ type Memory struct {
 	Base   sim.Cycle
 	Spread sim.Cycle
 
-	Reads  int64
-	Writes int64
+	Reads  stats.Counter
+	Writes stats.Counter
 
 	banks  []memBank
 	bankOf func(blockAddr uint64) int
@@ -201,18 +202,21 @@ type Memory struct {
 // own access counters so hot-path accounting never crosses goroutines.
 type memBank struct {
 	blocks map[uint64][]byte
-	reads  int64
-	writes int64
+	reads  stats.Counter
+	writes stats.Counter
 }
 
 // NewMemory builds a memory with the paper's latency band by default
 // (120–230 cycles, Table 2).
 func NewMemory() *Memory {
-	return &Memory{
+	m := &Memory{
 		blocks: make(map[uint64][]byte),
 		Base:   120,
 		Spread: 110,
 	}
+	m.Reads.SetName("mem.reads")
+	m.Writes.SetName("mem.writes")
+	return m
 }
 
 // Interleave splits the block store into banks routed by bankOf (a pure
@@ -225,6 +229,8 @@ func (m *Memory) Interleave(banks int, bankOf func(blockAddr uint64) int) {
 	m.banks = make([]memBank, banks)
 	for i := range m.banks {
 		m.banks[i].blocks = make(map[uint64][]byte)
+		m.banks[i].reads.SetName(fmt.Sprintf("mem.bank%d.reads", i))
+		m.banks[i].writes.SetName(fmt.Sprintf("mem.bank%d.writes", i))
 	}
 	m.bankOf = bankOf
 	for blk, b := range m.blocks {
@@ -234,7 +240,7 @@ func (m *Memory) Interleave(banks int, bankOf func(blockAddr uint64) int) {
 }
 
 // store returns the block map and counters owning blk.
-func (m *Memory) store(blk uint64) (map[uint64][]byte, *int64, *int64) {
+func (m *Memory) store(blk uint64) (map[uint64][]byte, *stats.Counter, *stats.Counter) {
 	if m.bankOf == nil {
 		return m.blocks, &m.Reads, &m.Writes
 	}
@@ -244,12 +250,22 @@ func (m *Memory) store(blk uint64) (map[uint64][]byte, *int64, *int64) {
 
 // Stats reports total block reads and writes across all banks.
 func (m *Memory) Stats() (reads, writes int64) {
-	reads, writes = m.Reads, m.Writes
+	reads, writes = m.Reads.Value(), m.Writes.Value()
 	for i := range m.banks {
-		reads += m.banks[i].reads
-		writes += m.banks[i].writes
+		reads += m.banks[i].reads.Value()
+		writes += m.banks[i].writes.Value()
 	}
 	return
+}
+
+// Counters returns every access counter (top-level plus per-bank) for
+// metrics-registry registration.
+func (m *Memory) Counters() []*stats.Counter {
+	cs := []*stats.Counter{&m.Reads, &m.Writes}
+	for i := range m.banks {
+		cs = append(cs, &m.banks[i].reads, &m.banks[i].writes)
+	}
+	return cs
 }
 
 // Latency reports the deterministic access latency for addr.
@@ -266,7 +282,7 @@ func (m *Memory) Latency(addr uint64) sim.Cycle {
 func (m *Memory) ReadBlock(addr uint64, dst []byte) {
 	addr = coherence.BlockAddr(addr)
 	blocks, reads, _ := m.store(addr)
-	*reads++
+	reads.Inc()
 	if b, ok := blocks[addr]; ok {
 		copy(dst, b)
 		return
@@ -280,7 +296,7 @@ func (m *Memory) ReadBlock(addr uint64, dst []byte) {
 func (m *Memory) WriteBlock(addr uint64, src []byte) {
 	addr = coherence.BlockAddr(addr)
 	blocks, _, writes := m.store(addr)
-	*writes++
+	writes.Inc()
 	b, ok := blocks[addr]
 	if !ok {
 		b = make([]byte, coherence.BlockSize)

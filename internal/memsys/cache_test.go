@@ -176,8 +176,8 @@ func TestMemoryReadWriteBlock(t *testing.T) {
 			t.Fatal("untouched memory not zero")
 		}
 	}
-	if m.Reads != 2 || m.Writes != 1 {
-		t.Fatalf("reads=%d writes=%d", m.Reads, m.Writes)
+	if m.Reads.Value() != 2 || m.Writes.Value() != 1 {
+		t.Fatalf("reads=%d writes=%d", m.Reads.Value(), m.Writes.Value())
 	}
 }
 

@@ -42,6 +42,7 @@ type delivery struct {
 	key dkey
 	msg *coherence.Msg
 	dst Endpoint
+	fid uint64 // timeline flow id (0 when no timeline is armed)
 }
 
 // calBuckets is the calendar horizon: deliveries due within this many

@@ -12,8 +12,10 @@ package mesh
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/coherence"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -86,6 +88,19 @@ type Network struct {
 	mergeDelay   func(now, at sim.Cycle, src, dst coherence.NodeID) sim.Cycle
 	mergeIdx     []int
 	mergeTouched []bool
+
+	// Observability (internal/obs); all zero/nil when disabled.
+	// metricsOn arms link-occupancy and queue-depth accounting: occ[d][r]
+	// totals flit-cycles reserved on router r's direction-d link (touched
+	// only where linkBusy is — serial Send or the barrier merge), and
+	// qMax is the serial calendar queue's high-water mark. tl receives
+	// send→deliver flow arrows and fault-delay instants; flowSeq numbers
+	// serial-mode flows (shard domains number their own).
+	metricsOn bool
+	occ       [4][]int64
+	qMax      int
+	tl        *obs.Timeline
+	flowSeq   uint64
 }
 
 type attachment struct {
@@ -174,6 +189,78 @@ func (n *Network) SetDelayHook(h func(now, at sim.Cycle, src, dst coherence.Node
 	n.delayHook = h
 }
 
+var dirNames = [4]string{"east", "west", "north", "south"}
+
+// InstallMetrics registers the mesh's traffic counters (every delivery
+// domain) with the registry and arms link-occupancy and calendar-queue
+// depth accounting. Call after SetShards, before any Send.
+func (n *Network) InstallMetrics(reg *obs.Registry) {
+	n.metricsOn = true
+	for d := 0; d < 4; d++ {
+		n.occ[d] = make([]int64, n.rows*n.cols)
+	}
+	reg.RegisterCounter(&n.MsgsSent, &n.FlitsSent, &n.FlitHops,
+		&n.FlitsByClass[0], &n.FlitsByClass[1])
+	for _, sh := range n.shards {
+		reg.RegisterCounter(&sh.msgsSent, &sh.flitsSent,
+			&sh.flitsByClass[0], &sh.flitsByClass[1])
+	}
+	for d := 0; d < 4; d++ {
+		d := d
+		reg.Gauge("mesh.link_occ_flit_cycles."+dirNames[d], func() int64 {
+			var sum int64
+			for _, v := range n.occ[d] {
+				sum += v
+			}
+			return sum
+		})
+	}
+	reg.Gauge("mesh.link_occ_flit_cycles.max_link", func() int64 {
+		var m int64
+		for d := 0; d < 4; d++ {
+			for _, v := range n.occ[d] {
+				if v > m {
+					m = v
+				}
+			}
+		}
+		return m
+	})
+	reg.Gauge("mesh.calqueue_depth_max", func() int64 {
+		m := n.qMax
+		for _, sh := range n.shards {
+			if sh.qMax > m {
+				m = sh.qMax
+			}
+		}
+		return int64(m)
+	})
+}
+
+// SetTimeline installs a timeline sink for message send→deliver flow
+// arrows (one thread per router on obs.PidMesh) and fault-delay
+// instants. Call before any Send.
+func (n *Network) SetTimeline(tl *obs.Timeline) {
+	n.tl = tl
+	tl.ProcessName(obs.PidMesh, fmt.Sprintf("mesh %dx%d", n.rows, n.cols))
+	for r := 0; r < n.rows*n.cols; r++ {
+		tl.ThreadName(obs.PidMesh, r, "router "+strconv.Itoa(r))
+	}
+}
+
+// applyDelay runs a fault delay hook and, when a timeline is armed and
+// the hook actually moved the delivery, drops a fault instant on the
+// source router's track. Behavior is identical to calling the hook
+// directly.
+func (n *Network) applyDelay(hook func(now, at sim.Cycle, src, dst coherence.NodeID) sim.Cycle,
+	now, at sim.Cycle, m *coherence.Msg, srcRouter int) sim.Cycle {
+	at2 := hook(now, at, m.Src, m.Dst)
+	if n.tl != nil && at2 != at {
+		n.tl.Instant(obs.PidMesh, srcRouter, "fault.delay", int64(now))
+	}
+	return at2
+}
+
 // Send routes m from m.Src to m.Dst, reserving link bandwidth, and
 // schedules delivery. It panics on unknown endpoints (a wiring bug).
 func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
@@ -200,23 +287,29 @@ func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
 	} else {
 		n.FlitsByClass[0].Add(int64(flits))
 	}
+	var fid uint64
+	if n.tl != nil {
+		n.flowSeq++
+		fid = n.flowSeq
+		n.tl.FlowStart(fid, obs.PidMesh, src.router, m.Type.String(), int64(now))
+	}
 
 	if src.router == dst.router {
 		// Co-located endpoints: one cycle of crossbar delay, no
 		// link traffic.
 		at := now + n.cfg.LocalDelay
 		if n.delayHook != nil {
-			at = n.delayHook(now, at, m.Src, m.Dst)
+			at = n.applyDelay(n.delayHook, now, at, m, src.router)
 		}
-		n.schedule(now, at, m, dst.ep)
+		n.schedule(now, at, m, dst.ep, fid)
 		return
 	}
 
 	at := n.walkLinks(now, m.Type.Flits(), src.router, dst.router)
 	if n.delayHook != nil {
-		at = n.delayHook(now, at, m.Src, m.Dst)
+		at = n.applyDelay(n.delayHook, now, at, m, src.router)
 	}
-	n.schedule(now, at, m, dst.ep)
+	n.schedule(now, at, m, dst.ep, fid)
 }
 
 // walkLinks routes flits from router src to router dst at cycle now,
@@ -241,6 +334,9 @@ func (n *Network) walkLinks(now sim.Cycle, flits, src, dst int) sim.Cycle {
 		// The link is occupied while the message's flits stream
 		// across it.
 		n.linkBusy[d][r] = depart + sim.Cycle(flits) - n.linkBase
+		if n.metricsOn {
+			n.occ[d][r] += int64(flits)
+		}
 		t = depart + n.cfg.LinkLatency
 		r = next
 		hops++
@@ -292,7 +388,7 @@ func (n *Network) xyStep(r, dst int) (dir, next int) {
 // scan-all engine.
 func (n *Network) BindWaker(w sim.Waker) { n.waker = w }
 
-func (n *Network) schedule(now, at sim.Cycle, m *coherence.Msg, ep Endpoint) {
+func (n *Network) schedule(now, at sim.Cycle, m *coherence.Msg, ep Endpoint, fid uint64) {
 	// The ring's base advances only on pop; on a long-idle network it may
 	// be arbitrarily stale (the wake-set engine never ticks an empty
 	// network), which would push near-future deliveries into the overflow
@@ -300,8 +396,11 @@ func (n *Network) schedule(now, at sim.Cycle, m *coherence.Msg, ep Endpoint) {
 	if n.q.pending == 0 && now > n.q.base {
 		n.q.base = now
 	}
-	n.q.schedule(delivery{at: at, key: dkey{seq: n.seq}, msg: m, dst: ep})
+	n.q.schedule(delivery{at: at, key: dkey{seq: n.seq}, msg: m, dst: ep, fid: fid})
 	n.seq++
+	if n.metricsOn && n.q.pending > n.qMax {
+		n.qMax = n.q.pending
+	}
 	n.waker.WakeAt(at)
 }
 
@@ -318,6 +417,12 @@ func (n *Network) Tick(now sim.Cycle) {
 	for i := range due {
 		if TraceAll {
 			TraceLog = append(TraceLog, fmt.Sprintf("cyc=%d DELIVER(seq=%d) %s", now, due[i].key.seq, due[i].msg))
+		}
+		if due[i].fid != 0 {
+			// Flow arrival must be emitted before Deliver: the endpoint
+			// may consume and recycle the message.
+			m := due[i].msg
+			n.tl.FlowEnd(due[i].fid, obs.PidMesh, n.nodes[m.Dst].router, m.Type.String(), int64(now))
 		}
 		due[i].dst.Deliver(now, due[i].msg)
 	}

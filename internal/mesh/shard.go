@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/coherence"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -45,6 +46,12 @@ type netShard struct {
 	msgsSent     stats.Counter
 	flitsSent    stats.Counter
 	flitsByClass [2]stats.Counter
+
+	// Observability (zero when disabled): the shard queue's high-water
+	// mark and the shard-local flow counter. Shard s numbers its flows
+	// in the (s+1)<<48 namespace so ids never collide across domains.
+	qMax    int
+	flowSeq uint64
 }
 
 // outSend is a cross-router send awaiting its barrier replay.
@@ -52,6 +59,7 @@ type outSend struct {
 	key dkey
 	now sim.Cycle // send cycle (the replayed link walk's "now")
 	m   *coherence.Msg
+	fid uint64 // timeline flow id (0 when no timeline is armed)
 }
 
 // SetShards switches the network into sharded-delivery mode. Call after
@@ -135,22 +143,28 @@ func (n *Network) sendSharded(now sim.Cycle, m *coherence.Msg, src, dst *attachm
 	}
 	key := dkey{cyc: now, pos: int32(n.plan.DispatchPos(s)), seq: sh.seq}
 	sh.seq++
+	var fid uint64
+	if n.tl != nil {
+		sh.flowSeq++
+		fid = uint64(sh.id+1)<<48 | sh.flowSeq
+		n.tl.FlowStart(fid, obs.PidMesh, src.router, m.Type.String(), int64(now))
+	}
 
 	if src.router == dst.router {
 		// Co-located endpoints stay entirely inside the shard: no link
 		// state is touched and the sender's own domain delivers.
 		at := now + n.cfg.LocalDelay
 		if sh.delayHook != nil {
-			at = sh.delayHook(now, at, m.Src, m.Dst)
+			at = n.applyDelay(sh.delayHook, now, at, m, src.router)
 		}
-		sh.schedule(now, delivery{at: at, key: key, msg: m, dst: dst.ep})
+		sh.schedule(now, delivery{at: at, key: key, msg: m, dst: dst.ep, fid: fid})
 		return
 	}
 	// Cross-router sends reserve global link state, which has zero
 	// lookahead (reservations take effect at the send cycle), so the
 	// walk is deferred to the barrier and replayed there in key order —
 	// reproducing the serial engine's reservation sequence exactly.
-	sh.outbox = append(sh.outbox, outSend{key: key, now: now, m: m})
+	sh.outbox = append(sh.outbox, outSend{key: key, now: now, m: m, fid: fid})
 }
 
 // schedule inserts a delivery into this shard's queue and self-wakes at
@@ -165,6 +179,9 @@ func (sh *netShard) schedule(floor sim.Cycle, d delivery) {
 		sh.q.base = floor
 	}
 	sh.q.schedule(d)
+	if sh.n.metricsOn && sh.q.pending > sh.qMax {
+		sh.qMax = sh.q.pending
+	}
 	sh.waker.WakeAt(d.at)
 }
 
@@ -210,10 +227,10 @@ func (n *Network) MergeEpoch(windowEnd sim.Cycle) []bool {
 		src, dst := n.nodes[m.Src], n.nodes[m.Dst]
 		at := n.walkLinks(os.now, m.Type.Flits(), src.router, dst.router)
 		if n.mergeDelay != nil {
-			at = n.mergeDelay(os.now, at, m.Src, m.Dst)
+			at = n.applyDelay(n.mergeDelay, os.now, at, m, src.router)
 		}
 		ds := n.plan.ShardOfRouter[dst.router]
-		n.shards[ds].schedule(windowEnd-1, delivery{at: at, key: os.key, msg: m, dst: dst.ep})
+		n.shards[ds].schedule(windowEnd-1, delivery{at: at, key: os.key, msg: m, dst: dst.ep, fid: os.fid})
 		touched[ds] = true
 		*os = outSend{}
 	}
@@ -236,6 +253,12 @@ func (sh *netShard) Tick(now sim.Cycle) {
 	due := sh.q.pop(now, sh.scratch)
 	sh.scratch = due[:0]
 	for i := range due {
+		if due[i].fid != 0 {
+			// Emit the arrival before Deliver: the endpoint may consume
+			// and recycle the message.
+			m := due[i].msg
+			sh.n.tl.FlowEnd(due[i].fid, obs.PidMesh, sh.n.nodes[m.Dst].router, m.Type.String(), int64(now))
+		}
 		due[i].dst.Deliver(now, due[i].msg)
 	}
 }

@@ -28,6 +28,7 @@ type readTx struct {
 	addr     uint64 // block address
 	wordAddr uint64
 	cb       func(uint64)
+	issued   sim.Cycle
 	squashed bool
 }
 
@@ -68,9 +69,11 @@ type L1 struct {
 
 	// Optional hooks, nil in nominal runs (see coherence hooks doc):
 	// evictFault forces the eviction path on a valid-line access,
-	// transSink reports line-state transitions to the legality oracle.
+	// transSink reports line-state transitions to the legality oracle,
+	// missSink reports per-miss issue-to-completion latency.
 	evictFault func() bool
 	transSink  func(addr uint64, from, to int)
+	missSink   func(read bool, cycles sim.Cycle)
 
 	Stats coherence.L1Stats
 }
@@ -80,6 +83,9 @@ func (l *L1) SetEvictFault(f func() bool) { l.evictFault = f }
 
 // SetTransitionSink implements coherence.TransitionReporter.
 func (l *L1) SetTransitionSink(f func(addr uint64, from, to int)) { l.transSink = f }
+
+// SetMissLatencySink implements coherence.MissLatencyReporter.
+func (l *L1) SetMissLatencySink(f func(read bool, cycles sim.Cycle)) { l.missSink = f }
 
 // trans reports a line-state transition to the legality oracle;
 // self-loops are dropped here so call sites stay simple.
@@ -207,7 +213,7 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 		}
 	}
 	l.Stats.ReadMissInvalid.Inc()
-	l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb}
+	l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb, issued: now}
 	l.rd = &l.rdBuf
 	l.send(now, coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
 	return true
@@ -381,6 +387,9 @@ func (l *L1) completeWrite(now sim.Cycle, data []byte) {
 	} else {
 		memsys.PutWord(w.Data, tx.wordAddr, tx.val)
 	}
+	if l.missSink != nil {
+		l.missSink(false, now-tx.issued)
+	}
 	l.wr = nil
 	if tx.isRMW {
 		tx.rmwCb(old)
@@ -402,6 +411,9 @@ func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 		w, from := l.install(now, m.Addr, m.Data)
 		l.trans(m.Addr, from, state)
 		w.Meta.state = state
+	}
+	if l.missSink != nil {
+		l.missSink(true, now-tx.issued)
 	}
 	l.rd = nil
 	tx.cb(val)

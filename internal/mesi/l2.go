@@ -6,6 +6,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/memsys"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // L2 directory line states (invalid way = not present).
@@ -77,8 +78,33 @@ func (t *L2) ArmTxAudit(maxAge sim.Cycle, report func(string)) { t.txs.ArmAudit(
 // TxDebug implements coherence.TxDebugger.
 func (t *L2) TxDebug() string { return fmt.Sprintf("mesi L2 tile %d:%s", t.tile, t.txs.Debug()) }
 
+// SetTxObs implements coherence.TxObserver.
+func (t *L2) SetTxObs(lat func(cycles sim.Cycle), span func(begin bool, now sim.Cycle, addr uint64, kind int)) {
+	t.txs.SetObsSinks(lat, span)
+}
+
+var txKindNames = [...]string{
+	txMemFetch: "mem-fetch",
+	txAwaitAck: "await-ack",
+	txFwdGetS:  "fwd-gets",
+	txFwdGetX:  "fwd-getx",
+	txInvColl:  "inv-collect",
+	txEvict:    "evict",
+}
+
+// TxKindName implements coherence.TxKindNamer.
+func (t *L2) TxKindName(kind int) string {
+	if kind > 0 && kind < len(txKindNames) {
+		return txKindNames[kind]
+	}
+	return fmt.Sprintf("kind-%d", kind)
+}
+
 // TxLive reports registered-but-unretired transactions (leak check).
 func (t *L2) TxLive() int64 { return t.txs.LiveTx() }
+
+// ObsCounters implements coherence.ObsCounterProvider.
+func (t *L2) ObsCounters() []*stats.Counter { return t.txs.Counters() }
 
 // NewL2 builds directory tile `tile`.
 func NewL2(tile, cores int, sizeBytes, ways int, accessLat sim.Cycle, net coherence.Network, mem coherence.Memory) *L2 {

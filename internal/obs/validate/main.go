@@ -1,0 +1,120 @@
+// Command validate checks that a -timeline dump is a well-formed
+// Chrome trace-event document: it parses, every async begin has a
+// matching end with the same (cat, id) at a timestamp no earlier than
+// the begin, no flow finish precedes its start, and every duration
+// span has positive length. `make obs-smoke` runs it over the files
+// the CLIs emit; it is a build-time tool, not part of the simulator.
+//
+// With -metrics it instead checks registry dumps: valid JSON carrying
+// non-empty counter and histogram sections.
+//
+// Usage: go run ./internal/obs/validate [-metrics] file.json...
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	metrics := flag.Bool("metrics", false, "validate metrics-registry dumps instead of timelines")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: validate [-metrics] file.json...")
+		os.Exit(2)
+	}
+	check := validate
+	if *metrics {
+		check = validateMetrics
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("ok   %s\n", path)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func validateMetrics(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var d struct {
+		Counters   map[string]int64           `json:"counters"`
+		Gauges     map[string]int64           `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if len(d.Counters) == 0 {
+		return fmt.Errorf("no counter series (registry never installed?)")
+	}
+	if len(d.Histograms) == 0 {
+		return fmt.Errorf("no histogram series (registry never installed?)")
+	}
+	return nil
+}
+
+func validate(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc obs.Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("no trace events")
+	}
+	type key struct{ cat, id string }
+	open := map[key][]int64{}
+	flows := map[key]int{}
+	for _, e := range doc.TraceEvents {
+		k := key{e.Cat, e.ID}
+		switch e.Ph {
+		case "b":
+			open[k] = append(open[k], e.Ts)
+		case "e":
+			st := open[k]
+			if len(st) == 0 {
+				return fmt.Errorf("async end without begin: cat=%q id=%q ts=%d", e.Cat, e.ID, e.Ts)
+			}
+			if begin := st[len(st)-1]; e.Ts < begin {
+				return fmt.Errorf("async end before its begin: cat=%q id=%q begin=%d end=%d",
+					e.Cat, e.ID, begin, e.Ts)
+			}
+			open[k] = st[:len(st)-1]
+		case "s":
+			flows[k]++
+		case "f":
+			flows[k]--
+			if flows[k] < 0 {
+				return fmt.Errorf("flow finish without start: cat=%q id=%q ts=%d", e.Cat, e.ID, e.Ts)
+			}
+		case "X":
+			if e.Dur <= 0 {
+				return fmt.Errorf("duration span with dur=%d at ts=%d (%s)", e.Dur, e.Ts, e.Name)
+			}
+		}
+	}
+	for k, st := range open {
+		if len(st) > 0 {
+			return fmt.Errorf("unclosed async span: cat=%q id=%q (%d open; missing Flush?)",
+				k.cat, k.id, len(st))
+		}
+	}
+	return nil
+}

@@ -3,8 +3,13 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // ShardedEngine runs the wake-set scheduler in parallel across shards:
@@ -40,6 +45,16 @@ type ShardedEngine struct {
 	started   bool
 	start     barrier
 	finish    barrier
+
+	// Observability (internal/obs). barrierNs, when armed, accumulates
+	// each shard goroutine's host time spent waiting at the two epoch
+	// barriers (written only by that shard's goroutine, read after the
+	// run); tl receives epoch and per-shard barrier-wait spans from the
+	// coordinator between epochs; profLabels tags each shard goroutine
+	// with a pprof label.
+	barrierNs  []int64
+	tl         *obs.Timeline
+	profLabels bool
 }
 
 // NewShardedEngine builds a sharded engine with the given shard count,
@@ -117,6 +132,67 @@ func (se *ShardedEngine) RegisterDoner(shard int, d Doner) {
 // merge key.
 func (se *ShardedEngine) DispatchPos(shard int) int {
 	return se.canon[shard][se.shards[shard].DispatchIndex()]
+}
+
+// Shard exposes one shard's private engine for observability wiring
+// (per-shard dispatch histograms); the caller must not touch it while
+// a run is in flight.
+func (se *ShardedEngine) Shard(i int) *Engine { return se.shards[i] }
+
+// EnableBarrierClock arms per-shard host-time accounting of epoch
+// barrier waits; read the totals with BarrierWaitNs after the run.
+// Host time is never part of a Result, so the clock cannot perturb
+// simulation state.
+func (se *ShardedEngine) EnableBarrierClock() {
+	se.barrierNs = make([]int64, len(se.shards))
+}
+
+// BarrierWaitNs reports the host nanoseconds shard i spent waiting at
+// epoch barriers (0 when the clock was never armed).
+func (se *ShardedEngine) BarrierWaitNs(i int) int64 {
+	if se.barrierNs == nil {
+		return 0
+	}
+	return se.barrierNs[i]
+}
+
+// SetTimeline installs a timeline sink: every shard engine emits its
+// component tick spans on process = shard id with canonical-serial
+// thread ids, and the coordinator emits epoch spans plus per-shard
+// barrier-wait spans (the simulated-time tail of each window after the
+// shard's last dispatch — the lopsided-shard signature) on
+// obs.PidEngine. Call after registration.
+func (se *ShardedEngine) SetTimeline(tl *obs.Timeline) {
+	se.tl = tl
+	tl.ProcessName(obs.PidEngine, "engine epochs")
+	tl.ThreadName(obs.PidEngine, 0, "epoch window")
+	for s, sh := range se.shards {
+		tl.ProcessName(s, "shard "+strconv.Itoa(s))
+		tl.ThreadName(obs.PidEngine, 1+s, "shard "+strconv.Itoa(s)+" barrier wait")
+		sh.SetTimeline(tl, s, se.canon[s])
+	}
+}
+
+// EnableProfileLabels arms pprof labeling: each shard goroutine is
+// labeled shard=<i> and every component tick switches to its
+// per-component label context (Engine.EnableProfileLabels).
+func (se *ShardedEngine) EnableProfileLabels() {
+	se.profLabels = true
+	for s, sh := range se.shards {
+		sh.EnableProfileLabels(strconv.Itoa(s))
+	}
+}
+
+// await waits at b, accounting the wait to shard i's barrier clock
+// when armed.
+func (se *ShardedEngine) await(b *barrier, i int) {
+	if se.barrierNs == nil {
+		b.await()
+		return
+	}
+	t0 := time.Now()
+	b.await()
+	se.barrierNs[i] += time.Since(t0).Nanoseconds()
 }
 
 // MarkShardActive clears a shard's quiescence episode (see
@@ -238,7 +314,22 @@ func (se *ShardedEngine) Run() (Cycle, error) {
 		se.windowEnd = end
 		se.start.await()
 		se.shards[0].RunWindow(end)
-		se.finish.await()
+		se.await(&se.finish, 0)
+		if se.tl != nil {
+			// Between the finish barrier and the merge every shard is
+			// parked, so reading shard state here is safe. Each shard's
+			// barrier-wait span covers the simulated tail of the window
+			// after its last dispatch — a lopsided shard shows as one
+			// short-wait track among long-wait ones.
+			se.tl.Span(obs.PidEngine, 0, "epoch", int64(next), int64(end))
+			for s, sh := range se.shards {
+				last := sh.Now()
+				if last < next-1 {
+					last = next - 1
+				}
+				se.tl.Span(obs.PidEngine, 1+s, "barrier_wait", int64(last)+1, int64(end))
+			}
+		}
 		if se.merge != nil {
 			se.merge(end)
 		}
@@ -247,13 +338,17 @@ func (se *ShardedEngine) Run() (Cycle, error) {
 
 // worker is the epoch loop of one non-coordinator shard.
 func (se *ShardedEngine) worker(i int) {
+	if se.profLabels {
+		pprof.SetGoroutineLabels(pprof.WithLabels(se.shards[i].baseCtx,
+			pprof.Labels("shard", strconv.Itoa(i))))
+	}
 	for {
-		se.start.await()
+		se.await(&se.start, i)
 		if se.stopped {
 			return
 		}
 		se.shards[i].RunWindow(se.windowEnd)
-		se.finish.await()
+		se.await(&se.finish, i)
 	}
 }
 

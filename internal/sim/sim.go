@@ -28,10 +28,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime/pprof"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Cycle is a point in simulated time, measured in core clock cycles.
@@ -145,6 +149,21 @@ type Engine struct {
 	// IdleSkipped counts cycles the wake-set mode never simulated
 	// (throughput diagnostics; not part of any Result).
 	IdleSkipped int64
+
+	// Observability hooks (internal/obs). All nil/false by default;
+	// they observe dispatch without influencing it, and the wake-set
+	// loop pays one predictable branch per hook when disabled.
+	// dispatchHist records how many components each wake-set dispatch
+	// ticked; tl receives per-component tick spans (tlTid maps a
+	// registration index to its timeline thread id — canonical serial
+	// index on sharded engines — nil meaning identity); labelCtx holds
+	// prebuilt pprof label contexts applied around each component tick.
+	dispatchHist *obs.Hist
+	tl           *obs.Timeline
+	tlPid        int
+	tlTid        []int
+	labelCtx     []context.Context
+	baseCtx      context.Context
 }
 
 // ErrCycleLimit is returned by Run when the cycle limit is reached
@@ -250,6 +269,56 @@ func (e *Engine) Register(t Ticker) {
 	}
 	if ws, ok := t.(WakeSink); ok {
 		ws.BindWaker(Waker{e: e, id: id})
+	}
+}
+
+// componentLabel names a registered component for observability
+// (timeline thread names, pprof labels).
+func (e *Engine) componentLabel(i int) string {
+	if lb, ok := e.tickers[i].(Labeled); ok {
+		return lb.ComponentLabel()
+	}
+	return fmt.Sprintf("component %d", i)
+}
+
+// SetDispatchHist installs a histogram observing the number of
+// components ticked per wake-set dispatch (the wake-set occupancy
+// series). Call after registration, before Run.
+func (e *Engine) SetDispatchHist(h *obs.Hist) { e.dispatchHist = h }
+
+// SetTimeline installs a timeline sink for per-component tick spans on
+// process pid. tids maps registration index to timeline thread id (nil
+// = identity; the ShardedEngine passes canonical serial indices).
+// Thread-name metadata for every registered component is emitted
+// immediately, so call after registration. Tick spans are produced by
+// wake-set dispatch only — the per-cycle conformance mode ticks every
+// component every cycle, which is exactly the information-free case.
+func (e *Engine) SetTimeline(tl *obs.Timeline, pid int, tids []int) {
+	e.tl, e.tlPid, e.tlTid = tl, pid, tids
+	for i := range e.tickers {
+		tl.ThreadName(pid, e.timelineTid(i), e.componentLabel(i))
+	}
+}
+
+func (e *Engine) timelineTid(i int) int {
+	if e.tlTid != nil {
+		return e.tlTid[i]
+	}
+	return i
+}
+
+// EnableProfileLabels precomputes a pprof label context per component
+// and applies it around each tick, so -cpuprofile samples attribute
+// host time to simulated components. Call after registration. The
+// labels only describe the host profile — they never touch simulated
+// state — but label switching has host-time cost, so it is opt-in
+// (config.Obs.ProfileLabels).
+func (e *Engine) EnableProfileLabels(shard string) {
+	e.baseCtx = context.Background()
+	e.labelCtx = make([]context.Context, len(e.tickers))
+	for i := range e.tickers {
+		e.labelCtx[i] = pprof.WithLabels(e.baseCtx,
+			pprof.Labels("shard", shard, "component", e.componentLabel(i)))
 	}
 }
 
@@ -382,6 +451,7 @@ func (e *Engine) dispatch() {
 	}
 	e.dispatching = true
 	e.pos = -1
+	ticked := 0
 	for w := 0; w < len(e.curMask); {
 		wordBits := e.curMask[w]
 		if wordBits == 0 {
@@ -399,7 +469,14 @@ func (e *Engine) dispatch() {
 		// receives) min into a clean slate, and the post-tick hint covers
 		// all remaining self-visible work.
 		e.dueAt[i] = WakeNever
+		if e.labelCtx != nil {
+			pprof.SetGoroutineLabels(e.labelCtx[i])
+		}
 		e.tickers[i].Tick(now)
+		ticked++
+		if e.tl != nil {
+			e.tl.Tick(e.tlPid, e.timelineTid(i), int64(now))
+		}
 		if h := e.hinters[i].NextWake(now); h < e.dueAt[i] {
 			if h <= now {
 				h = now + 1 // a hint at or before now means "tick me next cycle"
@@ -409,6 +486,12 @@ func (e *Engine) dispatch() {
 	}
 	e.dispatching = false
 	e.pos = len(e.tickers)
+	if e.labelCtx != nil {
+		pprof.SetGoroutineLabels(e.baseCtx)
+	}
+	if e.dispatchHist != nil {
+		e.dispatchHist.Observe(int64(ticked))
+	}
 }
 
 // Run advances the simulation until every Doner reports done, or the

@@ -19,6 +19,9 @@ type Counter struct {
 // label is diagnostic-only: unnamed counters behave identically.
 func (c *Counter) SetName(name string) { c.name = name }
 
+// Name reports the counter's label ("" if unnamed).
+func (c *Counter) Name() string { return c.name }
+
 // Inc adds one to the counter.
 func (c *Counter) Inc() { c.n++ }
 

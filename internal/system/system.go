@@ -383,6 +383,7 @@ func (m *Machine) CorePort(core int) coherence.CorePort { return m.portFor(core)
 func (m *Machine) finish() {
 	if m.SE != nil {
 		m.finishSharded()
+		m.installObs()
 		return
 	}
 	m.Engine.Register(m.Net)
@@ -396,6 +397,7 @@ func (m *Machine) finish() {
 		m.Engine.Register(c)
 	}
 	m.Engine.RegisterDoner(&quiesceDoner{cores: m.Fronts, l1s: m.L1s, l2s: m.L2s, net: m.Net})
+	m.installObs()
 }
 
 // finishSharded distributes the components across the sharded engine's

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/coherence"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -71,6 +72,13 @@ type ReplayCore struct {
 	Instructions stats.Counter
 	WBForwards   stats.Counter
 	FinishCycle  sim.Cycle
+
+	// Stall attribution (internal/obs), nil when disabled; the same
+	// interval-episode scheme as cpu.Core (recorded compute gaps are not
+	// stalls and are never attributed).
+	stalls     *obs.CoreStalls
+	stallWhy   obs.StallReason
+	stallStart sim.Cycle
 }
 
 type wbEntry struct {
@@ -131,6 +139,29 @@ func NewReplayCore(id int, ops []Op, port coherence.CorePort, wbEntries int) *Re
 // BindWaker implements sim.WakeSink (see the waker field).
 func (c *ReplayCore) BindWaker(w sim.Waker) { c.waker = w }
 
+// SetStalls attaches the stall-attribution histograms (see the stalls
+// field).
+func (c *ReplayCore) SetStalls(s *obs.CoreStalls) {
+	c.stalls = s
+	c.stallWhy = obs.StallNone
+}
+
+func (c *ReplayCore) stallOpen(now sim.Cycle, why obs.StallReason) {
+	if c.stalls == nil || c.stallWhy != obs.StallNone {
+		return
+	}
+	c.stallWhy = why
+	c.stallStart = now
+}
+
+func (c *ReplayCore) stallClose(now sim.Cycle) {
+	if c.stalls == nil || c.stallWhy == obs.StallNone {
+		return
+	}
+	c.stalls.Observe(c.stallWhy, int64(now-c.stallStart))
+	c.stallWhy = obs.StallNone
+}
+
 // Done reports whether the stream is exhausted and all writes drained.
 func (c *ReplayCore) Done() bool {
 	return c.halted && c.wbLen == 0 && !c.wbInFlight && !c.waiting
@@ -140,6 +171,12 @@ func (c *ReplayCore) Done() bool {
 func (c *ReplayCore) Counts() (loads, stores, rmws, fences, instrs int64) {
 	return c.Loads.Value(), c.Stores.Value(), c.RMWs.Value(),
 		c.Fences.Value(), c.Instructions.Value()
+}
+
+// ObsCounters implements coherence.ObsCounterProvider.
+func (c *ReplayCore) ObsCounters() []*stats.Counter {
+	return []*stats.Counter{&c.Loads, &c.Stores, &c.RMWs, &c.Fences,
+		&c.Instructions, &c.WBForwards}
 }
 
 // Tick advances the replay core one cycle. Structure mirrors
@@ -164,6 +201,9 @@ func (c *ReplayCore) Tick(now sim.Cycle) {
 	}
 	if now < c.readyAt {
 		return
+	}
+	if c.stalls != nil {
+		c.stallClose(now)
 	}
 	c.attempt(now)
 }
@@ -227,14 +267,17 @@ func (c *ReplayCore) doLoad(now sim.Cycle, op *Op) {
 		}
 	}
 	if !c.port.Load(now, op.Addr, c.loadCb) {
+		c.stallOpen(now, obs.StallPortBusy)
 		return // port busy; retry next tick
 	}
+	c.stallOpen(now, obs.StallMissOutstanding)
 	c.Loads.Inc()
 	c.finishAsync(op)
 }
 
 func (c *ReplayCore) doStore(now sim.Cycle, op *Op) {
 	if c.wbLen >= len(c.wb) {
+		c.stallOpen(now, obs.StallWBFull)
 		return // write buffer full; retry
 	}
 	c.wb[(c.wbHead+c.wbLen)%len(c.wb)] = wbEntry{addr: op.Addr, val: op.Val}
@@ -245,6 +288,7 @@ func (c *ReplayCore) doStore(now sim.Cycle, op *Op) {
 
 func (c *ReplayCore) doAtomic(now sim.Cycle, op *Op) {
 	if c.wbLen > 0 || c.wbInFlight {
+		c.stallOpen(now, obs.StallFenceDrain)
 		return // locked ops drain the write buffer first
 	}
 	var f func(old uint64) (uint64, bool)
@@ -259,19 +303,24 @@ func (c *ReplayCore) doAtomic(now sim.Cycle, op *Op) {
 		f = c.fCas
 	}
 	if !c.port.RMW(now, op.Addr, f, c.rmwCb) {
+		c.stallOpen(now, obs.StallPortBusy)
 		return
 	}
+	c.stallOpen(now, obs.StallMissOutstanding)
 	c.RMWs.Inc()
 	c.finishAsync(op)
 }
 
 func (c *ReplayCore) doFence(now sim.Cycle, op *Op) {
 	if c.wbLen > 0 || c.wbInFlight {
+		c.stallOpen(now, obs.StallFenceDrain)
 		return
 	}
 	if !c.port.Fence(now, c.fenceCb) {
+		c.stallOpen(now, obs.StallPortBusy)
 		return
 	}
+	c.stallOpen(now, obs.StallFenceDrain)
 	c.Fences.Inc()
 	c.finishAsync(op)
 }

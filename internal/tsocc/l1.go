@@ -28,6 +28,7 @@ type readTx struct {
 	addr     uint64
 	wordAddr uint64
 	cb       func(uint64)
+	issued   sim.Cycle
 	squashed bool
 }
 
@@ -96,10 +97,12 @@ type L1 struct {
 	// Optional hooks, nil in nominal runs (see coherence hooks doc):
 	// evictFault forces the eviction path on a valid-line access,
 	// resetFault forces an early timestamp rollover, transSink reports
-	// line-state transitions to the legality oracle.
+	// line-state transitions to the legality oracle, missSink reports
+	// per-miss issue-to-completion latency.
 	evictFault func() bool
 	resetFault func() bool
 	transSink  func(addr uint64, from, to int)
+	missSink   func(read bool, cycles sim.Cycle)
 
 	Stats coherence.L1Stats
 }
@@ -112,6 +115,9 @@ func (l *L1) SetResetFault(f func() bool) { l.resetFault = f }
 
 // SetTransitionSink implements coherence.TransitionReporter.
 func (l *L1) SetTransitionSink(f func(addr uint64, from, to int)) { l.transSink = f }
+
+// SetMissLatencySink implements coherence.MissLatencyReporter.
+func (l *L1) SetMissLatencySink(f func(read bool, cycles sim.Cycle)) { l.missSink = f }
 
 // trans reports a line-state transition to the legality oracle;
 // self-loops are dropped here so call sites stay simple.
@@ -336,7 +342,7 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 					return true
 				}
 				l.Stats.ReadMissShared.Inc()
-				l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb}
+				l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb, issued: now}
 				l.rd = &l.rdBuf
 				l.send(now, coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
 				return true
@@ -344,7 +350,7 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 		}
 	}
 	l.Stats.ReadMissInvalid.Inc()
-	l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb}
+	l.rdBuf = readTx{addr: blk, wordAddr: addr, cb: cb, issued: now}
 	l.rd = &l.rdBuf
 	l.send(now, coherence.Msg{Type: coherence.MsgGetS, Dst: l.home(addr), Addr: blk, Requestor: l.id}, nil)
 	return true
@@ -612,6 +618,9 @@ func (l *L1) completeWrite(now sim.Cycle, m *coherence.Msg) {
 	// writers and carrying the new write's timestamp, §3.2).
 	l.send(now, coherence.Msg{Type: coherence.MsgAck, Dst: l.home(tx.addr), Addr: tx.addr,
 		TS: ackTS, TSValid: wrote && l.cfg.Timestamps(), Epoch: l.epoch}, nil)
+	if l.missSink != nil {
+		l.missSink(false, now-tx.issued)
+	}
 	l.wr = nil
 	if tx.isRMW {
 		tx.rmwCb(old)
@@ -648,6 +657,9 @@ func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 		// exists from before: refresh it rather than leaving it stale.
 		copy(w.Data, m.Data)
 		w.Meta.acnt = 0
+	}
+	if l.missSink != nil {
+		l.missSink(true, now-tx.issued)
 	}
 	l.rd = nil
 	tx.cb(val)

@@ -101,8 +101,36 @@ func (t *L2) ArmTxAudit(maxAge sim.Cycle, report func(string)) { t.txs.ArmAudit(
 // TxDebug implements coherence.TxDebugger (forensic TxTable dumps).
 func (t *L2) TxDebug() string { return fmt.Sprintf("tsocc L2 tile %d:%s", t.tile, t.txs.Debug()) }
 
+// SetTxObs implements coherence.TxObserver.
+func (t *L2) SetTxObs(lat func(cycles sim.Cycle), span func(begin bool, now sim.Cycle, addr uint64, kind int)) {
+	t.txs.SetObsSinks(lat, span)
+}
+
+var txKindNames = [...]string{
+	txMemFetch: "mem-fetch",
+	txAwaitAck: "await-ack",
+	txFwdGetS:  "fwd-gets",
+	txFwdGetX:  "fwd-getx",
+	txSROInv:   "sro-inv",
+	txEvict:    "evict",
+}
+
+// TxKindName implements coherence.TxKindNamer.
+func (t *L2) TxKindName(kind int) string {
+	if kind > 0 && kind < len(txKindNames) {
+		return txKindNames[kind]
+	}
+	return fmt.Sprintf("kind-%d", kind)
+}
+
 // TxLive reports registered-but-unretired transactions (leak check).
 func (t *L2) TxLive() int64 { return t.txs.LiveTx() }
+
+// ObsCounters implements coherence.ObsCounterProvider.
+func (t *L2) ObsCounters() []*stats.Counter {
+	return append(t.txs.Counters(),
+		&t.SROTransitions, &t.SROInvBcasts, &t.DecayEvents, &t.TimestampResets)
+}
 
 // trans reports a directory-state transition to the legality oracle;
 // self-loops are dropped here so call sites stay simple.
