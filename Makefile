@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race race-parallel bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate fault-smoke oracle-sweep parallel-smoke obs-smoke ci
+.PHONY: all vet build test race race-parallel bench-smoke bench bench-json bench-gate perf fuzz-smoke trace-gate fault-smoke oracle-sweep parallel-smoke obs-smoke scale-smoke ci
 
 all: ci
 
@@ -41,14 +41,16 @@ perf:
 
 # Dated engine + hot-path throughput snapshot (per-cycle, event, and
 # batched-core numbers for the standard benches plus dense-compute,
-# with trace replay/codec throughput and host metadata per benchmark),
-# then a delta report against the latest committed snapshot and the
-# event>=per-cycle regression gate.
+# with trace replay/codec throughput and host metadata per benchmark,
+# plus the 8->256-core scaling curve), then a delta report against the
+# latest committed snapshot and the event>=per-cycle regression gate —
+# which also requires event >= per-cycle on every scaling point at
+# >= 64 cores.
 bench-json:
 	@set -e; tmp=$$(mktemp); trap 'rm -f $$tmp' EXIT; \
 	latest=$$(git ls-files 'BENCH_*.json' | sort | tail -1); \
 	out=BENCH_$$(date +%Y-%m-%d).json; \
-	$(GO) run ./cmd/tsocc-bench -perf -cores 8 > $$out; \
+	$(GO) run ./cmd/tsocc-bench -perf -cores 8 -scaling 8,64,128,256 > $$out; \
 	echo "wrote $$out"; \
 	if [ -n "$$latest" ]; then \
 	  git show HEAD:$$latest > $$tmp; \
@@ -147,4 +149,23 @@ obs-smoke:
 	$(GO) test -run 'TestTimeline|TestRegistry' ./internal/obs/; \
 	echo "obs smoke: timelines well-formed, metrics populated, on/off bit-identical"
 
-ci: vet build test race race-parallel bench-smoke bench-gate trace-gate fault-smoke oracle-sweep parallel-smoke obs-smoke
+# Scaling smoke (mirrors the CI scale job): the 64-core conformance
+# fingerprint — canneal and ssca2 end to end on an 8x8 mesh, crossed
+# over engine mode × batched core × shard count × checks × obs × faults
+# × trace replay (TestScale64*) — plus the per-link contention
+# properties (flit-hop conservation, HopDistance/XY agreement) at 64,
+# 128 and 256 tiles, and a race-detector leg over the contention path:
+# the mesh property tests plus one sharded real-workload conformance
+# cell, where the coordinator goroutine replays cross-tile sends into
+# the shared link-reservation table while shard goroutines tick. The
+# race cell stays at 4 cores — 64-core runs under -race cost tens of
+# minutes and race coverage depends on the code paths, not the
+# geometry. Bounded by design; the full scaling curve lives in
+# `tsocc-bench -perf -scaling`, not CI.
+scale-smoke:
+	$(GO) test -run 'TestScale64' .
+	$(GO) test -run 'TestFlitHopConservation|TestHopDistanceMatchesXYRoute|TestLinkEpochRebase' ./internal/mesh/
+	GOMAXPROCS=4 $(GO) test -race -run 'TestFlitHopConservation|TestLinkEpochRebase' ./internal/mesh/
+	GOMAXPROCS=4 $(GO) test -race -run 'TestParallelEngineBitIdentical/TSO-CC-4-12-3/canneal$$' .
+
+ci: vet build test race race-parallel bench-smoke bench-gate trace-gate fault-smoke oracle-sweep parallel-smoke obs-smoke scale-smoke

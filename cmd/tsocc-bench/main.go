@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,6 +47,7 @@ func main() {
 	traceIn := flag.String("trace-in", "", "replay this trace file (optionally under -proto) and exit")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	perf := flag.Bool("perf", false, "report simulator throughput (cycles/sec, ns/simcycle) as JSON and exit")
+	scaling := flag.String("scaling", "", "-perf only: comma-separated core counts for the scaling-curve leg (e.g. 8,64,128,256; empty = off)")
 	batched := flag.Bool("batched", true, "batched straight-line core execution (config.System.BatchedCore)")
 	shards := flag.Int("shards", 0, "engine shards (0 = auto from GOMAXPROCS, 1 = single-threaded)")
 	faultSpec := flag.String("faults", "", "fault-injection profile(s): jitter, pressure, burst, evict, reset-storm, victim; parameterized name:key=val and composed with + or , (empty = off)")
@@ -151,12 +153,21 @@ func main() {
 		if *benchList != "" {
 			benches = strings.Split(*benchList, ",")
 		}
+		scalingCores, err := parseScaling(*scaling)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if err := runPerf(*cores, *scale, *seed, *shards, benches, protos,
-			*faultSpec, *faultSeed, *checks, *pprofLabels); err != nil {
+			*faultSpec, *faultSeed, *checks, *pprofLabels, scalingCores); err != nil {
 			fmt.Fprintln(os.Stderr, "perf failed:", err)
 			os.Exit(1)
 		}
 		return
+	}
+	if *scaling != "" {
+		fmt.Fprintln(os.Stderr, "-scaling applies to -perf only")
+		os.Exit(1)
 	}
 
 	// Storage figures need no simulation.
@@ -336,13 +347,42 @@ var perfModes = []struct {
 	{perCycle: false, batched: true},
 }
 
+// parseScaling turns the -scaling flag value into a core-count list.
+func parseScaling(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var cores []int
+	for _, f := range strings.Split(spec, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || c <= 0 || c > config.MaxCores {
+			return nil, fmt.Errorf("-scaling: bad core count %q (want 1..%d)", f, config.MaxCores)
+		}
+		cores = append(cores, c)
+	}
+	return cores, nil
+}
+
 // runPerf measures simulated-cycles-per-second for each benchmark ×
 // protocol under every engine/core mode and prints one JSON array. With
 // no -proto selection it measures the paper's best realistic
 // configuration. The synthetic "dense-compute" ALU workload (the
 // batched-core acceptance case) is always appended to the selection.
 func runPerf(cores, scale int, seed uint64, shards int, benches []string, protos []system.Protocol,
-	faultSpec string, faultSeed uint64, checks bool, pprofLabels bool) error {
+	faultSpec string, faultSeed uint64, checks bool, pprofLabels bool, scalingCores []int) error {
+	// The scaling leg re-times real workloads at each requested machine
+	// size; the synthetic ALU benchmark would only measure the batched
+	// core, so it is excluded even when -bench selects it.
+	var scalingBenches []string
+	if len(benches) == 0 {
+		scalingBenches = []string{"canneal", "ssca2"}
+	} else {
+		for _, b := range benches {
+			if b != "dense-compute" {
+				scalingBenches = append(scalingBenches, b)
+			}
+		}
+	}
 	if len(benches) == 0 {
 		benches = []string{"canneal", "x264", "ssca2"}
 	}
@@ -396,6 +436,7 @@ func runPerf(cores, scale int, seed uint64, shards int, benches []string, protos
 					if err != nil {
 						return err
 					}
+					m.Prewarm()
 					t0 := time.Now()
 					cyc, err := m.Engine.Run()
 					if err != nil {
@@ -438,9 +479,105 @@ func runPerf(cores, scale int, seed uint64, shards int, benches []string, protos
 			out.Results = append(out.Results, rec)
 		}
 	}
+	for _, c := range scalingCores {
+		for _, bench := range scalingBenches {
+			e := workloads.ByName(bench)
+			if e == nil {
+				return fmt.Errorf("unknown benchmark %q", bench)
+			}
+			pt, err := measureScaling(c, scale, seed, shards, e.Gen, protos[0],
+				faultSpec, faultSeed, checks)
+			if err != nil {
+				return fmt.Errorf("scaling leg %s@%d cores: %w", bench, c, err)
+			}
+			pt.Benchmark = bench
+			out.Scaling = append(out.Scaling, pt)
+		}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// measureScaling times one benchmark × protocol cell at an arbitrary
+// machine size (the Large preset: Table 2 per-tile shape, auto mesh)
+// under the per-cycle and batched-event engines, plus the sharded
+// engine when more than one shard is in play. Two reps best-of per
+// engine: the curve spans up to 256 cores, so the leg trades a little
+// timing stability for a bounded total run.
+func measureScaling(cores, scale int, seed uint64, shards int, gen workloads.Generator,
+	proto system.Protocol, faultSpec string, faultSeed uint64, checks bool) (benchfmt.ScalingPoint, error) {
+	pt := benchfmt.ScalingPoint{Protocol: proto.Name(), Cores: cores}
+	p := workloads.Params{Threads: cores, Scale: scale, Seed: seed}
+	for _, perCycle := range []bool{true, false} {
+		cfg := config.Large(cores)
+		cfg.PerCycleEngine = perCycle
+		cfg.BatchedCore = !perCycle
+		cfg.FaultProfile = faultSpec
+		cfg.FaultSeed = faultSeed
+		cfg.Checks = checks
+		best := time.Duration(0)
+		var cycles int64
+		for rep := 0; rep < 2; rep++ {
+			m, err := system.NewMachine(cfg, proto, gen(p))
+			if err != nil {
+				return pt, err
+			}
+			m.Prewarm()
+			t0 := time.Now()
+			cyc, err := m.Engine.Run()
+			if err != nil {
+				return pt, err
+			}
+			if d := time.Since(t0); best == 0 || d < best {
+				best = d
+			}
+			cycles = int64(cyc)
+		}
+		ns := float64(best.Nanoseconds()) / float64(cycles)
+		if perCycle {
+			pt.WallNsPerCycle = ns
+		} else {
+			pt.WallNsEvent = ns
+			pt.SimCycles = cycles
+		}
+	}
+	if pt.WallNsEvent > 0 {
+		pt.Speedup = pt.WallNsPerCycle / pt.WallNsEvent
+	}
+	if shards > cores {
+		shards = cores
+	}
+	if shards <= 1 || checks {
+		return pt, nil
+	}
+	cfg := config.Large(cores)
+	cfg.BatchedCore = true
+	cfg.FaultProfile = faultSpec
+	cfg.FaultSeed = faultSeed
+	cfg.Shards = shards
+	best := time.Duration(0)
+	var cycles int64
+	for rep := 0; rep < 2; rep++ {
+		m, err := system.NewMachine(cfg, proto, gen(p))
+		if err != nil {
+			return pt, err
+		}
+		m.Prewarm()
+		t0 := time.Now()
+		cyc, err := m.SE.Run()
+		if err != nil {
+			return pt, err
+		}
+		if d := time.Since(t0); best == 0 || d < best {
+			best = d
+		}
+		cycles = int64(cyc)
+	}
+	pt.Shards = shards
+	pt.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	pt.WallNsParallel = float64(best.Nanoseconds()) / float64(cycles)
+	return pt, nil
 }
 
 // measureParallel fills a record's sharded-engine fields: the batched
@@ -472,6 +609,7 @@ func measureParallel(rec *benchfmt.Record, cores, shards int, proto system.Proto
 		if err != nil {
 			return err
 		}
+		m.Prewarm()
 		t0 := time.Now()
 		cyc, err := m.SE.Run()
 		if err != nil {

@@ -12,7 +12,11 @@
 // event_vs_percycle_speedup < 1.0 — the event engine must never be
 // slower than the per-cycle conformance ticker on any measured
 // workload — or if the snapshot contains no measurements at all (a
-// vacuously green gate is a disarmed gate). Records whose parallel leg
+// vacuously green gate is a disarmed gate). The same parity bound
+// applies to every scaling-curve point at >= 64 cores: scale is where
+// the wake-set engine pays for itself, so losing to the per-cycle
+// ticker on a large machine is a regression even if the 32-core
+// records stay green. Records whose parallel leg
 // ran at >= 4 shards with GOMAXPROCS >= 4 must additionally show
 // parallel_vs_serial_speedup >= 1.0: with enough CPUs behind it the
 // sharded engine must never lose to the single-threaded one. Records
@@ -105,6 +109,49 @@ func renderDiff(w io.Writer, prev, cur *benchfmt.Snapshot) {
 			obsDeltaStr(o.TxLatencyMean, r.TxLatencyMean),
 			obsDeltaStr(float64(o.StallCycles), float64(r.StallCycles)))
 	}
+	if len(cur.Scaling) > 0 {
+		renderScaling(w, prev, cur)
+	}
+}
+
+// renderScaling writes the scaling-curve comparison: host-ns per
+// simulated cycle against core count, per engine. Points are keyed by
+// benchmark/protocol@cores; an old snapshot without the series (or
+// without a given point) renders the new numbers alone.
+func renderScaling(w io.Writer, prev, cur *benchfmt.Snapshot) {
+	key := func(p benchfmt.ScalingPoint) string {
+		return fmt.Sprintf("%s/%s@%d", p.Benchmark, p.Protocol, p.Cores)
+	}
+	byKey := map[string]benchfmt.ScalingPoint{}
+	for _, p := range prev.Scaling {
+		byKey[key(p)] = p
+	}
+	fmt.Fprintf(w, "\nscaling curve (host ns / sim cycle)\n")
+	fmt.Fprintf(w, "%-34s %26s %26s %22s\n", "benchmark/protocol@cores",
+		"percycle", "event", "sharded")
+	for _, p := range cur.Scaling {
+		o, ok := byKey[key(p)]
+		if !ok {
+			fmt.Fprintf(w, "%-34s %26s %26s %22s  (new)\n", key(p),
+				fmt.Sprintf("%.1f", p.WallNsPerCycle),
+				fmt.Sprintf("%.1f", p.WallNsEvent),
+				shardedStr(p))
+			continue
+		}
+		fmt.Fprintf(w, "%-34s %26s %26s %22s\n", key(p),
+			deltaStr(o.WallNsPerCycle, p.WallNsPerCycle),
+			deltaStr(o.WallNsEvent, p.WallNsEvent),
+			obsDeltaStr(o.WallNsParallel, p.WallNsParallel))
+	}
+}
+
+// shardedStr renders a new point's sharded column ("-" when the leg
+// did not run).
+func shardedStr(p benchfmt.ScalingPoint) string {
+	if p.WallNsParallel == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f (x%d)", p.WallNsParallel, p.Shards)
 }
 
 // runGate applies the regression gate to cur, reporting failures to
@@ -132,12 +179,28 @@ func runGate(w, errw io.Writer, cur *benchfmt.Snapshot, path string) bool {
 			}
 		}
 	}
+	scaleGated := 0
+	for _, p := range cur.Scaling {
+		if p.Cores < 64 {
+			continue
+		}
+		scaleGated++
+		if p.Speedup < 1.0 {
+			fmt.Fprintf(errw,
+				"GATE FAIL: scaling %s/%s@%d cores event_vs_percycle_speedup = %.3f < 1.0\n",
+				p.Benchmark, p.Protocol, p.Cores, p.Speedup)
+			ok = false
+		}
+	}
 	if !ok {
 		return false
 	}
 	fmt.Fprintf(w, "gate ok: event engine >= per-cycle on all %d benchmarks\n", len(cur.Results))
 	if gated > 0 {
 		fmt.Fprintf(w, "gate ok: sharded engine >= serial on all %d parallel-timed benchmarks\n", gated)
+	}
+	if scaleGated > 0 {
+		fmt.Fprintf(w, "gate ok: event engine >= per-cycle on all %d scaling points at >= 64 cores\n", scaleGated)
 	}
 	return true
 }

@@ -79,3 +79,68 @@ func TestGateIgnoresObsSeries(t *testing.T) {
 		t.Fatalf("gate failed on a healthy pre-obs snapshot: %s", errs.String())
 	}
 }
+
+func scalingPoint(cores int, speedup float64) benchfmt.ScalingPoint {
+	return benchfmt.ScalingPoint{
+		Benchmark:      "canneal",
+		Protocol:       "TSO-CC-4-12-3",
+		Cores:          cores,
+		SimCycles:      100000,
+		WallNsPerCycle: 1000 * speedup,
+		WallNsEvent:    1000,
+		Speedup:        speedup,
+	}
+}
+
+// TestGateScalingParity: a scaling point at >= 64 cores where the event
+// engine loses to the per-cycle ticker fails the gate; small-machine
+// points are informational only.
+func TestGateScalingParity(t *testing.T) {
+	cur := &benchfmt.Snapshot{
+		Results: []benchfmt.Record{oldRecord()},
+		Scaling: []benchfmt.ScalingPoint{scalingPoint(8, 0.5), scalingPoint(64, 1.3)},
+	}
+	var out, errs strings.Builder
+	if !runGate(&out, &errs, cur, "x.json") {
+		t.Fatalf("gate failed on a healthy scaling curve: %s", errs.String())
+	}
+	if !strings.Contains(out.String(), "scaling points at >= 64 cores") {
+		t.Errorf("gate did not report the scaling parity check:\n%s", out.String())
+	}
+
+	cur.Scaling = append(cur.Scaling, scalingPoint(128, 0.9))
+	out.Reset()
+	errs.Reset()
+	if runGate(&out, &errs, cur, "x.json") {
+		t.Fatal("gate passed a 128-core point with event engine slower than per-cycle")
+	}
+	if !strings.Contains(errs.String(), "scaling canneal/TSO-CC-4-12-3@128") {
+		t.Errorf("gate failure did not name the offending scaling point:\n%s", errs.String())
+	}
+}
+
+// TestDiffRendersScalingCurve: the scaling series renders against an
+// old snapshot that predates it (points marked new) and against one
+// that carries it (deltas).
+func TestDiffRendersScalingCurve(t *testing.T) {
+	prev := &benchfmt.Snapshot{Results: []benchfmt.Record{oldRecord()}}
+	cur := &benchfmt.Snapshot{
+		Results: []benchfmt.Record{newRecord()},
+		Scaling: []benchfmt.ScalingPoint{scalingPoint(64, 1.5)},
+	}
+	var b strings.Builder
+	renderDiff(&b, prev, cur)
+	if !strings.Contains(b.String(), "canneal/TSO-CC-4-12-3@64") {
+		t.Fatalf("scaling point missing from diff:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "(new)") {
+		t.Errorf("scaling point against a pre-scaling snapshot should render (new):\n%s", b.String())
+	}
+
+	prev.Scaling = []benchfmt.ScalingPoint{scalingPoint(64, 1.2)}
+	b.Reset()
+	renderDiff(&b, prev, cur)
+	if !strings.Contains(b.String(), "1200.0 -> 1500.0") {
+		t.Errorf("scaling deltas not rendered:\n%s", b.String())
+	}
+}

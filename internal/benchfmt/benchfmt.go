@@ -75,11 +75,32 @@ type Record struct {
 	StallCycles       int64   `json:"stall_cycles_total,omitempty"`
 }
 
+// ScalingPoint is one sample of the scaling-curve leg: a benchmark ×
+// protocol cell re-measured at a given core count (the Large presets'
+// Table 2 per-tile shape). The curve answers "how does host-ns per
+// simulated cycle grow with machine size" — flat is the goal — so the
+// essential fields are Cores and the per-engine wall numbers; the
+// sharded column is present only when the leg ran with >1 shard.
+type ScalingPoint struct {
+	Benchmark      string  `json:"benchmark"`
+	Protocol       string  `json:"protocol"`
+	Cores          int     `json:"cores"`
+	SimCycles      int64   `json:"sim_cycles"`
+	WallNsPerCycle float64 `json:"wall_ns_percycle_engine"`
+	WallNsEvent    float64 `json:"wall_ns_event_engine"`
+	Speedup        float64 `json:"event_vs_percycle_speedup"`
+	Shards         int     `json:"shards,omitempty"`
+	GOMAXPROCS     int     `json:"gomaxprocs,omitempty"`
+	WallNsParallel float64 `json:"wall_ns_parallel_engine,omitempty"`
+}
+
 // Snapshot is the -perf output document. (Snapshots before PR 5 were a
-// bare Record array; Load reads both shapes.)
+// bare Record array; Load reads both shapes. Scaling arrived in PR 10
+// and is empty in older snapshots.)
 type Snapshot struct {
-	Host    Host     `json:"host"`
-	Results []Record `json:"results"`
+	Host    Host           `json:"host"`
+	Results []Record       `json:"results"`
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
 }
 
 // Key names a record within a snapshot.

@@ -1,0 +1,32 @@
+package coherence
+
+import "math/bits"
+
+// MaxCores is the widest machine the fixed-width core bit-sets support.
+// It bounds protocols that keep a full per-core sharing vector (MESI);
+// TSO-CC's directory state is coarse (log2(cores) bits) and timestamped
+// and does not consume a CoreSet per line.
+const MaxCores = 256
+
+// CoreSet is a fixed-width bit-set over core ids [0, MaxCores). It is a
+// value type sized for embedding in directory line metadata: four words,
+// no pointers, so cache arrays holding it stay off the GC scan path.
+type CoreSet [4]uint64
+
+// Add inserts core c.
+func (s *CoreSet) Add(c int) { s[c>>6] |= 1 << (uint(c) & 63) }
+
+// Remove deletes core c.
+func (s *CoreSet) Remove(c int) { s[c>>6] &^= 1 << (uint(c) & 63) }
+
+// Has reports whether core c is in the set.
+func (s *CoreSet) Has(c int) bool { return s[c>>6]&(1<<(uint(c)&63)) != 0 }
+
+// Empty reports whether no core is in the set.
+func (s *CoreSet) Empty() bool { return s[0]|s[1]|s[2]|s[3] == 0 }
+
+// Count reports the number of cores in the set.
+func (s *CoreSet) Count() int {
+	return bits.OnesCount64(s[0]) + bits.OnesCount64(s[1]) +
+		bits.OnesCount64(s[2]) + bits.OnesCount64(s[3])
+}

@@ -48,6 +48,15 @@ type TransitionReporter interface {
 	SetTransitionSink(f func(addr uint64, from, to int))
 }
 
+// StoragePrewarmer is implemented by controllers whose cache arrays
+// materialize lazily (memsys.Cache chunks). Timing harnesses prewarm
+// every controller before starting the clock so first-touch chunk
+// allocation lands in setup, not the measured run; everything else
+// keeps the lazy footprint.
+type StoragePrewarmer interface {
+	PrewarmStorage()
+}
+
 // TxAuditor is implemented by controllers that own a TxTable and can
 // arm its continuous lifecycle audit (see TxTable.ArmAudit).
 type TxAuditor interface {

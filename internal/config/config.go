@@ -134,6 +134,33 @@ func Scaled(cores int) System {
 	return s
 }
 
+// MaxCores bounds the machine sizes Validate accepts. It matches the
+// widest fixed-width directory sharing vector in the tree
+// (coherence.CoreSet); TSO-CC itself has no structural cap, but every
+// harness validates configurations before choosing a protocol, so the
+// bound is enforced uniformly.
+const MaxCores = 256
+
+// Large returns a Table2-shaped system scaled to a large tiled machine:
+// same per-tile cache geometry and latencies, auto-factorized mesh, and
+// a raised cycle ceiling for the longer runs hundreds of cores produce.
+func Large(cores int) System {
+	s := Table2()
+	s.Cores = cores
+	s.MeshRows = 0
+	s.MaxCycles = 500_000_000
+	return s
+}
+
+// Large64 is the 64-core (8x8 mesh) scaling preset.
+func Large64() System { return Large(64) }
+
+// Large128 is the 128-core scaling preset.
+func Large128() System { return Large(128) }
+
+// Large256 is the 256-core (16x16 mesh) scaling preset.
+func Large256() System { return Large(256) }
+
 // Small returns a reduced configuration for unit tests: few cores, tiny
 // caches (to exercise evictions), fast memory.
 func Small(cores int) System {
@@ -154,10 +181,27 @@ func Small(cores int) System {
 	}
 }
 
-// Validate checks structural sanity.
+// Validate checks structural sanity, including arbitrary core counts:
+// any count in [1, MaxCores] is accepted — non-square counts get a
+// near-square (possibly ragged) mesh factorization that XY routing
+// handles — while counts beyond the widest directory sharing vector are
+// rejected explicitly rather than overflowing at run time. An explicit
+// MeshRows must leave at least one column and place every core on the
+// grid.
 func (s System) Validate() error {
 	if s.Cores <= 0 {
 		return fmt.Errorf("config: cores must be positive")
+	}
+	if s.Cores > MaxCores {
+		return fmt.Errorf("config: %d cores exceeds the supported maximum of %d (directory sharing-vector width)",
+			s.Cores, MaxCores)
+	}
+	if s.MeshRows < 0 {
+		return fmt.Errorf("config: mesh rows must be non-negative (0 = auto)")
+	}
+	if s.MeshRows > s.Cores {
+		return fmt.Errorf("config: %d mesh rows exceed %d cores (empty rows are not routable geometry)",
+			s.MeshRows, s.Cores)
 	}
 	if s.L1Size <= 0 || s.L1Ways <= 0 || s.L2TileSize <= 0 || s.L2Ways <= 0 {
 		return fmt.Errorf("config: cache geometry must be positive")

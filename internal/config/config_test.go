@@ -110,6 +110,63 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 	}
 }
 
+// TestValidateArbitraryCores: any core count up to MaxCores validates —
+// non-square counts included, since the mesh auto-factorizes and XY
+// routes ragged grids — while out-of-range counts and impossible mesh
+// shapes are rejected with explicit errors.
+func TestValidateArbitraryCores(t *testing.T) {
+	for _, cores := range []int{1, 2, 3, 5, 7, 10, 12, 13, 48, 63, 64, 96, 100, 128, 200, 255, 256} {
+		s := Scaled(cores)
+		if err := s.Validate(); err != nil {
+			t.Errorf("cores=%d (auto mesh): unexpected validation error: %v", cores, err)
+		}
+	}
+	for _, tc := range []struct{ cores, rows int }{
+		{6, 2},  // 2x3 rectangle
+		{10, 3}, // ragged 3x4 grid, last row short
+		{13, 2}, // prime count on an explicit 2-row grid
+	} {
+		s := Scaled(tc.cores)
+		s.MeshRows = tc.rows
+		if err := s.Validate(); err != nil {
+			t.Errorf("cores=%d rows=%d: unexpected validation error: %v", tc.cores, tc.rows, err)
+		}
+	}
+	bad := []System{
+		func() System { s := Scaled(MaxCores + 1); return s }(),       // beyond sharing-vector width
+		func() System { s := Scaled(512); return s }(),                // far beyond
+		func() System { s := Scaled(4); s.MeshRows = 5; return s }(),  // more rows than cores
+		func() System { s := Scaled(8); s.MeshRows = -1; return s }(), // negative rows
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad case %d (cores=%d rows=%d): expected validation error", i, s.Cores, s.MeshRows)
+		}
+	}
+}
+
+// TestLargePresets: the scaling presets keep Table2's per-tile shape.
+func TestLargePresets(t *testing.T) {
+	for _, tc := range []struct {
+		sys   System
+		cores int
+	}{
+		{Large64(), 64},
+		{Large128(), 128},
+		{Large256(), 256},
+	} {
+		if tc.sys.Cores != tc.cores {
+			t.Fatalf("preset has %d cores, want %d", tc.sys.Cores, tc.cores)
+		}
+		if tc.sys.L1Size != Table2().L1Size || tc.sys.L2TileSize != Table2().L2TileSize {
+			t.Fatalf("Large(%d) changed per-tile cache geometry", tc.cores)
+		}
+		if err := tc.sys.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestScaledKeepsShape(t *testing.T) {
 	s := Scaled(64)
 	if s.Cores != 64 || s.L1Size != Table2().L1Size {

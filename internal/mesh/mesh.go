@@ -41,10 +41,16 @@ type Config struct {
 // delivery cycle through its sim.Waker, so the wake-set engine ticks it
 // exactly at pending deadlines and never rescans it in between.
 type Network struct {
-	cfg   Config
-	rows  int
-	cols  int
-	nodes map[coherence.NodeID]*attachment
+	cfg  Config
+	rows int
+	cols int
+
+	// nodes is the endpoint directory, indexed directly by NodeID.
+	// NodeIDs are dense by construction (L1s are 0..cores-1, L2s are
+	// cores..2*cores-1), so a flat slice replaces the map that used to
+	// sit on every Send's source/destination lookup; a nil ep marks an
+	// unattached slot.
+	nodes []attachment
 
 	// linkBusy[d][r] is the cycle through which the outgoing link of
 	// router r in direction d is reserved, stored relative to linkBase.
@@ -138,10 +144,9 @@ func New(cfg Config) *Network {
 	}
 	cols := (cfg.Routers + rows - 1) / rows
 	n := &Network{
-		cfg:   cfg,
-		rows:  rows,
-		cols:  cols,
-		nodes: make(map[coherence.NodeID]*attachment),
+		cfg:  cfg,
+		rows: rows,
+		cols: cols,
 	}
 	for d := 0; d < 4; d++ {
 		n.linkBusy[d] = make([]sim.Cycle, rows*cols)
@@ -180,7 +185,21 @@ func (n *Network) Attach(id coherence.NodeID, router int, ep Endpoint) {
 	if router < 0 || router >= n.rows*n.cols {
 		panic(fmt.Sprintf("mesh: router %d out of range", router))
 	}
-	n.nodes[id] = &attachment{router: router, ep: ep}
+	if id < 0 {
+		panic(fmt.Sprintf("mesh: negative node id %d", id))
+	}
+	for int(id) >= len(n.nodes) {
+		n.nodes = append(n.nodes, attachment{})
+	}
+	n.nodes[id] = attachment{router: router, ep: ep}
+}
+
+// node resolves a NodeID to its attachment (nil ep = unattached).
+func (n *Network) node(id coherence.NodeID) attachment {
+	if id < 0 || int(id) >= len(n.nodes) {
+		return attachment{}
+	}
+	return n.nodes[id]
 }
 
 // SetDelayHook installs a delivery-delay hook (see the delayHook
@@ -264,12 +283,12 @@ func (n *Network) applyDelay(hook func(now, at sim.Cycle, src, dst coherence.Nod
 // Send routes m from m.Src to m.Dst, reserving link bandwidth, and
 // schedules delivery. It panics on unknown endpoints (a wiring bug).
 func (n *Network) Send(now sim.Cycle, m *coherence.Msg) {
-	src, ok := n.nodes[m.Src]
-	if !ok {
+	src := n.node(m.Src)
+	if src.ep == nil {
 		panic(fmt.Sprintf("mesh: cycle %d: unknown src %d in %s", now, m.Src, m))
 	}
-	dst, ok := n.nodes[m.Dst]
-	if !ok {
+	dst := n.node(m.Dst)
+	if dst.ep == nil {
 		panic(fmt.Sprintf("mesh: cycle %d: unknown dst %d in %s", now, m.Dst, m))
 	}
 	if TraceAll || (TraceAddr != 0 && m.Addr == TraceAddr) {
@@ -514,12 +533,9 @@ func (n *Network) Debug() string {
 
 // HopDistance reports the XY hop count between two node IDs.
 func (n *Network) HopDistance(a, b coherence.NodeID) int {
-	sa, ok := n.nodes[a]
-	if !ok {
-		return 0
-	}
-	sb, ok := n.nodes[b]
-	if !ok {
+	sa := n.node(a)
+	sb := n.node(b)
+	if sa.ep == nil || sb.ep == nil {
 		return 0
 	}
 	ax, ay := sa.router%n.cols, sa.router/n.cols

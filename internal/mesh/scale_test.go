@@ -1,0 +1,95 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// sumOcc totals the per-directional-link occupancy accounting armed by
+// InstallMetrics.
+func sumOcc(n *Network) int64 {
+	var sum int64
+	for d := 0; d < 4; d++ {
+		for _, v := range n.occ[d] {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TestFlitHopConservation: across random geometries, traffic mixes and
+// seeds, the network-wide flit-hop counter must equal the sum of
+// per-link flit-cycle occupancy — every flit-hop the contention model
+// charges is attributed to exactly one directional link, and no link
+// records traffic the aggregate counter missed. This ties the per-hop
+// reservation loop (walkLinks) to its observability mirror at every
+// machine size the repo supports, ragged grids included.
+func TestFlitHopConservation(t *testing.T) {
+	for _, routers := range []int{2, 5, 12, 16, 37, 64, 128, 200, 256} {
+		for seed := int64(1); seed <= 3; seed++ {
+			n, sinks := build(routers)
+			reg := obs.NewRegistry()
+			n.InstallMetrics(reg)
+			rng := rand.New(rand.NewSource(seed*1000 + int64(routers)))
+			const msgs = 200
+			now := sim.Cycle(1)
+			for i := 0; i < msgs; i++ {
+				m := &coherence.Msg{
+					Src: coherence.NodeID(rng.Intn(routers)),
+					Dst: coherence.NodeID(rng.Intn(routers)),
+				}
+				if rng.Intn(2) == 0 {
+					m.Type = coherence.MsgDataS
+					m.Data = make([]byte, coherence.BlockSize)
+				} else {
+					m.Type = coherence.MsgInv
+				}
+				n.Send(now, m)
+				now += sim.Cycle(rng.Intn(3))
+			}
+			drainByWake(t, n)
+			delivered := 0
+			for _, s := range sinks {
+				delivered += len(s.got)
+			}
+			if delivered != msgs {
+				t.Fatalf("routers=%d seed=%d: delivered %d of %d", routers, seed, delivered, msgs)
+			}
+			if got, want := sumOcc(n), n.FlitHops.Value(); got != want {
+				t.Fatalf("routers=%d seed=%d: per-link occupancy sums to %d flit-hops, counter says %d",
+					routers, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestHopDistanceMatchesXYRoute: at the scaling-target tile counts (and
+// a ragged grid), HopDistance must agree with the path the router
+// actually walks — a single-flit control message's FlitHops delta is
+// exactly the number of links its XY route traversed.
+func TestHopDistanceMatchesXYRoute(t *testing.T) {
+	for _, routers := range []int{64, 128, 200, 256} {
+		n, _ := build(routers)
+		reg := obs.NewRegistry()
+		n.InstallMetrics(reg)
+		rng := rand.New(rand.NewSource(int64(routers)))
+		now := sim.Cycle(1)
+		for i := 0; i < 100; i++ {
+			a := coherence.NodeID(rng.Intn(routers))
+			b := coherence.NodeID(rng.Intn(routers))
+			before := n.FlitHops.Value()
+			n.Send(now, &coherence.Msg{Type: coherence.MsgAck, Src: a, Dst: b})
+			drainByWake(t, n)
+			walked := n.FlitHops.Value() - before
+			if want := int64(n.HopDistance(a, b)); walked != want {
+				t.Fatalf("routers=%d: route %d->%d walked %d links, HopDistance says %d",
+					routers, a, b, walked, want)
+			}
+			now += 50
+		}
+	}
+}

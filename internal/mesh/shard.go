@@ -130,7 +130,7 @@ func (n *Network) SetMergeDelayHook(h func(now, at sim.Cycle, src, dst coherence
 // sendSharded is Send's sharded-mode body, running on the sending
 // shard's goroutine. The sending shard is always the shard owning
 // m.Src's router: controllers only send during their own dispatch.
-func (n *Network) sendSharded(now sim.Cycle, m *coherence.Msg, src, dst *attachment) {
+func (n *Network) sendSharded(now sim.Cycle, m *coherence.Msg, src, dst attachment) {
 	s := n.plan.ShardOfRouter[src.router]
 	sh := n.shards[s]
 	flits := m.Type.Flits()
@@ -224,7 +224,7 @@ func (n *Network) MergeEpoch(windowEnd sim.Cycle) []bool {
 		os := &n.shards[best].outbox[idx[best]]
 		idx[best]++
 		m := os.m
-		src, dst := n.nodes[m.Src], n.nodes[m.Dst]
+		src, dst := n.node(m.Src), n.node(m.Dst)
 		at := n.walkLinks(os.now, m.Type.Flits(), src.router, dst.router)
 		if n.mergeDelay != nil {
 			at = n.applyDelay(n.mergeDelay, os.now, at, m, src.router)
@@ -257,7 +257,7 @@ func (sh *netShard) Tick(now sim.Cycle) {
 			// Emit the arrival before Deliver: the endpoint may consume
 			// and recycle the message.
 			m := due[i].msg
-			sh.n.tl.FlowEnd(due[i].fid, obs.PidMesh, sh.n.nodes[m.Dst].router, m.Type.String(), int64(now))
+			sh.n.tl.FlowEnd(due[i].fid, obs.PidMesh, sh.n.node(m.Dst).router, m.Type.String(), int64(now))
 		}
 		due[i].dst.Deliver(now, due[i].msg)
 	}

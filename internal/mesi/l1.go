@@ -208,7 +208,7 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 			} else {
 				l.Stats.ReadHitPrivate.Inc()
 			}
-			l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
+			l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data[:], addr))
 			return true
 		}
 	}
@@ -234,7 +234,7 @@ func (l *L1) Store(now sim.Cycle, addr uint64, val uint64, cb func()) bool {
 		} else {
 			l.trans(blk, w.Meta.state, stateM)
 			w.Meta.state = stateM
-			memsys.PutWord(w.Data, addr, val)
+			memsys.PutWord(w.Data[:], addr, val)
 			l.Stats.WriteHitPrivate.Inc()
 			l.timers.AtDone(now+1, cb)
 			return true
@@ -270,9 +270,9 @@ func (l *L1) RMW(now sim.Cycle, addr uint64, f func(uint64) (uint64, bool), cb f
 		if l.evictFault != nil && !w.Busy && l.evictFault() {
 			l.evictLine(now, w) // forced early self-eviction; take the miss path
 		} else {
-			old := memsys.GetWord(w.Data, addr)
+			old := memsys.GetWord(w.Data[:], addr)
 			if nv, doWrite := f(old); doWrite {
-				memsys.PutWord(w.Data, addr, nv)
+				memsys.PutWord(w.Data[:], addr, nv)
 				l.trans(blk, w.Meta.state, stateM)
 				w.Meta.state = stateM
 			}
@@ -378,14 +378,14 @@ func (l *L1) completeWrite(now sim.Cycle, data []byte) {
 	w.Busy = false
 	l.trans(tx.addr, from, stateM)
 	w.Meta.state = stateM
-	old := memsys.GetWord(w.Data, tx.wordAddr)
+	old := memsys.GetWord(w.Data[:], tx.wordAddr)
 	if tx.isRMW {
 		if nv, doWrite := tx.f(old); doWrite {
-			memsys.PutWord(w.Data, tx.wordAddr, nv)
+			memsys.PutWord(w.Data[:], tx.wordAddr, nv)
 		}
 		l.Stats.RMWLat.Observe(int64(now - tx.issued))
 	} else {
-		memsys.PutWord(w.Data, tx.wordAddr, tx.val)
+		memsys.PutWord(w.Data[:], tx.wordAddr, tx.val)
 	}
 	if l.missSink != nil {
 		l.missSink(false, now-tx.issued)
@@ -423,7 +423,7 @@ func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 // prior state (0 when freshly installed) for transition reporting.
 func (l *L1) install(now sim.Cycle, addr uint64, data []byte) (*memsys.Way[l1Line], int) {
 	if w := l.cache.Peek(addr); w != nil {
-		copy(w.Data, data)
+		copy(w.Data[:], data)
 		return w, w.Meta.state
 	}
 	w := l.cache.Victim(addr)
@@ -434,7 +434,7 @@ func (l *L1) install(now sim.Cycle, addr uint64, data []byte) (*memsys.Way[l1Lin
 		l.evictLine(now, w)
 	}
 	l.cache.Install(w, addr)
-	copy(w.Data, data)
+	copy(w.Data[:], data)
 	return w, 0
 }
 
@@ -445,12 +445,12 @@ func (l *L1) evictLine(now sim.Cycle, w *memsys.Way[l1Line]) {
 	case stateS:
 		l.send(now, coherence.Msg{Type: coherence.MsgPutS, Dst: l.home(addr), Addr: addr}, nil)
 	case stateE:
-		l.evict[addr] = l.newEvict(w.Data, false)
+		l.evict[addr] = l.newEvict(w.Data[:], false)
 		l.send(now, coherence.Msg{Type: coherence.MsgPutE, Dst: l.home(addr), Addr: addr}, nil)
 	case stateM:
-		l.evict[addr] = l.newEvict(w.Data, true)
+		l.evict[addr] = l.newEvict(w.Data[:], true)
 		l.send(now, coherence.Msg{Type: coherence.MsgPutM, Dst: l.home(addr), Addr: addr,
-			Dirty: true}, w.Data)
+			Dirty: true}, w.Data[:])
 	}
 	l.cache.Invalidate(w)
 }
@@ -460,9 +460,9 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 		dirty := w.Meta.state == stateM
 		l.trans(m.Addr, w.Meta.state, stateS)
 		w.Meta.state = stateS
-		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr}, w.Data)
+		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr}, w.Data[:])
 		l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
-			Dirty: dirty}, w.Data)
+			Dirty: dirty}, w.Data[:])
 		return
 	}
 	if e, ok := l.evict[m.Addr]; ok {
@@ -478,7 +478,7 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
 	if w := l.cache.Peek(m.Addr); w != nil && w.Meta.state != stateS {
 		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
-			Dirty: w.Meta.state == stateM}, w.Data)
+			Dirty: w.Meta.state == stateM}, w.Data[:])
 		l.trans(m.Addr, w.Meta.state, 0)
 		l.cache.Invalidate(w)
 		return
@@ -502,7 +502,7 @@ func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
 		if w.Meta.state != stateS {
 			// Directory recall of an exclusive line (L2 eviction).
 			l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
-				Dirty: w.Meta.state == stateM}, w.Data)
+				Dirty: w.Meta.state == stateM}, w.Data[:])
 			l.cache.Invalidate(w)
 			return
 		}
@@ -538,3 +538,6 @@ func (l *L1) Debug() string {
 	s += fmt.Sprintf(" timers=%d%v inbox=%d", l.timers.Pending(), l.timers.DueCycles(), len(l.inbox))
 	return s
 }
+
+// PrewarmStorage implements coherence.StoragePrewarmer.
+func (l *L1) PrewarmStorage() { l.cache.Prewarm() }

@@ -18,7 +18,7 @@ const (
 
 type l2Line struct {
 	state   int
-	sharers uint64 // full sharing vector (bit per core; cores <= 64)
+	sharers coherence.CoreSet // full sharing vector (bit per core)
 	owner   coherence.NodeID
 	dirty   bool // data newer than memory
 }
@@ -108,8 +108,8 @@ func (t *L2) ObsCounters() []*stats.Counter { return t.txs.Counters() }
 
 // NewL2 builds directory tile `tile`.
 func NewL2(tile, cores int, sizeBytes, ways int, accessLat sim.Cycle, net coherence.Network, mem coherence.Memory) *L2 {
-	if cores > 64 {
-		panic("mesi: full sharing vector limited to 64 cores in this model")
+	if cores > coherence.MaxCores {
+		panic(fmt.Sprintf("mesi: full sharing vector limited to %d cores in this model", coherence.MaxCores))
 	}
 	l2 := &L2{
 		id:        coherence.L2ID(tile, cores),
@@ -248,7 +248,7 @@ func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 		if way == nil {
 			panic(fmt.Sprintf("mesi: L2 %d cycle %d: fetched line vanished %#x", t.id, now, addr))
 		}
-		t.mem.ReadBlock(addr, way.Data)
+		t.mem.ReadBlock(addr, way.Data[:])
 		t.trans(addr, 0, dirV)
 		way.Meta.state = dirV
 		way.Busy = false
@@ -270,7 +270,7 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 	switch v.Meta.state {
 	case dirV:
 		if v.Meta.dirty {
-			t.mem.WriteBlock(addr, v.Data)
+			t.mem.WriteBlock(addr, v.Data[:])
 		}
 		t.trans(addr, dirV, 0)
 		t.cache.Invalidate(v)
@@ -278,7 +278,7 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 	case dirS:
 		n := 0
 		for c := 0; c < t.cores; c++ {
-			if v.Meta.sharers&(1<<uint(c)) != 0 {
+			if v.Meta.sharers.Has(c) {
 				t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: addr}, nil)
 				n++
 			}
@@ -302,10 +302,10 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		w.Busy = true
 		tx := t.txs.New(m.Addr, txAwaitAck, m, 0)
 		tx.NextOwner = m.Requestor
-		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data[:])
 	case dirS:
-		w.Meta.sharers |= 1 << uint(int(m.Requestor))
-		t.respond(now, m.Requestor, coherence.MsgDataS, m.Addr, w.Data)
+		w.Meta.sharers.Add(int(m.Requestor))
+		t.respond(now, m.Requestor, coherence.MsgDataS, m.Addr, w.Data[:])
 	case dirX:
 		if w.Meta.owner == m.Requestor {
 			panic(fmt.Sprintf("mesi: L2 %d cycle %d: GetS from current owner %s", t.id, now, m))
@@ -317,19 +317,17 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 }
 
 func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
-	reqBit := uint64(1) << uint(int(m.Requestor))
 	switch w.Meta.state {
 	case dirV:
 		w.Busy = true
 		tx := t.txs.New(m.Addr, txAwaitAck, m, 0)
 		tx.NextOwner = m.Requestor
-		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data[:])
 	case dirS:
-		isUpgrade := w.Meta.sharers&reqBit != 0
+		isUpgrade := w.Meta.sharers.Has(int(m.Requestor))
 		others := 0
 		for c := 0; c < t.cores; c++ {
-			bit := uint64(1) << uint(c)
-			if w.Meta.sharers&bit != 0 && coherence.L1ID(c) != m.Requestor {
+			if w.Meta.sharers.Has(c) && coherence.L1ID(c) != m.Requestor {
 				t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgInv, Dst: coherence.L1ID(c), Addr: m.Addr}, nil)
 				others++
 			}
@@ -358,7 +356,7 @@ func (t *L2) grantX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line], isUp
 	if isUpgrade {
 		t.sendAfterAccess(now, coherence.Msg{Type: coherence.MsgUpgAck, Dst: m.Requestor, Addr: m.Addr}, nil)
 	} else {
-		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data)
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data[:])
 	}
 }
 
@@ -375,7 +373,7 @@ func (t *L2) handleAck(now sim.Cycle, m *coherence.Msg) {
 	t.trans(m.Addr, w.Meta.state, dirX)
 	w.Meta.state = dirX
 	w.Meta.owner = tx.NextOwner
-	w.Meta.sharers = 0
+	w.Meta.sharers = coherence.CoreSet{}
 	w.Busy = false
 	t.txs.Del(m.Addr, tx, true)
 	t.txs.DrainWaiting(now, m.Addr)
@@ -395,7 +393,7 @@ func (t *L2) handleInvAck(now sim.Cycle, m *coherence.Msg) {
 	case txInvColl:
 		// All sharers gone; grant exclusivity, stay busy until Ack.
 		tx.Kind = txAwaitAck
-		w.Meta.sharers = 0
+		w.Meta.sharers = coherence.CoreSet{}
 		t.grantX(now, tx.Req, w, tx.IsUpgrade)
 	case txEvict:
 		t.finishEvict(now, w)
@@ -412,17 +410,18 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 	w := t.cache.Peek(m.Addr)
 	switch tx.Kind {
 	case txFwdGetS:
-		copy(w.Data, m.Data)
+		copy(w.Data[:], m.Data)
 		if m.Dirty {
 			w.Meta.dirty = true
 		}
 		prevOwner := w.Meta.owner
 		t.trans(m.Addr, w.Meta.state, dirS)
 		w.Meta.state = dirS
-		w.Meta.sharers = 1 << uint(int(tx.Req.Requestor))
+		w.Meta.sharers = coherence.CoreSet{}
+		w.Meta.sharers.Add(int(tx.Req.Requestor))
 		if !m.NoCopy {
 			// Previous owner kept a downgraded Shared copy.
-			w.Meta.sharers |= 1 << uint(int(prevOwner))
+			w.Meta.sharers.Add(int(prevOwner))
 		}
 		w.Meta.owner = 0
 		w.Busy = false
@@ -430,7 +429,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 		t.txs.DrainWaiting(now, m.Addr)
 	case txEvict:
 		if m.Dirty {
-			copy(w.Data, m.Data)
+			copy(w.Data[:], m.Data)
 			w.Meta.dirty = true
 		}
 		t.finishEvict(now, w)
@@ -442,7 +441,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 func (t *L2) finishEvict(now sim.Cycle, w *memsys.Way[l2Line]) {
 	addr := w.Tag
 	if w.Meta.dirty {
-		t.mem.WriteBlock(addr, w.Data)
+		t.mem.WriteBlock(addr, w.Data[:])
 	}
 	tx, _ := t.txs.Get(addr)
 	t.txs.Del(addr, tx, false)
@@ -463,8 +462,8 @@ func (t *L2) handlePutS(now sim.Cycle, m *coherence.Msg) {
 		t.txs.EnqueueWaiting(m)
 		return
 	}
-	w.Meta.sharers &^= 1 << uint(int(m.Src))
-	if w.Meta.sharers == 0 {
+	w.Meta.sharers.Remove(int(m.Src))
+	if w.Meta.sharers.Empty() {
 		t.trans(m.Addr, dirS, dirV)
 		w.Meta.state = dirV
 	}
@@ -482,7 +481,7 @@ func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 		return
 	}
 	if m.Type == coherence.MsgPutM {
-		copy(w.Data, m.Data)
+		copy(w.Data[:], m.Data)
 		w.Meta.dirty = true
 	}
 	t.trans(m.Addr, dirX, dirV)
@@ -509,3 +508,6 @@ func (t *L2) sendPutAck(now sim.Cycle, dst coherence.NodeID, addr uint64) {
 func (t *L2) Debug() string {
 	return fmt.Sprintf("L2 %d:%s timers=%d", t.id, t.txs.Debug(), t.timers.Pending())
 }
+
+// PrewarmStorage implements coherence.StoragePrewarmer.
+func (t *L2) PrewarmStorage() { t.cache.Prewarm() }

@@ -65,7 +65,7 @@ func (l *L1) L1Stats() *coherence.L1Stats { return &l.Stats }
 // Exclusive/Modified lines.
 func (l *L1) SnoopBlock(addr uint64) ([]byte, bool) {
 	if w := l.cache.Peek(addr); w != nil && w.Meta.state != stateS {
-		return w.Data, true
+		return w.Data[:], true
 	}
 	return nil, false
 }
@@ -74,7 +74,7 @@ func (l *L1) SnoopBlock(addr uint64) ([]byte, bool) {
 // authoritative unless an L1 holds it exclusively.
 func (t *L2) SnoopBlock(addr uint64) ([]byte, bool) {
 	if w := t.cache.Peek(addr); w != nil && w.Meta.state != dirX {
-		return w.Data, true
+		return w.Data[:], true
 	}
 	return nil, false
 }

@@ -130,7 +130,15 @@ type Engine struct {
 	// component i must be ticked at (WakeNever = quiescent); curMask is
 	// the per-cycle dispatch bitmask over registration order, rebuilt at
 	// each active cycle and mutated mid-dispatch by same-cycle wakes.
+	// nextDueC caches the exact minimum of dueAt, maintained
+	// incrementally: every lowering of a dueAt entry mins into it, and
+	// dispatch — the only place entries are raised — recomputes the
+	// minimum over the non-dispatched remainder during the mask-build
+	// scan it already does. This removes the second O(components) pass
+	// per active cycle (the nextDue scan), which matters once the
+	// machine carries hundreds of registered components.
 	dueAt       []Cycle
+	nextDueC    Cycle
 	curMask     []uint64
 	pos         int // highest registration index already dispatched this cycle
 	dispatching bool
@@ -232,7 +240,7 @@ func NewEngine(maxCycle Cycle) *Engine {
 	if maxCycle <= 0 {
 		maxCycle = 500_000_000
 	}
-	return &Engine{maxCycle: maxCycle, allHint: true}
+	return &Engine{maxCycle: maxCycle, allHint: true, nextDueC: WakeNever}
 }
 
 // Now reports the current cycle.
@@ -260,6 +268,9 @@ func (e *Engine) Register(t Ticker) {
 	}
 	e.hinters = append(e.hinters, h)
 	e.dueAt = append(e.dueAt, e.now+1)
+	if e.now+1 < e.nextDueC {
+		e.nextDueC = e.now + 1
+	}
 	if id>>6 >= len(e.curMask) {
 		e.curMask = append(e.curMask, 0)
 	}
@@ -406,6 +417,9 @@ func (e *Engine) WakeAt(id int, c Cycle) {
 	}
 	if c < e.dueAt[id] {
 		e.dueAt[id] = c
+		if c < e.nextDueC {
+			e.nextDueC = c
+		}
 	}
 }
 
@@ -418,19 +432,9 @@ func (e *Engine) Step() {
 	}
 }
 
-// nextDue reports the earliest cycle any component is due at. This is
-// the only full scan in the wake-set scheduler, and it is a branch-light
-// pass over a contiguous []Cycle — not a virtual NextWake call per
-// component per cycle.
-func (e *Engine) nextDue() Cycle {
-	earliest := WakeNever
-	for _, d := range e.dueAt {
-		if d < earliest {
-			earliest = d
-		}
-	}
-	return earliest
-}
+// nextDue reports the earliest cycle any component is due at — the
+// incrementally maintained cache, not a scan (see nextDueC).
+func (e *Engine) nextDue() Cycle { return e.nextDueC }
 
 // dispatch ticks every due component at the current cycle in
 // registration order. Components woken mid-dispatch for this same cycle
@@ -444,11 +448,25 @@ func (e *Engine) dispatch() {
 	for w := range e.curMask {
 		e.curMask[w] = 0
 	}
+	// One pass builds the dispatch mask and recomputes the due-cache
+	// floor over the components NOT dispatched this cycle. Dispatched
+	// components' entries are consumed below and re-enter the cache
+	// through their post-tick hints; every other lowering during the
+	// tick loop (WakeAt) mins into nextDueC as it happens, so the cache
+	// is exact again by the time dispatch returns. The rare legal
+	// staleness — a component ticked via same-cycle mask folding whose
+	// previously scanned future due evaporates — only makes the cache
+	// early, never late: the engine performs one empty dispatch at the
+	// stale cycle and the scan below heals the cache.
+	m1 := WakeNever
 	for i, d := range e.dueAt {
 		if d <= now {
 			e.curMask[i>>6] |= 1 << (uint(i) & 63)
+		} else if d < m1 {
+			m1 = d
 		}
 	}
+	e.nextDueC = m1
 	e.dispatching = true
 	e.pos = -1
 	ticked := 0
@@ -482,6 +500,9 @@ func (e *Engine) dispatch() {
 				h = now + 1 // a hint at or before now means "tick me next cycle"
 			}
 			e.dueAt[i] = h
+			if h < e.nextDueC {
+				e.nextDueC = h
+			}
 		}
 	}
 	e.dispatching = false
@@ -516,6 +537,9 @@ func (e *Engine) Run() (Cycle, error) {
 	// everything from cycle 1), and hints are collected as they tick.
 	for i := range e.dueAt {
 		e.dueAt[i] = e.now + 1
+	}
+	if len(e.dueAt) > 0 {
+		e.nextDueC = e.now + 1
 	}
 	for {
 		if e.allDone() {

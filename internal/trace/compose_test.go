@@ -1,0 +1,120 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/system"
+	"repro/internal/trace"
+	"repro/internal/tsocc"
+)
+
+// TestComposeStructure: composing small traces onto a larger core count
+// tiles full instances, re-homes streams contiguously, keeps instance
+// address spaces disjoint, and is deterministic.
+func TestComposeStructure(t *testing.T) {
+	p := trace.SynthParams{Cores: 2, OpsPerCore: 32, Seed: 9}
+	zipf := trace.Zipf(p)
+	migr := trace.Migratory(p)
+
+	out, err := trace.Compose(7, zipf, migr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Meta.Sys.Cores != 7 {
+		t.Fatalf("composed geometry has %d cores, want 7", out.Meta.Sys.Cores)
+	}
+	// 3 two-core instances fit in 7 cores; core 6 stays idle.
+	if len(out.Streams) != 6 {
+		t.Fatalf("composed trace has %d streams, want 6", len(out.Streams))
+	}
+	for i, s := range out.Streams {
+		if s.Core != i {
+			t.Fatalf("stream %d on core %d, want contiguous re-homing", i, s.Core)
+		}
+	}
+
+	// Instance address spaces must be disjoint: collect per-instance
+	// address ranges (instance = core pair) and check they never overlap.
+	type rng struct{ lo, hi uint64 }
+	ranges := make([]rng, 3)
+	for i := range ranges {
+		ranges[i].lo = ^uint64(0)
+	}
+	for _, s := range out.Streams {
+		inst := s.Core / 2
+		for _, op := range s.Ops {
+			if !op.Kind.HasAddr() {
+				continue
+			}
+			if op.Addr < ranges[inst].lo {
+				ranges[inst].lo = op.Addr
+			}
+			if op.Addr > ranges[inst].hi {
+				ranges[inst].hi = op.Addr
+			}
+		}
+	}
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].lo <= ranges[i-1].hi {
+			t.Fatalf("instance %d address range [%#x,%#x] overlaps instance %d (hi %#x)",
+				i, ranges[i].lo, ranges[i].hi, i-1, ranges[i-1].hi)
+		}
+	}
+
+	// Determinism: same inputs, byte-identical encoding.
+	a, err := trace.Encode(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := trace.Compose(7, trace.Zipf(p), trace.Migratory(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.Encode(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("composition is not deterministic")
+	}
+
+	// Error cases: target too small for one instance, and no parts.
+	if _, err := trace.Compose(1, zipf); err == nil {
+		t.Fatal("composing a 2-core trace onto 1 core should fail")
+	}
+	if _, err := trace.Compose(4); err == nil {
+		t.Fatal("composing zero parts should fail")
+	}
+}
+
+// TestComposeReplay: a composed trace replays end-to-end and issues
+// exactly instance-count multiples of the source operations — the
+// instances are independent, so nothing is lost or double-counted.
+func TestComposeReplay(t *testing.T) {
+	src := trace.Zipf(trace.SynthParams{Cores: 2, OpsPerCore: 40, Seed: 3})
+	var wantLoads, wantStores int64
+	for _, s := range src.Streams {
+		for _, op := range s.Ops {
+			switch op.Kind {
+			case config.TraceLoad:
+				wantLoads++
+			case config.TraceStore:
+				wantStores++
+			}
+		}
+	}
+	out, err := trace.Compose(6, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := system.Replay(config.Small(6), tsocc.New(config.C12x3()), out)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if rep.Loads != 3*wantLoads || rep.Stores != 3*wantStores {
+		t.Fatalf("composed replay issued ld=%d st=%d, want ld=%d st=%d",
+			rep.Loads, rep.Stores, 3*wantLoads, 3*wantStores)
+	}
+}

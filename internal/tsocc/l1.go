@@ -18,10 +18,11 @@ const (
 )
 
 type l1Line struct {
-	state int
-	acnt  uint32 // accesses since last L2 fill (b.acnt)
-	ts    uint32 // last-written timestamp (b.ts)
-	tsOwn bool   // ts was assigned by this core's own writes
+	state  int
+	acnt   uint32 // accesses since last L2 fill (b.acnt)
+	ts     uint32 // last-written timestamp (b.ts)
+	tsOwn  bool   // ts was assigned by this core's own writes
+	listed bool   // way sits in the L1's shared-way sweep index
 }
 
 type readTx struct {
@@ -75,12 +76,18 @@ type L1 struct {
 	evict     map[uint64]*evictEntry
 	evictFree []*evictEntry
 
-	// sharedHint over-counts lines that entered Shared since the last
-	// self-invalidation sweep: incremented on every transition into
-	// stateS, reset by the sweep (which drops all Shared lines). Zero
-	// proves the cache holds no Shared line, letting sweeps skip the
-	// array walk; it never undercounts, so skipping is always safe.
-	sharedHint int
+	// sharedWays indexes the ways that entered Shared since the last
+	// self-invalidation sweep (every transition into stateS appends the
+	// way once, guarded by Meta.listed). Sweeps walk this list instead
+	// of the whole array — self-invalidation on a potential acquire is
+	// the protocol's most frequent array operation, and at large cache
+	// geometries a full ForEachValid walk dominated 64-core profiles.
+	// Invalidate/Install zero Meta (clearing listed), so a recycled way
+	// can re-appear in the list; the sweep's listed check makes the
+	// duplicate a no-op. Way pointers are stable: cache chunks allocate
+	// once and never move. Invariant: a stateS line is always listed —
+	// an empty list proves the cache holds no Shared line.
+	sharedWays []*memsys.Way[l1Line]
 
 	// Timestamp source (§3.3): a core-local counter incremented every
 	// write-group, plus the reset epoch.
@@ -244,7 +251,7 @@ func (l *L1) L1Stats() *coherence.L1Stats { return &l.Stats }
 // SnoopBlock implements coherence.Controller.
 func (l *L1) SnoopBlock(addr uint64) ([]byte, bool) {
 	if w := l.cache.Peek(addr); w != nil && (w.Meta.state == stateE || w.Meta.state == stateM) {
-		return w.Data, true
+		return w.Data[:], true
 	}
 	return nil, false
 }
@@ -325,11 +332,11 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 			switch w.Meta.state {
 			case stateE, stateM:
 				l.Stats.ReadHitPrivate.Inc()
-				l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
+				l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data[:], addr))
 				return true
 			case stateR:
 				l.Stats.ReadHitSRO.Inc()
-				l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
+				l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data[:], addr))
 				return true
 			case stateS:
 				if w.Meta.acnt < l.cfg.MaxAccesses() {
@@ -338,7 +345,7 @@ func (l *L1) Load(now sim.Cycle, addr uint64, cb func(uint64)) bool {
 					// propagation, §3.1).
 					w.Meta.acnt++
 					l.Stats.ReadHitShared.Inc()
-					l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data, addr))
+					l.timers.AtVal(now+l.hitLat, cb, memsys.GetWord(w.Data[:], addr))
 					return true
 				}
 				l.Stats.ReadMissShared.Inc()
@@ -371,7 +378,7 @@ func (l *L1) Store(now sim.Cycle, addr uint64, val uint64, cb func()) bool {
 		} else {
 			l.trans(blk, w.Meta.state, stateM)
 			w.Meta.state = stateM
-			memsys.PutWord(w.Data, addr, val)
+			memsys.PutWord(w.Data[:], addr, val)
 			w.Meta.ts = l.assignTS(now)
 			w.Meta.tsOwn = true
 			l.Stats.WriteHitPrivate.Inc()
@@ -399,9 +406,9 @@ func (l *L1) RMW(now sim.Cycle, addr uint64, f func(uint64) (uint64, bool), cb f
 		if l.evictFault != nil && l.evictFault() {
 			l.evictLine(now, w) // fall through to the write miss below
 		} else {
-			old := memsys.GetWord(w.Data, addr)
+			old := memsys.GetWord(w.Data[:], addr)
 			if nv, doWrite := f(old); doWrite {
-				memsys.PutWord(w.Data, addr, nv)
+				memsys.PutWord(w.Data[:], addr, nv)
 				l.trans(blk, w.Meta.state, stateM)
 				w.Meta.state = stateM
 				w.Meta.ts = l.assignTS(now)
@@ -442,22 +449,33 @@ func (l *L1) Fence(now sim.Cycle, cb func()) bool {
 	return true
 }
 
+// noteShared records w's transition into Shared in the sweep index.
+func (l *L1) noteShared(w *memsys.Way[l1Line]) {
+	if !w.Meta.listed {
+		w.Meta.listed = true
+		l.sharedWays = append(l.sharedWays, w)
+	}
+}
+
 // selfInvalidate drops every Shared line (SharedRO, Exclusive and
-// Modified lines survive).
+// Modified lines survive). The walk covers only the shared-way index:
+// listed ways that since left stateS (written, recycled, downgraded)
+// are skipped, and an empty index proves the sweep would drop nothing.
 func (l *L1) selfInvalidate(cause coherence.SelfInvCause) {
 	l.Stats.SelfInvEvents[cause].Inc()
-	if l.sharedHint == 0 {
-		return // provably no Shared lines; the sweep would drop nothing
+	if len(l.sharedWays) == 0 {
+		return
 	}
-	l.sharedHint = 0
 	var dropped int64
-	l.cache.ForEachValid(func(w *memsys.Way[l1Line]) {
-		if w.Meta.state == stateS {
+	for _, w := range l.sharedWays {
+		if w.Meta.listed && w.Valid && w.Meta.state == stateS {
 			l.trans(w.Tag, stateS, 0)
 			l.cache.Invalidate(w)
 			dropped++
 		}
-	})
+		w.Meta.listed = false
+	}
+	l.sharedWays = l.sharedWays[:0]
 	l.Stats.SelfInvLines.Add(dropped)
 }
 
@@ -596,17 +614,17 @@ func (l *L1) completeWrite(now sim.Cycle, m *coherence.Msg) {
 	w, from := l.install(now, tx.addr, m.Data)
 	l.trans(tx.addr, from, stateM)
 	w.Meta.state = stateM
-	old := memsys.GetWord(w.Data, tx.wordAddr)
+	old := memsys.GetWord(w.Data[:], tx.wordAddr)
 	wrote := true
 	if tx.isRMW {
 		nv, doWrite := tx.f(old)
 		if doWrite {
-			memsys.PutWord(w.Data, tx.wordAddr, nv)
+			memsys.PutWord(w.Data[:], tx.wordAddr, nv)
 		}
 		wrote = doWrite
 		l.Stats.RMWLat.Observe(int64(now - tx.issued))
 	} else {
-		memsys.PutWord(w.Data, tx.wordAddr, tx.val)
+		memsys.PutWord(w.Data[:], tx.wordAddr, tx.val)
 	}
 	ackTS := tsInvalid
 	if wrote {
@@ -650,12 +668,12 @@ func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 		w.Meta.ts = m.TS
 		w.Meta.tsOwn = false
 		if state == stateS {
-			l.sharedHint++
+			l.noteShared(w)
 		}
 	} else if w := l.cache.Peek(m.Addr); w != nil && w.Meta.state == stateS {
 		// Not re-installing (always-miss mode) but a stale Shared copy
 		// exists from before: refresh it rather than leaving it stale.
-		copy(w.Data, m.Data)
+		copy(w.Data[:], m.Data)
 		w.Meta.acnt = 0
 	}
 	if l.missSink != nil {
@@ -670,7 +688,7 @@ func (l *L1) completeRead(now sim.Cycle, m *coherence.Msg, state int) {
 // report the transition once they assign the new state.
 func (l *L1) install(now sim.Cycle, addr uint64, data []byte) (*memsys.Way[l1Line], int) {
 	if w := l.cache.Peek(addr); w != nil {
-		copy(w.Data, data)
+		copy(w.Data[:], data)
 		w.Meta.acnt = 0
 		return w, w.Meta.state
 	}
@@ -682,7 +700,7 @@ func (l *L1) install(now sim.Cycle, addr uint64, data []byte) (*memsys.Way[l1Lin
 		l.evictLine(now, w)
 	}
 	l.cache.Install(w, addr)
-	copy(w.Data, data)
+	copy(w.Data[:], data)
 	return w, 0
 }
 
@@ -693,13 +711,13 @@ func (l *L1) evictLine(now sim.Cycle, w *memsys.Way[l1Line]) {
 	case stateS, stateR:
 		// Shared and SharedRO evictions are silent (§3.2, §3.4).
 	case stateE:
-		l.evict[addr] = l.newEvict(w.Data, false, w.Meta.ts, w.Meta.tsOwn)
+		l.evict[addr] = l.newEvict(w.Data[:], false, w.Meta.ts, w.Meta.tsOwn)
 		l.send(now, coherence.Msg{Type: coherence.MsgPutE, Dst: l.home(addr), Addr: addr}, nil)
 	case stateM:
 		ts, valid := l.sendableTS(&w.Meta)
-		l.evict[addr] = l.newEvict(w.Data, true, w.Meta.ts, w.Meta.tsOwn)
+		l.evict[addr] = l.newEvict(w.Data[:], true, w.Meta.ts, w.Meta.tsOwn)
 		l.send(now, coherence.Msg{Type: coherence.MsgPutM, Dst: l.home(addr), Addr: addr,
-			Dirty: true, TS: ts, TSValid: valid, Epoch: l.epoch}, w.Data)
+			Dirty: true, TS: ts, TSValid: valid, Epoch: l.epoch}, w.Data[:])
 	}
 	l.cache.Invalidate(w)
 }
@@ -709,14 +727,14 @@ func (l *L1) handleFwdGetS(now sim.Cycle, m *coherence.Msg) {
 		dirty := w.Meta.state == stateM
 		ts, valid := l.sendableTS(&w.Meta)
 		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
-			Owner: l.id, TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: dirty}, w.Data)
+			Owner: l.id, TS: ts, TSValid: valid, Epoch: l.epoch, Dirty: dirty}, w.Data[:])
 		l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: l.home(m.Addr), Addr: m.Addr,
-			Dirty: dirty, TS: ts, TSValid: valid, Epoch: l.epoch}, w.Data)
+			Dirty: dirty, TS: ts, TSValid: valid, Epoch: l.epoch}, w.Data[:])
 		// Downgrade to Shared, keeping the copy with a fresh budget.
 		l.trans(m.Addr, w.Meta.state, stateS)
 		w.Meta.state = stateS
 		w.Meta.acnt = 0
-		l.sharedHint++
+		l.noteShared(w)
 		if l.cfg.MaxAccesses() == 0 {
 			l.trans(m.Addr, stateS, 0)
 			l.cache.Invalidate(w)
@@ -741,7 +759,7 @@ func (l *L1) handleFwdGetX(now sim.Cycle, m *coherence.Msg) {
 		ts, valid := l.sendableTS(&w.Meta)
 		l.send(now, coherence.Msg{Type: coherence.MsgDataOwner, Dst: m.Requestor, Addr: m.Addr,
 			Owner: l.id, TS: ts, TSValid: valid, Epoch: l.epoch,
-			Dirty: w.Meta.state == stateM}, w.Data)
+			Dirty: w.Meta.state == stateM}, w.Data[:])
 		l.trans(m.Addr, w.Meta.state, 0)
 		l.cache.Invalidate(w)
 		return
@@ -768,7 +786,7 @@ func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
 			ts, valid := l.sendableTS(&w.Meta)
 			l.send(now, coherence.Msg{Type: coherence.MsgWBData, Dst: m.Src, Addr: m.Addr,
 				Dirty: w.Meta.state == stateM,
-				TS:    ts, TSValid: valid, Epoch: l.epoch}, w.Data)
+				TS:    ts, TSValid: valid, Epoch: l.epoch}, w.Data[:])
 			l.trans(m.Addr, w.Meta.state, 0)
 			l.cache.Invalidate(w)
 			return
@@ -789,3 +807,6 @@ func (l *L1) handleInv(now sim.Cycle, m *coherence.Msg) {
 	}
 	l.send(now, coherence.Msg{Type: coherence.MsgInvAck, Dst: m.Src, Addr: m.Addr}, nil)
 }
+
+// PrewarmStorage implements coherence.StoragePrewarmer.
+func (l *L1) PrewarmStorage() { l.cache.Prewarm() }

@@ -251,7 +251,7 @@ func (t *L2) NextWake(now sim.Cycle) sim.Cycle {
 // SnoopBlock implements coherence.Controller.
 func (t *L2) SnoopBlock(addr uint64) ([]byte, bool) {
 	if w := t.cache.Peek(addr); w != nil && w.Meta.state != dirX {
-		return w.Data, true
+		return w.Data[:], true
 	}
 	return nil, false
 }
@@ -414,7 +414,7 @@ func (t *L2) startFetch(now sim.Cycle, m *coherence.Msg) {
 	addr := m.Addr
 	t.timers.At(now+t.accessLat+t.mem.Latency(addr), func(nw sim.Cycle) {
 		way := t.cache.Peek(addr)
-		t.mem.ReadBlock(addr, way.Data)
+		t.mem.ReadBlock(addr, way.Data[:])
 		t.trans(addr, 0, dirV)
 		way.Meta = l2Line{state: dirV, owner: -1}
 		way.Busy = false
@@ -438,7 +438,7 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 		// timestamps are lost, which later forces mandatory
 		// self-invalidation at readers (invalid-ts responses).
 		if v.Meta.dirty {
-			t.mem.WriteBlock(addr, v.Data)
+			t.mem.WriteBlock(addr, v.Data[:])
 			t.flag1 = true // condition 1: dirty line left the L2
 		}
 		t.trans(addr, v.Meta.state, 0)
@@ -451,7 +451,7 @@ func (t *L2) evictLine(now sim.Cycle, v *memsys.Way[l2Line]) bool {
 		members := t.coarseMembersBuf(v.Meta.sharerBits)
 		if len(members) == 0 {
 			if v.Meta.dirty {
-				t.mem.WriteBlock(addr, v.Data)
+				t.mem.WriteBlock(addr, v.Data[:])
 				t.flag1 = true
 			}
 			t.trans(addr, dirR, 0)
@@ -483,7 +483,7 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		ts, ep, valid := t.respTS(&w.Meta)
 		w.Busy = true
 		t.txs.New(m.Addr, txAwaitAck, m, 0)
-		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data[:], w.Meta.owner, ts, ep, valid)
 	case dirX:
 		if w.Meta.owner == m.Requestor {
 			panic(fmt.Sprintf("tsocc: L2 %d cycle %d: GetS from current owner %s", t.id, now, m))
@@ -499,11 +499,11 @@ func (t *L2) serveGetS(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 			return
 		}
 		ts, ep, valid := t.respTS(&w.Meta)
-		t.respond(now, m.Requestor, coherence.MsgDataS, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
+		t.respond(now, m.Requestor, coherence.MsgDataS, m.Addr, w.Data[:], w.Meta.owner, ts, ep, valid)
 	case dirR:
 		ts, ep, valid := t.sroTS(&w.Meta)
 		w.Meta.sharerBits |= coarseBit(m.Requestor, t.cores)
-		t.respond(now, m.Requestor, coherence.MsgDataSRO, m.Addr, w.Data, -1, ts, ep, valid)
+		t.respond(now, m.Requestor, coherence.MsgDataSRO, m.Addr, w.Data[:], -1, ts, ep, valid)
 	}
 }
 
@@ -548,7 +548,7 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		ts, ep, valid := t.respTS(&w.Meta)
 		w.Busy = true
 		t.txs.New(m.Addr, txAwaitAck, m, 0)
-		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data[:], w.Meta.owner, ts, ep, valid)
 	case dirX:
 		if w.Meta.owner == m.Requestor {
 			panic(fmt.Sprintf("tsocc: L2 %d cycle %d: GetX from current owner %s", t.id, now, m))
@@ -563,7 +563,7 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 		ts, ep, valid := t.respTS(&w.Meta)
 		w.Busy = true
 		t.txs.New(m.Addr, txAwaitAck, m, 0)
-		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, w.Meta.owner, ts, ep, valid)
+		t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data[:], w.Meta.owner, ts, ep, valid)
 	case dirR:
 		// Writes to SharedRO lines broadcast invalidations to the
 		// coarse sharer groups (§3.4).
@@ -575,7 +575,7 @@ func (t *L2) serveGetX(now sim.Cycle, m *coherence.Msg, w *memsys.Way[l2Line]) {
 			ts, ep, valid := t.sroTS(&w.Meta)
 			w.Busy = true
 			t.txs.New(m.Addr, txAwaitAck, m, 0)
-			t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data, -1, ts, ep, valid)
+			t.respond(now, m.Requestor, coherence.MsgDataE, m.Addr, w.Data[:], -1, ts, ep, valid)
 			return
 		}
 		for _, c := range members {
@@ -632,7 +632,7 @@ func (t *L2) handleInvAck(now sim.Cycle, m *coherence.Msg) {
 		ts, ep, valid := t.sroTS(&w.Meta)
 		tx.Kind = txAwaitAck
 		w.Meta.sharerBits = 0
-		t.respond(now, tx.Req.Requestor, coherence.MsgDataE, m.Addr, w.Data, -1, ts, ep, valid)
+		t.respond(now, tx.Req.Requestor, coherence.MsgDataE, m.Addr, w.Data[:], -1, ts, ep, valid)
 	case txEvict:
 		t.finishEvict(now, w)
 	default:
@@ -649,7 +649,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 	switch tx.Kind {
 	case txFwdGetS:
 		prevOwner := w.Meta.owner
-		copy(w.Data, m.Data)
+		copy(w.Data[:], m.Data)
 		if m.Dirty {
 			w.Meta.dirty = true
 			w.Meta.wasModified = true
@@ -683,7 +683,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 		t.txs.DrainWaiting(now, m.Addr)
 	case txEvict:
 		if m.Dirty {
-			copy(w.Data, m.Data)
+			copy(w.Data[:], m.Data)
 			w.Meta.dirty = true
 		}
 		t.finishEvict(now, w)
@@ -695,7 +695,7 @@ func (t *L2) handleWBData(now sim.Cycle, m *coherence.Msg) {
 func (t *L2) finishEvict(now sim.Cycle, w *memsys.Way[l2Line]) {
 	addr := w.Tag
 	if w.Meta.dirty {
-		t.mem.WriteBlock(addr, w.Data)
+		t.mem.WriteBlock(addr, w.Data[:])
 		t.flag1 = true
 	}
 	tx, _ := t.txs.Get(addr)
@@ -718,7 +718,7 @@ func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 		return
 	}
 	if m.Type == coherence.MsgPutM {
-		copy(w.Data, m.Data)
+		copy(w.Data[:], m.Data)
 		w.Meta.dirty = true
 		w.Meta.wasModified = true
 		if m.TSValid {
@@ -733,3 +733,6 @@ func (t *L2) handlePut(now sim.Cycle, m *coherence.Msg) {
 	// Keep owner as last-writer for timestamp responses.
 	t.sendPutAck(now, m.Src, m.Addr)
 }
+
+// PrewarmStorage implements coherence.StoragePrewarmer.
+func (t *L2) PrewarmStorage() { t.cache.Prewarm() }

@@ -1,0 +1,135 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/obs"
+	"repro/internal/system"
+	"repro/internal/tsocc"
+	"repro/internal/workloads"
+)
+
+// TestScale64Conformance extends every conformance axis to a 64-core
+// machine: engine mode, batched core, shard count, runtime checks, and
+// observability must all reproduce the per-cycle unbatched reference
+// bit for bit on a 8x8 mesh, where the per-link contention model, the
+// wide sharing vector, and the sharded tile partitioning all operate
+// far outside the 4-core geometry the per-axis suites use. One
+// workload per real benchmark keeps the sweep bounded; the axes
+// themselves are each exhaustively crossed at 4 cores elsewhere.
+func TestScale64Conformance(t *testing.T) {
+	proto := func() system.Protocol { return tsocc.New(config.C12x3()) }
+	p := workloads.Params{Threads: 64, Scale: 1, Seed: 1}
+	variants := []struct {
+		name     string
+		perCycle bool
+		batched  bool
+		shards   int
+		checks   bool
+		observed bool
+	}{
+		{name: "per-cycle/unbatched", perCycle: true}, // reference
+		{name: "per-cycle/batched", perCycle: true, batched: true},
+		{name: "event/unbatched"},
+		{name: "event/batched", batched: true},
+		{name: "event/batched/shards4", batched: true, shards: 4},
+		{name: "event/batched/shards7", batched: true, shards: 7}, // not a divisor of 64
+		{name: "event/batched/checks", batched: true, checks: true},
+		{name: "event/batched/obs", batched: true, observed: true},
+	}
+	for _, bench := range []string{"canneal", "ssca2"} {
+		t.Run(bench, func(t *testing.T) {
+			e := workloads.ByName(bench)
+			if e == nil {
+				t.Fatalf("unknown benchmark %q", bench)
+			}
+			want := ""
+			for _, v := range variants {
+				cfg := config.Small(64)
+				cfg.PerCycleEngine = v.perCycle
+				cfg.BatchedCore = v.batched
+				cfg.Shards = v.shards
+				cfg.Checks = v.checks
+				if v.observed {
+					cfg.Obs = &obs.Obs{Metrics: obs.NewRegistry(), Timeline: obs.NewTimeline()}
+				}
+				r, err := system.Run(cfg, proto(), e.Gen(p))
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				if r.CheckErr != nil {
+					t.Fatalf("%s: functional check: %v", v.name, r.CheckErr)
+				}
+				fp := fingerprint(r)
+				if want == "" {
+					want = fp
+					continue
+				}
+				if fp != want {
+					t.Fatalf("%s diverged at 64 cores:\n reference: %s\n variant:   %s",
+						v.name, want, fp)
+				}
+			}
+		})
+	}
+}
+
+// TestScale64FaultModesBitIdentical crosses the fault-injection axis
+// with 64-core sharding: an injected run on the sharded engine must
+// reproduce the serial injected run exactly. The injector's decision
+// streams are per-(src,dst)-pair and per-tile, so neither the wider
+// mesh nor the tile-to-shard assignment may perturb them.
+func TestScale64FaultModesBitIdentical(t *testing.T) {
+	proto := tsocc.New(config.C12x3())
+	e := workloads.ByName("ssca2")
+	p := workloads.Params{Threads: 64, Scale: 1, Seed: 1}
+	cfg := config.Small(64)
+	cfg.FaultProfile = "jitter+evict"
+	cfg.FaultSeed = 7
+	ref, err := system.Run(cfg, proto, e.Gen(p))
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	want := fingerprint(ref)
+	for _, shards := range []int{4, 7} {
+		cfg.Shards = shards
+		r, err := system.Run(cfg, tsocc.New(config.C12x3()), e.Gen(p))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got := fingerprint(r); got != want {
+			t.Fatalf("shards=%d diverged under faults at 64 cores:\n serial: %s\n sharded: %s",
+				shards, want, got)
+		}
+	}
+}
+
+// TestScale64TraceReplayBitIdentical closes the trace axis at 64
+// cores: a trace recorded on the sharded engine replays — serial and
+// sharded — to the recording run's fingerprint, and a composed trace
+// (the scaling workloads' mechanism) replays identically on both
+// engines.
+func TestScale64TraceReplayBitIdentical(t *testing.T) {
+	e := workloads.ByName("canneal")
+	w := e.Gen(workloads.Params{Threads: 64, Scale: 1, Seed: 3})
+	cfg := config.Small(64)
+	cfg.Shards = 4
+	res, tr, err := system.RunRecorded(cfg, tsocc.New(config.C12x3()), w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(res)
+	for _, shards := range []int{1, 4} {
+		rcfg := config.Small(64)
+		rcfg.Shards = shards
+		got, err := system.Replay(rcfg, tsocc.New(config.C12x3()), tr)
+		if err != nil {
+			t.Fatalf("replay shards=%d: %v", shards, err)
+		}
+		if fp := fingerprint(got); fp != want {
+			t.Fatalf("replay shards=%d diverged at 64 cores:\n recorded: %s\n replayed: %s",
+				shards, want, fp)
+		}
+	}
+}
